@@ -1,0 +1,243 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section. Each benchmark runs the corresponding experiment (at reduced
+// iteration scale, to keep `go test -bench=.` tractable) and reports the
+// paper's metric through b.ReportMetric:
+//
+//	BenchmarkTable5Latency    round-trip microseconds per NI and payload
+//	BenchmarkTable5Bandwidth  MB/s per NI and payload
+//	BenchmarkFigure1          transfer%% and buffering%% per application
+//	BenchmarkFigure3a         normalized execution time, fifo NIs × buffers
+//	BenchmarkFigure3b         normalized execution time, coherent NIs
+//	BenchmarkFigure4          normalized execution time, single-cycle NI_2w
+//	BenchmarkTable4           measured mean message size per application
+//
+// Absolute numbers depend on this reproduction's synthetic workloads; the
+// comparisons (who wins, by what factor, where the crossovers fall) are the
+// reproduction targets, recorded against the paper in EXPERIMENTS.md.
+package nisim
+
+import (
+	"fmt"
+	"testing"
+
+	"nisim/internal/machine"
+	"nisim/internal/macro"
+	"nisim/internal/micro"
+	"nisim/internal/netsim"
+	"nisim/internal/nic"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+	"nisim/internal/workload"
+)
+
+// benchScale keeps macrobenchmark runs short under `go test -bench`.
+var benchScale = workload.Params{Iters: 0.3}
+
+func bufName(b int) string {
+	if b >= netsim.Infinite {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", b)
+}
+
+func BenchmarkTable5Latency(b *testing.B) {
+	for _, kind := range nic.PaperSeven() {
+		for _, payload := range micro.LatencyPayloads {
+			kind, payload := kind, payload
+			b.Run(fmt.Sprintf("%s/%dB", kind.ShortName(), payload), func(b *testing.B) {
+				var rtt sim.Time
+				for i := 0; i < b.N; i++ {
+					rtt = micro.RoundTrip(kind, 8, payload, 550, 30)
+				}
+				b.ReportMetric(rtt.Microseconds(), "us/rtt")
+			})
+		}
+	}
+}
+
+func BenchmarkTable5Bandwidth(b *testing.B) {
+	kinds := append(nic.PaperSeven(), nic.CNI32QmThrottle)
+	for _, kind := range kinds {
+		for _, payload := range micro.BandwidthPayloads {
+			kind, payload := kind, payload
+			b.Run(fmt.Sprintf("%s/%dB", kind.ShortName(), payload), func(b *testing.B) {
+				var mb float64
+				count := 150
+				if payload >= 4096 {
+					count = 40
+				}
+				for i := 0; i < b.N; i++ {
+					mb = micro.Bandwidth(kind, 8, payload, count)
+				}
+				b.ReportMetric(mb, "MB/s")
+			})
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for _, app := range workload.Apps() {
+		app := app
+		b.Run(string(app), func(b *testing.B) {
+			var transfer, buffering float64
+			for i := 0; i < b.N; i++ {
+				one := macro.Exec(nic.CM5, 1, app, benchScale)
+				inf := macro.Exec(nic.CM5, netsim.Infinite, app, benchScale)
+				t1 := float64(one.ExecTime)
+				buffering = (t1 - float64(inf.ExecTime)) / t1
+				if buffering < 0 {
+					buffering = 0
+				}
+				var tt float64
+				for _, n := range inf.Nodes {
+					tt += float64(n.TimeIn[stats.Transfer])
+				}
+				transfer = tt / (t1 * float64(len(inf.Nodes)))
+			}
+			b.ReportMetric(100*transfer, "%transfer")
+			b.ReportMetric(100*buffering, "%buffering")
+		})
+	}
+}
+
+func benchNormalized(b *testing.B, kind nic.Kind, bufs int, app workload.App) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		base := macro.Exec(nic.AP3000, 8, app, benchScale).ExecTime
+		st := macro.Exec(kind, bufs, app, benchScale)
+		norm = float64(st.ExecTime) / float64(base)
+	}
+	b.ReportMetric(norm, "x-vs-ap3000@8")
+}
+
+func BenchmarkFigure3a(b *testing.B) {
+	for _, kind := range []nic.Kind{nic.CM5, nic.UDMA, nic.AP3000} {
+		for _, bufs := range macro.BufferLevels {
+			for _, app := range workload.Apps() {
+				kind, bufs, app := kind, bufs, app
+				b.Run(fmt.Sprintf("%s/bufs=%s/%s", kind.ShortName(), bufName(bufs), app), func(b *testing.B) {
+					benchNormalized(b, kind, bufs, app)
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkFigure3b(b *testing.B) {
+	for _, kind := range []nic.Kind{nic.MemoryChannel, nic.StarTJR, nic.CNI512Q, nic.CNI32Qm} {
+		for _, app := range workload.Apps() {
+			kind, app := kind, app
+			b.Run(fmt.Sprintf("%s/%s", kind.ShortName(), app), func(b *testing.B) {
+				benchNormalized(b, kind, 8, app)
+			})
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for _, bufs := range macro.BufferLevels {
+		for _, app := range workload.Apps() {
+			bufs, app := bufs, app
+			b.Run(fmt.Sprintf("bufs=%s/%s", bufName(bufs), app), func(b *testing.B) {
+				var norm float64
+				for i := 0; i < b.N; i++ {
+					base := macro.Exec(nic.CNI32Qm, 8, app, benchScale).ExecTime
+					st := macro.Exec(nic.CM5SingleCycle, bufs, app, benchScale)
+					norm = float64(st.ExecTime) / float64(base)
+				}
+				b.ReportMetric(norm, "x-vs-cni32qm")
+			})
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for _, app := range workload.Apps() {
+		app := app
+		b.Run(string(app), func(b *testing.B) {
+			var mean float64
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				cfg := machine.DefaultConfig(nic.CNI32Qm, 8)
+				st := workload.Run(cfg, app, benchScale)
+				sizes := st.Total().Sizes()
+				mean = sizes.Mean()
+				msgs = sizes.Total()
+			}
+			b.ReportMetric(mean, "B/msg")
+			b.ReportMetric(float64(msgs), "msgs")
+		})
+	}
+}
+
+// BenchmarkEngine measures the raw discrete-event core: how many scheduled
+// events the simulator retires per second.
+func BenchmarkEngine(b *testing.B) {
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(sim.Nanosecond, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(sim.Nanosecond, tick)
+	e.Run()
+}
+
+// BenchmarkPingPong measures end-to-end simulator throughput on the full
+// stack: one complete simulated round trip per iteration.
+func BenchmarkPingPong(b *testing.B) {
+	for _, kind := range []nic.Kind{nic.CM5, nic.CNI32Qm} {
+		kind := kind
+		b.Run(kind.ShortName(), func(b *testing.B) {
+			micro.RoundTrip(kind, 8, 8, 1, b.N)
+		})
+	}
+}
+
+// BenchmarkAblations reports the design-choice ablation deltas (DESIGN.md):
+// what each mechanism of the winning designs buys.
+func BenchmarkAblations(b *testing.B) {
+	b.Run("prefetch", func(b *testing.B) {
+		var rows []macro.Ablation
+		for i := 0; i < b.N; i++ {
+			rows = macro.AblatePrefetch()
+		}
+		for _, a := range rows {
+			b.ReportMetric(100*a.Delta(), "%cost-"+a.Name[:7])
+		}
+	})
+	b.Run("dead-suppress", func(b *testing.B) {
+		var rows []macro.Ablation
+		for i := 0; i < b.N; i++ {
+			rows = macro.AblateDeadSuppress(benchScale)
+		}
+		b.ReportMetric(100*rows[0].Delta(), "%cost")
+	})
+	b.Run("iobus", func(b *testing.B) {
+		var pts []macro.IOBusPoint
+		for i := 0; i < b.N; i++ {
+			pts = macro.AblateIOBus([]sim.Time{0, 250 * sim.Nanosecond})
+		}
+		b.ReportMetric(pts[1].RttUS/pts[0].RttUS, "x-slowdown")
+	})
+}
+
+// BenchmarkLogP reports the measured LogP decomposition per NI.
+func BenchmarkLogP(b *testing.B) {
+	for _, kind := range []nic.Kind{nic.CM5, nic.AP3000, nic.CNI32Qm} {
+		kind := kind
+		b.Run(kind.ShortName(), func(b *testing.B) {
+			var lp micro.LogP
+			for i := 0; i < b.N; i++ {
+				lp = micro.LogPOf(kind, 64)
+			}
+			b.ReportMetric(lp.Os.Nanoseconds(), "o_send-ns")
+			b.ReportMetric(lp.Or.Nanoseconds(), "o_recv-ns")
+			b.ReportMetric(lp.G.Nanoseconds(), "gap-ns")
+		})
+	}
+}

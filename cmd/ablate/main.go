@@ -1,0 +1,69 @@
+// Command ablate runs the design-choice ablation studies: it flips one
+// mechanism of a winning NI design at a time (send prefetch, receive-cache
+// bypass, dead-message suppression), sweeps the CNI cache size and the UDMA
+// fallback threshold, and moves the fifo NIs behind an I/O-bus bridge to
+// reproduce the paper's motivation for memory-bus attachment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nisim/internal/macro"
+	"nisim/internal/report"
+	"nisim/internal/sim"
+	"nisim/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "iteration scale factor for app-based ablations")
+	flag.Parse()
+	p := workload.Params{Iters: *scale}
+
+	fmt.Println("Ablation 1: mechanism on/off")
+	t := report.NewTable("mechanism", "metric", "enabled", "disabled", "cost of disabling")
+	rows := macro.AblatePrefetch()
+	rows = append(rows, macro.AblateBypass(p)...)
+	rows = append(rows, macro.AblateDeadSuppress(p)...)
+	for _, a := range rows {
+		t.Row(a.Name, a.Metric,
+			fmt.Sprintf("%.2f", a.Enabled),
+			fmt.Sprintf("%.2f", a.Disabled),
+			fmt.Sprintf("%+.1f%%", 100*a.Delta()))
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("\nAblation 2: CNI_32Qm NI cache capacity")
+	t2 := report.NewTable("blocks", "64B rtt (us)", "4096B bw (MB/s)", "em3d exec (us)")
+	for _, pt := range macro.AblateCacheSize([]int{4, 8, 16, 32, 64, 128}, p) {
+		t2.Row(fmt.Sprintf("%d", pt.Blocks),
+			fmt.Sprintf("%.2f", pt.RttUS),
+			fmt.Sprintf("%.0f", pt.BwMBps),
+			fmt.Sprintf("%.0f", pt.Em3dUS))
+	}
+	if _, err := t2.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("\nAblation 3: UDMA fallback threshold (dsmc execution time)")
+	t3 := report.NewTable("threshold (B)", "dsmc exec (us)")
+	for _, pt := range macro.AblateUdmaThreshold([]int{0, 32, 96, 248}, p) {
+		t3.Row(fmt.Sprintf("%d", pt.Bytes), fmt.Sprintf("%.0f", pt.DsmcUS))
+	}
+	if _, err := t3.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("\nAblation 4: NI placement — I/O-bus bridge latency")
+	t4 := report.NewTable("NI", "bridge", "64B rtt (us)", "256B bw (MB/s)")
+	for _, pt := range macro.AblateIOBus([]sim.Time{0, 250 * sim.Nanosecond, 1000 * sim.Nanosecond}) {
+		t4.Row(pt.Kind.ShortName(), pt.Bridge.String(),
+			fmt.Sprintf("%.2f", pt.RttUS), fmt.Sprintf("%.0f", pt.BwMBps))
+	}
+	if _, err := t4.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+}

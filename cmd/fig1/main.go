@@ -1,0 +1,25 @@
+// Command fig1 regenerates the paper's Figure 1: the fraction of execution
+// time spent on NI data transfer and buffering for the seven
+// macrobenchmarks on a CM-5-like NI with one flow-control buffer.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nisim/internal/macro"
+	"nisim/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "iteration scale factor")
+	flag.Parse()
+
+	fmt.Println("Figure 1: share of execution time (CM-5-like NI, flow control buffers = 1)")
+	fmt.Printf("%-14s %10s %10s %10s\n", "app", "transfer", "buffering", "rest")
+	for _, r := range macro.Figure1(workload.Params{Iters: *scale}) {
+		fmt.Printf("%-14s %9.1f%% %9.1f%% %9.1f%%\n",
+			r.App, 100*r.TransferFraction, 100*r.BufferingFraction,
+			100*(1-r.TransferFraction-r.BufferingFraction))
+	}
+}

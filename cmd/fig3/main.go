@@ -1,0 +1,65 @@
+// Command fig3 regenerates the paper's Figure 3: (a) the three fifo-based
+// NIs at flow-control buffer levels 1/2/8/infinity and (b) the four
+// coherent NIs at 8 buffers, all normalized to the AP3000-like NI with 8
+// buffers.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nisim/internal/macro"
+	"nisim/internal/netsim"
+	"nisim/internal/workload"
+)
+
+func bufName(b int) string {
+	if b >= netsim.Infinite {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", b)
+}
+
+func main() {
+	scale := flag.Float64("scale", 1, "iteration scale factor")
+	flag.Parse()
+	p := workload.Params{Iters: *scale}
+
+	fmt.Println("Figure 3a: fifo NIs, execution time normalized to AP3000-like @ 8 buffers")
+	cells := macro.Figure3a(p)
+	printGrid(cells)
+
+	fmt.Println()
+	fmt.Println("Figure 3b: coherent NIs @ 8 buffers, normalized to AP3000-like @ 8 buffers")
+	printGrid(macro.Figure3b(p))
+}
+
+func printGrid(cells []macro.Cell) {
+	// group rows by (kind, bufs), columns by app
+	type key struct {
+		kind string
+		bufs int
+	}
+	rows := map[key]map[workload.App]float64{}
+	var order []key
+	for _, c := range cells {
+		k := key{c.Kind.ShortName(), c.Bufs}
+		if rows[k] == nil {
+			rows[k] = map[workload.App]float64{}
+			order = append(order, k)
+		}
+		rows[k][c.App] = c.Normalized
+	}
+	fmt.Printf("%-18s %5s", "NI", "bufs")
+	for _, a := range workload.Apps() {
+		fmt.Printf(" %12s", a)
+	}
+	fmt.Println()
+	for _, k := range order {
+		fmt.Printf("%-18s %5s", k.kind, bufName(k.bufs))
+		for _, a := range workload.Apps() {
+			fmt.Printf(" %12.2f", rows[k][a])
+		}
+		fmt.Println()
+	}
+}

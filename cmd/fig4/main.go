@@ -1,0 +1,42 @@
+// Command fig4 regenerates the paper's Figure 4: a single-cycle
+// (processor-register-mapped) NI_2w at several flow-control buffer levels,
+// normalized to CNI_32Q_m on the memory bus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nisim/internal/macro"
+	"nisim/internal/netsim"
+	"nisim/internal/report"
+	"nisim/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "iteration scale factor")
+	flag.Parse()
+
+	fmt.Println("Figure 4: single-cycle NI_2w vs CNI_32Qm (execution time, normalized to CNI_32Qm)")
+	cells := macro.Figure4(workload.Params{Iters: *scale})
+	byApp := map[workload.App]map[int]float64{}
+	for _, c := range cells {
+		if byApp[c.App] == nil {
+			byApp[c.App] = map[int]float64{}
+		}
+		byApp[c.App][c.Bufs] = c.Normalized
+	}
+	t := report.NewTable("app", "bufs=1", "bufs=2", "bufs=8", "bufs=inf")
+	for _, app := range workload.Apps() {
+		r := byApp[app]
+		t.Row(string(app),
+			fmt.Sprintf("%.2f", r[1]),
+			fmt.Sprintf("%.2f", r[2]),
+			fmt.Sprintf("%.2f", r[8]),
+			fmt.Sprintf("%.2f", r[netsim.Infinite]))
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,39 @@
+// Command logp measures a LogP-style characterization of every NI — the
+// model §6.1 discusses and declines to use, because its latency and
+// overhead terms capture different things for different NIs. The table
+// makes that visible: processor-managed NIs carry their data transfer in
+// the overhead columns (o_s, o_r); NI-managed designs carry it in L.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nisim/internal/micro"
+	"nisim/internal/nic"
+	"nisim/internal/report"
+)
+
+func main() {
+	payload := flag.Int("payload", 64, "message payload in bytes")
+	flag.Parse()
+
+	fmt.Printf("LogP-style characterization, %dB payload (ns per message)\n", *payload)
+	t := report.NewTable("NI", "L", "o_send", "o_recv", "g (gap)")
+	for _, k := range nic.PaperSeven() {
+		lp := micro.LogPOf(k, *payload)
+		t.Row(k.ShortName(),
+			fmt.Sprintf("%.0f", lp.L.Nanoseconds()),
+			fmt.Sprintf("%.0f", lp.Os.Nanoseconds()),
+			fmt.Sprintf("%.0f", lp.Or.Nanoseconds()),
+			fmt.Sprintf("%.0f", lp.G.Nanoseconds()))
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+	fmt.Println("\nNote (paper §6.1): for processor-managed NIs the transfer cost sits in")
+	fmt.Println("o_send/o_recv; for NI-managed designs it sits in L — the components do")
+	fmt.Println("not measure the same thing across NIs, which is why the paper uses")
+	fmt.Println("round-trip latency and bandwidth instead.")
+}

@@ -1,0 +1,92 @@
+// Command nisim runs a single simulation: pick an NI design, an
+// application (or microbenchmark), and a flow-control buffer count, and get
+// the execution time, processor-time breakdown, and NI event counts.
+//
+//	nisim -ni cni32qm -app em3d -bufs 8
+//	nisim -ni ap3000 -rtt 64
+//	nisim -ni ap3000 -bw 4096
+//	nisim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"nisim"
+)
+
+func main() {
+	var (
+		ni     = flag.String("ni", "cni32qm", "NI design (see -list)")
+		app    = flag.String("app", "em3d", "macrobenchmark to run (see -list)")
+		bufs   = flag.Int("bufs", 8, "flow-control buffers per direction (-1 = infinite)")
+		nodes  = flag.Int("nodes", 16, "machine size")
+		scale  = flag.Float64("scale", 1, "iteration scale factor")
+		rtt    = flag.Int("rtt", 0, "instead: round-trip microbenchmark with this payload (bytes)")
+		bw     = flag.Int("bw", 0, "instead: bandwidth microbenchmark with this payload (bytes)")
+		list   = flag.Bool("list", false, "list NIs and applications")
+		tracef = flag.String("trace", "", "write a bus-transaction trace to this file")
+		asJSON = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("NI designs: ")
+		for _, k := range nisim.NIKinds() {
+			fmt.Printf("  %s\n", k)
+		}
+		fmt.Println("applications:")
+		for _, a := range nisim.Apps() {
+			fmt.Printf("  %s\n", a)
+		}
+		return
+	}
+
+	kind := nisim.NIKind(*ni)
+	switch {
+	case *rtt > 0:
+		us, err := nisim.RoundTripMicros(kind, *bufs, *rtt)
+		die(err)
+		fmt.Printf("%s: %dB payload round trip = %.2f us\n", kind, *rtt, us)
+	case *bw > 0:
+		mb, err := nisim.BandwidthMBps(kind, *bufs, *bw)
+		die(err)
+		fmt.Printf("%s: %dB payload bandwidth = %.0f MB/s\n", kind, *bw, mb)
+	default:
+		cfg := nisim.Config{NI: kind, FlowBuffers: *bufs, Nodes: *nodes}
+		if *tracef != "" {
+			f, err := os.Create(*tracef)
+			die(err)
+			defer f.Close()
+			cfg.TraceTo = f
+		}
+		res, err := nisim.RunAppScaled(cfg, *app, *scale)
+		die(err)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			die(enc.Encode(res))
+			return
+		}
+		fmt.Printf("%s on %s (%d nodes, %d buffers): %.1f us\n", *app, kind, *nodes, *bufs, res.ExecMicros)
+		fmt.Printf("  compute %.1f%%  transfer %.1f%%  buffering %.1f%%\n",
+			100*res.Breakdown.Compute, 100*res.Breakdown.Transfer, 100*res.Breakdown.Buffering)
+		fmt.Printf("  messages %d  fragments %d  bounces %d  retries %d\n",
+			res.Counters.MessagesSent, res.Counters.FragmentsSent, res.Counters.Bounces, res.Counters.Retries)
+		fmt.Printf("  bus transactions %d (cache-to-cache %d, memory-to-cache %d, uncached %d)\n",
+			res.Counters.BusTransactions, res.Counters.CacheToCache, res.Counters.MemToCache, res.Counters.UncachedAccesses)
+		if res.Counters.NICacheHits+res.Counters.NICacheMisses > 0 {
+			fmt.Printf("  NI cache: %d hits, %d misses, %d bypasses, %d prefetches\n",
+				res.Counters.NICacheHits, res.Counters.NICacheMisses, res.Counters.NIBypasses, res.Counters.Prefetches)
+		}
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nisim:", err)
+		os.Exit(1)
+	}
+}

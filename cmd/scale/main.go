@@ -1,0 +1,44 @@
+// Command scale studies machine-size scaling: the return-to-sender flow
+// control allocates buffers independently of the node count (§5.1.2's
+// scalability argument), so per-node execution time should stay roughly
+// flat as the machine grows. Runs one application across machine sizes for
+// a fifo NI and a coherent NI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nisim/internal/machine"
+	"nisim/internal/nic"
+	"nisim/internal/report"
+	"nisim/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "dsmc", "application")
+	scale := flag.Float64("scale", 0.5, "iteration scale")
+	flag.Parse()
+	a, err := workload.ByName(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("machine-size scaling, %s, flow control buffers = 8\n", *app)
+	t := report.NewTable("nodes", "cm5 exec (us)", "cni32qm exec (us)")
+	for _, nodes := range []int{4, 8, 16, 32} {
+		row := []string{fmt.Sprintf("%d", nodes)}
+		for _, kind := range []nic.Kind{nic.CM5, nic.CNI32Qm} {
+			cfg := machine.DefaultConfig(kind, 8)
+			cfg.Nodes = nodes
+			st := workload.Run(cfg, a, workload.Params{Iters: *scale})
+			row = append(row, fmt.Sprintf("%.0f", st.ExecTime.Microseconds()))
+		}
+		t.Row(row...)
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,23 @@
+// Command table1 prints the paper's Table 1: the (small) amount of
+// buffering commercial network switches provide — the reason NIs cannot
+// lean on the network for buffering.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nisim/internal/netsim"
+	"nisim/internal/report"
+)
+
+func main() {
+	fmt.Println("Table 1: buffering between an input and output port in commercial switches")
+	t := report.NewTable("switch/router", "maximum buffering")
+	for _, row := range netsim.SwitchBufferTable() {
+		t.Row(row.Name, row.Buffering)
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,33 @@
+// Command table2 prints the paper's Table 2: the classification of the
+// seven NIs by their data transfer and buffering parameters, as encoded in
+// the NI catalog.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nisim/internal/nic"
+	"nisim/internal/report"
+)
+
+func main() {
+	t := report.NewTable("NI", "Description",
+		"Send size", "Send mgr", "Send source",
+		"Recv size", "Recv mgr", "Recv dest",
+		"Buf location", "Proc involved?")
+	for _, e := range nic.Catalog() {
+		inv := "No"
+		if e.ProcInvolve {
+			inv = "Yes"
+		}
+		t.Row(e.Notation, e.Description,
+			e.SendSize, e.SendManager, e.SendSource,
+			e.RecvSize, e.RecvManager, e.RecvDest,
+			e.BufLocation, inv)
+	}
+	fmt.Println("Table 2: classification of the seven memory bus NIs")
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+}

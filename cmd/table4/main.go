@@ -1,0 +1,34 @@
+// Command table4 regenerates the paper's Table 4: for each macrobenchmark,
+// the measured message-size distribution of a standard 16-node run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nisim/internal/machine"
+	"nisim/internal/nic"
+	"nisim/internal/report"
+	"nisim/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "iteration scale factor")
+	flag.Parse()
+
+	fmt.Println("Table 4: measured message-size distributions (16 nodes)")
+	t := report.NewTable("benchmark", "messages", "avg size", "peaks (size:share)")
+	for _, app := range workload.Apps() {
+		cfg := machine.DefaultConfig(nic.CNI32Qm, 8)
+		st := workload.Run(cfg, app, workload.Params{Iters: *scale})
+		sizes := st.Total().Sizes()
+		t.Row(string(app),
+			fmt.Sprintf("%d", sizes.Total()),
+			fmt.Sprintf("%.0fB", sizes.Mean()),
+			sizes.String())
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+}

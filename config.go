@@ -1,0 +1,97 @@
+package nisim
+
+import (
+	"fmt"
+	"io"
+
+	"nisim/internal/machine"
+	"nisim/internal/netsim"
+	"nisim/internal/nic"
+	"nisim/internal/trace"
+)
+
+// NIKind names one of the studied network-interface designs.
+type NIKind string
+
+// The nine NI models: the seven of the paper's Table 2 plus the two §6
+// variants (the register-mapped single-cycle NI_2w and the send-throttled
+// CNI_32Q_m).
+const (
+	CM5            NIKind = "cm5"              // NI_2w, TMC CM-5-like
+	CM5SingleCycle NIKind = "cm5-1cycle"       // single-cycle NI_2w (Figure 4)
+	UDMA           NIKind = "udma"             // NI_64w+Udma, Princeton UDMA-based
+	AP3000         NIKind = "ap3000"           // NI_16w+Blkbuf, Fujitsu AP3000-like
+	StarTJR        NIKind = "startjr"          // CNI_0Q_m, MIT StarT-JR-like
+	MemoryChannel  NIKind = "memchannel"       // DEC Memory Channel-like hybrid
+	CNI512Q        NIKind = "cni512q"          // Wisconsin CNI without a cache
+	CNI32Qm        NIKind = "cni32qm"          // Wisconsin CNI with a cache
+	CNI32QmThrottl NIKind = "cni32qm-throttle" // CNI_32Q_m with send throttling
+)
+
+// NIKinds returns all supported NI kinds.
+func NIKinds() []NIKind {
+	var out []NIKind
+	for _, k := range nic.Kinds() {
+		out = append(out, NIKind(k.ShortName()))
+	}
+	return out
+}
+
+// PaperNIs returns the seven NIs of the paper's main evaluation, in Table 2
+// order.
+func PaperNIs() []NIKind {
+	var out []NIKind
+	for _, k := range nic.PaperSeven() {
+		out = append(out, NIKind(k.ShortName()))
+	}
+	return out
+}
+
+// InfiniteBuffers selects unbounded flow-control buffering.
+const InfiniteBuffers = -1
+
+// Config selects the simulated machine. The zero value of every field has a
+// sensible default: 16 nodes, CNI_32Q_m, 8 flow-control buffers.
+type Config struct {
+	// Nodes is the machine size (Table 3 default: 16).
+	Nodes int
+	// NI selects the network-interface design (default CNI32Qm).
+	NI NIKind
+	// FlowBuffers is the number of return-to-sender flow-control buffers per
+	// direction per node (default 8); use InfiniteBuffers for unbounded.
+	FlowBuffers int
+	// TraceTo, when non-nil, receives a structured line per memory-bus
+	// transaction — a debugging firehose; leave nil for measurement runs.
+	TraceTo io.Writer
+}
+
+func (c Config) build() (machine.Config, error) {
+	kindName := string(c.NI)
+	if kindName == "" {
+		kindName = string(CNI32Qm)
+	}
+	kind, err := nic.KindByName(kindName)
+	if err != nil {
+		return machine.Config{}, err
+	}
+	bufs := c.FlowBuffers
+	switch {
+	case bufs == 0:
+		bufs = 8
+	case bufs == InfiniteBuffers:
+		bufs = netsim.Infinite
+	case bufs < 0:
+		return machine.Config{}, fmt.Errorf("nisim: invalid FlowBuffers %d", c.FlowBuffers)
+	}
+	mc := machine.DefaultConfig(kind, bufs)
+	if c.TraceTo != nil {
+		mc.Tracer = trace.New(c.TraceTo, trace.Bus)
+	}
+	if c.Nodes != 0 {
+		if c.Nodes < 2 {
+			return machine.Config{}, fmt.Errorf("nisim: need at least 2 nodes, got %d", c.Nodes)
+		}
+		mc.Nodes = c.Nodes
+	}
+	return mc, nil
+}

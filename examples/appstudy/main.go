@@ -1,0 +1,34 @@
+// Appstudy: characterize every built-in application on one NI — execution
+// time breakdown, message-size mix, and flow-control behavior. This is the
+// per-application view behind the paper's Figure 1 and Table 4.
+//
+//	go run ./examples/appstudy [ni]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nisim"
+)
+
+func main() {
+	ni := nisim.NIKind("cm5")
+	if len(os.Args) > 1 {
+		ni = nisim.NIKind(os.Args[1])
+	}
+	fmt.Printf("applications on %s, 16 nodes, 1 flow-control buffer\n\n", ni)
+	fmt.Printf("%-14s %9s %9s %9s %9s %8s  %s\n",
+		"app", "exec(us)", "compute", "transfer", "buffer", "bounces", "top sizes (B)")
+	for _, app := range nisim.Apps() {
+		res, err := nisim.RunApp(nisim.Config{NI: ni, FlowBuffers: 1}, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %9.0f %8.1f%% %8.1f%% %8.1f%% %8d  %v\n",
+			app, res.ExecMicros,
+			100*res.Breakdown.Compute, 100*res.Breakdown.Transfer, 100*res.Breakdown.Buffering,
+			res.Counters.Bounces, res.TopMessageSizes(3))
+	}
+}

@@ -1,0 +1,45 @@
+// Designspace: sweep one application across every NI design and several
+// flow-control buffer levels — the experiment a designer would run to place
+// a new NI in the paper's design space.
+//
+//	go run ./examples/designspace [app]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nisim"
+)
+
+func main() {
+	app := "spsolve"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	bufLevels := []int{1, 2, 8, nisim.InfiniteBuffers}
+
+	fmt.Printf("execution time (us) for %s, 16 nodes\n", app)
+	fmt.Printf("%-18s", "NI \\ buffers")
+	for _, b := range bufLevels {
+		if b == nisim.InfiniteBuffers {
+			fmt.Printf(" %9s", "inf")
+		} else {
+			fmt.Printf(" %9d", b)
+		}
+	}
+	fmt.Println()
+
+	for _, ni := range nisim.NIKinds() {
+		fmt.Printf("%-18s", ni)
+		for _, b := range bufLevels {
+			res, err := nisim.RunAppScaled(nisim.Config{NI: ni, FlowBuffers: b}, app, 0.5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %9.0f", res.ExecMicros)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,71 @@
+// Pingpong: a custom active-message protocol on the public API — measures
+// per-NI round-trip latency the way the paper's Table 5 does, then prints a
+// comparison across all seven NIs.
+//
+//	go run ./examples/pingpong
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nisim"
+)
+
+const (
+	hPing = 1
+	hPong = 2
+)
+
+func main() {
+	payloads := []int{8, 64, 256}
+	fmt.Printf("%-18s", "NI")
+	for _, p := range payloads {
+		fmt.Printf(" %7dB", p)
+	}
+	fmt.Println("   (round trip, us)")
+
+	for _, ni := range nisim.PaperNIs() {
+		fmt.Printf("%-18s", ni)
+		for _, payload := range payloads {
+			rtt, err := roundTrip(ni, payload)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.2f", rtt)
+		}
+		fmt.Println()
+	}
+}
+
+// roundTrip measures the mean ping-pong round trip with a hand-written
+// program: node 0 sends pings, node 1's handler replies, and simulated time
+// is read with NowMicros.
+func roundTrip(ni nisim.NIKind, payload int) (float64, error) {
+	const warmup, rounds = 100, 40
+	pongs := 0
+	var mean float64
+	_, err := nisim.Run(nisim.Config{Nodes: 2, NI: ni}, func(n *nisim.Node) {
+		n.Register(hPing, func(n *nisim.Node, m nisim.Message) {
+			n.Send(m.Src, hPong, m.Len, 0)
+		})
+		n.Register(hPong, func(n *nisim.Node, m nisim.Message) { pongs++ })
+		if n.ID() != 0 {
+			n.Barrier()
+			return
+		}
+		var total float64
+		for i := 0; i < warmup+rounds; i++ {
+			want := pongs + 1
+			start := n.NowMicros()
+			n.Send(1, hPing, payload, 0)
+			n.WaitUntil(func() bool { return pongs >= want })
+			if i >= warmup {
+				total += n.NowMicros() - start
+			}
+		}
+		mean = total / rounds
+		n.Barrier()
+	})
+	return mean, err
+}

@@ -1,0 +1,28 @@
+// Quickstart: run one macrobenchmark on one NI and print the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nisim"
+)
+
+func main() {
+	res, err := nisim.RunApp(nisim.Config{
+		Nodes:       16,
+		NI:          nisim.CNI32Qm,
+		FlowBuffers: 8,
+	}, "em3d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("em3d on CNI_32Qm: %.1f us simulated execution time\n", res.ExecMicros)
+	fmt.Printf("  compute %.1f%%  transfer %.1f%%  buffering %.1f%%\n",
+		100*res.Breakdown.Compute, 100*res.Breakdown.Transfer, 100*res.Breakdown.Buffering)
+	fmt.Printf("  %d messages (%d network fragments), %d bounced\n",
+		res.Counters.MessagesSent, res.Counters.FragmentsSent, res.Counters.Bounces)
+	fmt.Printf("  dominant message sizes: %v bytes\n", res.TopMessageSizes(3))
+}

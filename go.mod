@@ -1,0 +1,3 @@
+module nisim
+
+go 1.22

@@ -1,0 +1,265 @@
+// Package cache models the processor's cache: direct-mapped, write-back,
+// write-allocate, 64-byte blocks, MOESI coherence over the node's snooping
+// memory bus (Table 3: 1 MB, direct-mapped).
+package cache
+
+import (
+	"fmt"
+
+	"nisim/internal/membus"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// State is a MOESI coherence state.
+type State int8
+
+// MOESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Dirty reports whether the state holds data newer than the home's copy.
+func (s State) Dirty() bool { return s == Owned || s == Modified }
+
+// Valid reports whether the state holds readable data.
+func (s State) Valid() bool { return s != Invalid }
+
+type line struct {
+	tag   membus.Addr // block address
+	state State
+}
+
+// Config holds cache geometry and latencies.
+type Config struct {
+	SizeBytes  int      // total capacity (Table 3: 1 MB)
+	HitLatency sim.Time // processor-visible hit time
+	SupplyLat  sim.Time // cache-to-cache supply latency when this cache owns
+}
+
+// DefaultConfig returns the Table 3 processor cache.
+func DefaultConfig() Config {
+	return Config{
+		SizeBytes:  1 << 20,
+		HitLatency: 1 * sim.Nanosecond,
+		SupplyLat:  24 * sim.Nanosecond,
+	}
+}
+
+// Cache is a direct-mapped MOESI cache attached to a memory bus.
+type Cache struct {
+	name  string
+	eng   *sim.Engine
+	bus   *membus.Bus
+	cfg   Config
+	lines []line
+	node  *stats.Node
+
+	// Hits and Misses count processor accesses.
+	Hits, Misses int64
+	// Writebacks counts dirty-victim writebacks.
+	Writebacks int64
+
+	// OnInvalidate, if non-nil, runs whenever a snooped transaction
+	// invalidates or downgrades a line this cache held. Pollers use it to
+	// notice producer writes to shared locations.
+	OnInvalidate func(block membus.Addr)
+}
+
+// New creates a cache on bus b. The cache registers itself as a snooper.
+func New(name string, e *sim.Engine, b *membus.Bus, cfg Config, node *stats.Node) *Cache {
+	n := cfg.SizeBytes / membus.BlockSize
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("cache: size %d is not a power-of-two multiple of the block size", cfg.SizeBytes))
+	}
+	c := &Cache{name: name, eng: e, bus: b, cfg: cfg, lines: make([]line, n), node: node}
+	b.AttachSnooper(c)
+	return c
+}
+
+// SnooperName implements membus.Snooper.
+func (c *Cache) SnooperName() string { return c.name }
+
+func (c *Cache) index(block membus.Addr) int {
+	return int(block/membus.BlockSize) & (len(c.lines) - 1)
+}
+
+// StateOf returns the coherence state of the block containing a.
+func (c *Cache) StateOf(a membus.Addr) State {
+	block := membus.BlockOf(a)
+	l := &c.lines[c.index(block)]
+	if l.state.Valid() && l.tag == block {
+		return l.state
+	}
+	return Invalid
+}
+
+// Snoop implements membus.Snooper: apply the MOESI transition for a
+// transaction issued by another device.
+func (c *Cache) Snoop(t *membus.Transaction) membus.SnoopReply {
+	if t.Kind == membus.Writeback {
+		return membus.SnoopReply{}
+	}
+	block := membus.BlockOf(t.Addr)
+	l := &c.lines[c.index(block)]
+	if !l.state.Valid() || l.tag != block {
+		return membus.SnoopReply{}
+	}
+	switch t.Kind {
+	case membus.GetS:
+		switch l.state {
+		case Modified, Owned:
+			l.state = Owned
+			return membus.SnoopReply{Owner: true, Shared: true, SupplyLatency: c.cfg.SupplyLat}
+		case Exclusive:
+			l.state = Shared
+			return membus.SnoopReply{Owner: true, Shared: true, SupplyLatency: c.cfg.SupplyLat}
+		default: // Shared
+			return membus.SnoopReply{Shared: true}
+		}
+	case membus.GetX, membus.Upgrade, membus.Invalidate, membus.WriteInvalidate:
+		owner := l.state.Dirty() || l.state == Exclusive
+		l.state = Invalid
+		if c.OnInvalidate != nil {
+			c.OnInvalidate(block)
+		}
+		if owner && t.Kind == membus.GetX {
+			// Supply the dirty/exclusive data directly to the new writer.
+			return membus.SnoopReply{Owner: true, SupplyLatency: c.cfg.SupplyLat}
+		}
+		return membus.SnoopReply{}
+	}
+	return membus.SnoopReply{}
+}
+
+// evict writes back the victim line for block if dirty. Blocking.
+func (c *Cache) evict(p *sim.Process, l *line) {
+	if l.state.Dirty() {
+		c.Writebacks++
+		c.bus.IssueAndWait(p, &membus.Transaction{
+			Kind:      membus.Writeback,
+			Addr:      l.tag,
+			Requester: c,
+		})
+	}
+	l.state = Invalid
+}
+
+// Read performs a processor load of size bytes at a, blocking p until the
+// data is available. Accesses must not span a block boundary.
+func (c *Cache) Read(p *sim.Process, a membus.Addr, size int) {
+	c.access(p, a, size, false)
+}
+
+// Write performs a processor store of size bytes at a, blocking p until the
+// store is ordered (hit or exclusive ownership obtained).
+func (c *Cache) Write(p *sim.Process, a membus.Addr, size int) {
+	c.access(p, a, size, true)
+}
+
+// ReadBytes performs loads covering [a, a+n), block by block.
+func (c *Cache) ReadBytes(p *sim.Process, a membus.Addr, n int) {
+	c.rangeAccess(p, a, n, false)
+}
+
+// WriteBytes performs stores covering [a, a+n), block by block.
+func (c *Cache) WriteBytes(p *sim.Process, a membus.Addr, n int) {
+	c.rangeAccess(p, a, n, true)
+}
+
+func (c *Cache) rangeAccess(p *sim.Process, a membus.Addr, n int, write bool) {
+	for n > 0 {
+		inBlock := int(membus.BlockOf(a) + membus.BlockSize - a)
+		sz := n
+		if sz > inBlock {
+			sz = inBlock
+		}
+		c.access(p, a, sz, write)
+		a += membus.Addr(sz)
+		n -= sz
+	}
+}
+
+func (c *Cache) access(p *sim.Process, a membus.Addr, size int, write bool) {
+	block := membus.BlockOf(a)
+	if membus.BlockOf(a+membus.Addr(size)-1) != block {
+		panic(fmt.Sprintf("cache: access %#x size %d spans blocks", a, size))
+	}
+	l := &c.lines[c.index(block)]
+	hit := l.state.Valid() && l.tag == block
+
+	if hit && (!write || l.state == Modified || l.state == Exclusive) {
+		c.Hits++
+		if write {
+			l.state = Modified
+		}
+		p.Sleep(c.cfg.HitLatency)
+		return
+	}
+
+	if hit && write {
+		// Shared or Owned: upgrade in place.
+		c.Hits++
+		c.bus.IssueAndWait(p, &membus.Transaction{
+			Kind:      membus.Upgrade,
+			Addr:      block,
+			Requester: c,
+		})
+		// Re-check: a racing snoop may have invalidated us while upgrading.
+		if l.state.Valid() && l.tag == block {
+			l.state = Modified
+			return
+		}
+		// Fall through to a full miss.
+		hit = false
+	}
+
+	c.Misses++
+	if l.state.Valid() && l.tag != block {
+		c.evict(p, l)
+	}
+	kind := membus.GetS
+	if write {
+		kind = membus.GetX
+	}
+	t := &membus.Transaction{Kind: kind, Addr: block, Requester: c}
+	c.bus.IssueAndWait(p, t)
+	l.tag = block
+	if write {
+		l.state = Modified
+	} else if t.Shared || t.FromCache {
+		l.state = Shared
+	} else {
+		l.state = Exclusive
+	}
+}
+
+// Flush writes back (if dirty) and invalidates the block containing a.
+func (c *Cache) Flush(p *sim.Process, a membus.Addr) {
+	block := membus.BlockOf(a)
+	l := &c.lines[c.index(block)]
+	if l.state.Valid() && l.tag == block {
+		c.evict(p, l)
+	}
+}

@@ -1,0 +1,337 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nisim/internal/mainmem"
+	"nisim/internal/membus"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// rig assembles an engine, one bus, DRAM at [0, 1GB), and n caches.
+type rig struct {
+	eng    *sim.Engine
+	bus    *membus.Bus
+	mem    *mainmem.Memory
+	caches []*Cache
+	node   *stats.Node
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	r := &rig{eng: sim.NewEngine(), node: stats.NewNode()}
+	r.bus = membus.New(r.eng, membus.DefaultTiming(), r.node)
+	r.mem = mainmem.New("dram", 120*sim.Nanosecond, r.eng)
+	r.bus.MapRange(0, 1<<30, r.mem)
+	for i := 0; i < n; i++ {
+		cfg := DefaultConfig()
+		cfg.SizeBytes = 1 << 16 // small cache so tests can force conflicts
+		r.caches = append(r.caches, New("c", r.eng, r.bus, cfg, r.node))
+	}
+	return r
+}
+
+// runProc runs body as a process and drives the engine to completion.
+func (r *rig) runProc(t *testing.T, body func(p *sim.Process)) sim.Time {
+	t.Helper()
+	p := r.eng.Spawn("test", body)
+	r.eng.Run()
+	if !p.Done() {
+		t.Fatal("process did not finish (deadlock)")
+	}
+	return r.eng.Now()
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	r := newRig(t, 1)
+	c := r.caches[0]
+	var missT, hitT sim.Time
+	r.runProc(t, func(p *sim.Process) {
+		start := p.Now()
+		c.Read(p, 0x1000, 8)
+		missT = p.Now() - start
+		start = p.Now()
+		c.Read(p, 0x1008, 8) // same block
+		hitT = p.Now() - start
+	})
+	if c.Misses != 1 || c.Hits != 1 {
+		t.Fatalf("misses=%d hits=%d, want 1/1", c.Misses, c.Hits)
+	}
+	// Miss: 2-cycle addr (8ns) + 120ns DRAM + turnaround+2 beats (12ns) = 140ns.
+	if missT != 140*sim.Nanosecond {
+		t.Errorf("miss latency = %v, want 140ns", missT)
+	}
+	if hitT != sim.Nanosecond {
+		t.Errorf("hit latency = %v, want 1ns", hitT)
+	}
+	if got := c.StateOf(0x1000); got != Exclusive {
+		t.Errorf("state after lone read = %v, want E", got)
+	}
+}
+
+func TestWriteAllocatesModified(t *testing.T) {
+	r := newRig(t, 1)
+	c := r.caches[0]
+	r.runProc(t, func(p *sim.Process) {
+		c.Write(p, 0x2000, 8)
+	})
+	if got := c.StateOf(0x2000); got != Modified {
+		t.Fatalf("state after write miss = %v, want M", got)
+	}
+}
+
+func TestSharedUpgrade(t *testing.T) {
+	r := newRig(t, 2)
+	c0, c1 := r.caches[0], r.caches[1]
+	r.runProc(t, func(p *sim.Process) {
+		c0.Read(p, 0x3000, 8)
+		c1.Read(p, 0x3000, 8) // c0 E -> S, supplies cache-to-cache
+		if c0.StateOf(0x3000) != Shared || c1.StateOf(0x3000) != Shared {
+			t.Errorf("states after 2 reads: %v/%v, want S/S", c0.StateOf(0x3000), c1.StateOf(0x3000))
+		}
+		c0.Write(p, 0x3000, 8) // upgrade
+		if c0.StateOf(0x3000) != Modified {
+			t.Errorf("c0 after upgrade = %v, want M", c0.StateOf(0x3000))
+		}
+		if c1.StateOf(0x3000) != Invalid {
+			t.Errorf("c1 after c0 upgrade = %v, want I", c1.StateOf(0x3000))
+		}
+	})
+}
+
+func TestCacheToCacheSupply(t *testing.T) {
+	r := newRig(t, 2)
+	c0, c1 := r.caches[0], r.caches[1]
+	var supplied sim.Time
+	r.runProc(t, func(p *sim.Process) {
+		c0.Write(p, 0x4000, 8) // c0 M
+		start := p.Now()
+		c1.Read(p, 0x4000, 8)
+		supplied = p.Now() - start
+	})
+	if c0.StateOf(0x4000) != Owned {
+		t.Errorf("c0 after remote read of M = %v, want O", c0.StateOf(0x4000))
+	}
+	if c1.StateOf(0x4000) != Shared {
+		t.Errorf("c1 = %v, want S", c1.StateOf(0x4000))
+	}
+	// Cache supply (24ns) is faster than DRAM (120ns):
+	// 8 + 24 + 12 = 44ns.
+	if supplied != 44*sim.Nanosecond {
+		t.Errorf("cache-to-cache read took %v, want 44ns", supplied)
+	}
+	if r.node.CacheToCache != 1 {
+		t.Errorf("CacheToCache counter = %d, want 1", r.node.CacheToCache)
+	}
+}
+
+func TestGetXInvalidatesAndSupplies(t *testing.T) {
+	r := newRig(t, 2)
+	c0, c1 := r.caches[0], r.caches[1]
+	r.runProc(t, func(p *sim.Process) {
+		c0.Write(p, 0x5000, 8)
+		c1.Write(p, 0x5000, 8)
+	})
+	if c0.StateOf(0x5000) != Invalid {
+		t.Errorf("c0 = %v, want I", c0.StateOf(0x5000))
+	}
+	if c1.StateOf(0x5000) != Modified {
+		t.Errorf("c1 = %v, want M", c1.StateOf(0x5000))
+	}
+}
+
+func TestConflictEvictionWritesBack(t *testing.T) {
+	r := newRig(t, 1)
+	c := r.caches[0]
+	// 64 KB cache => conflicting addresses differ by 1<<16.
+	r.runProc(t, func(p *sim.Process) {
+		c.Write(p, 0x100, 8)
+		c.Read(p, 0x100+1<<16, 8)
+	})
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks)
+	}
+	if r.mem.Writes != 1 {
+		t.Fatalf("mem writes = %d, want 1", r.mem.Writes)
+	}
+	if c.StateOf(0x100) != Invalid {
+		t.Fatalf("victim still valid")
+	}
+}
+
+func TestOnInvalidateFires(t *testing.T) {
+	r := newRig(t, 2)
+	c0, c1 := r.caches[0], r.caches[1]
+	var invalidated []membus.Addr
+	c1.OnInvalidate = func(b membus.Addr) { invalidated = append(invalidated, b) }
+	r.runProc(t, func(p *sim.Process) {
+		c1.Read(p, 0x7000, 8)
+		c0.Write(p, 0x7000, 8)
+	})
+	if len(invalidated) != 1 || invalidated[0] != 0x7000 {
+		t.Fatalf("OnInvalidate got %v, want [0x7000]", invalidated)
+	}
+}
+
+func TestRangeAccessSpansBlocks(t *testing.T) {
+	r := newRig(t, 1)
+	c := r.caches[0]
+	r.runProc(t, func(p *sim.Process) {
+		c.WriteBytes(p, 0x8020, 130) // touches blocks 0x8000, 0x8040, 0x8080
+	})
+	if c.Misses != 3 {
+		t.Fatalf("misses = %d, want 3", c.Misses)
+	}
+}
+
+func TestFlushWritesBackDirty(t *testing.T) {
+	r := newRig(t, 1)
+	c := r.caches[0]
+	r.runProc(t, func(p *sim.Process) {
+		c.Write(p, 0x9000, 8)
+		c.Flush(p, 0x9000)
+	})
+	if r.mem.Writes != 1 {
+		t.Fatalf("mem writes = %d, want 1", r.mem.Writes)
+	}
+	if c.StateOf(0x9000) != Invalid {
+		t.Fatal("block still valid after flush")
+	}
+}
+
+// Property: under any random sequence of reads/writes by multiple caches,
+// at most one cache holds a block in a dirty or exclusive state, and dirty
+// data is never silently dropped (every transition out of M/O goes through
+// a writeback or a cache-to-cache supply).
+func TestCoherenceInvariants(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		if len(opsRaw) > 200 {
+			opsRaw = opsRaw[:200]
+		}
+		r := newRig(t, 3)
+		rng := rand.New(rand.NewSource(seed))
+		blocks := []membus.Addr{0x0, 0x40, 0x80, 0x10000, 0x10040}
+		ok := true
+		r.runProc(t, func(p *sim.Process) {
+			for _, op := range opsRaw {
+				ci := int(op) % len(r.caches)
+				bi := int(op/4) % len(blocks)
+				write := rng.Intn(2) == 0
+				if write {
+					r.caches[ci].Write(p, blocks[bi], 8)
+				} else {
+					r.caches[ci].Read(p, blocks[bi], 8)
+				}
+				// Invariant: at most one M/E/O holder per block; if any cache
+				// is M or E, no other cache holds the block at all.
+				for _, b := range blocks {
+					owners, holders := 0, 0
+					exclusiveLike := 0
+					for _, c := range r.caches {
+						s := c.StateOf(b)
+						if s.Valid() {
+							holders++
+						}
+						if s == Modified || s == Owned || s == Exclusive {
+							owners++
+						}
+						if s == Modified || s == Exclusive {
+							exclusiveLike++
+						}
+					}
+					if owners > 1 {
+						ok = false
+					}
+					if exclusiveLike == 1 && holders > 1 {
+						ok = false
+					}
+				}
+				if !ok {
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusUncachedAccessTiming(t *testing.T) {
+	r := newRig(t, 0)
+	dev := mainmem.New("ni", 60*sim.Nanosecond, r.eng)
+	r.bus.MapRange(1<<30, 1<<31, dev)
+	var readT, writeT sim.Time
+	r.runProc(t, func(p *sim.Process) {
+		start := p.Now()
+		r.bus.IssueAndWait(p, &membus.Transaction{Kind: membus.UncachedRead, Addr: 1 << 30, Size: 8})
+		readT = p.Now() - start
+		start = p.Now()
+		r.bus.IssueAndWait(p, &membus.Transaction{Kind: membus.UncachedWrite, Addr: 1 << 30, Size: 8})
+		writeT = p.Now() - start
+	})
+	// Read: 8ns addr + 60ns device + 8ns turn+1 beat = 76ns.
+	if readT != 76*sim.Nanosecond {
+		t.Errorf("uncached read = %v, want 76ns", readT)
+	}
+	// Write: 8ns addr + 8ns turn+1 beat = 16ns (posted).
+	if writeT != 16*sim.Nanosecond {
+		t.Errorf("uncached write = %v, want 16ns", writeT)
+	}
+	if dev.Reads != 1 || dev.Writes != 1 {
+		t.Errorf("device saw reads=%d writes=%d, want 1/1", dev.Reads, dev.Writes)
+	}
+}
+
+func TestBusContentionSerializes(t *testing.T) {
+	r := newRig(t, 0)
+	dev := mainmem.New("ni", 0, r.eng)
+	r.bus.MapRange(1<<30, 1<<31, dev)
+	finish := make([]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		r.eng.Spawn("w", func(p *sim.Process) {
+			r.bus.IssueAndWait(p, &membus.Transaction{Kind: membus.UncachedWrite, Addr: 1 << 30, Size: 8})
+			finish[i] = p.Now()
+		})
+	}
+	r.eng.Run()
+	if finish[0] == finish[1] {
+		t.Fatalf("two writes completed simultaneously at %v; bus not serializing", finish[0])
+	}
+}
+
+func TestHomeRoutingPrecedence(t *testing.T) {
+	r := newRig(t, 0)
+	dev := mainmem.New("ni", 60*sim.Nanosecond, r.eng)
+	r.bus.MapRange(0x100000, 0x200000, dev) // overlays part of DRAM
+	if got := r.bus.HomeOf(0x100040); got != dev {
+		t.Fatalf("HomeOf overlaid range = %v, want NI", got.TargetName())
+	}
+	if got := r.bus.HomeOf(0x90); got != r.mem {
+		t.Fatalf("HomeOf DRAM range = %v, want dram", got.TargetName())
+	}
+}
+
+func TestMemWatch(t *testing.T) {
+	r := newRig(t, 1)
+	var seen []membus.Addr
+	r.mem.Watch(0x6000, 0x7000, func(tr *membus.Transaction) {
+		if tr.Kind == membus.Writeback {
+			seen = append(seen, tr.Addr)
+		}
+	})
+	r.runProc(t, func(p *sim.Process) {
+		c := r.caches[0]
+		c.Write(p, 0x6000, 8)
+		c.Flush(p, 0x6000) // writeback hits the watcher
+		c.Read(p, 0x500, 8)
+	})
+	if len(seen) != 1 || seen[0] != 0x6000 {
+		t.Fatalf("watcher saw %v, want [0x6000]", seen)
+	}
+}

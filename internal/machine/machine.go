@@ -1,0 +1,198 @@
+// Package machine assembles the simulated parallel machine of Table 3:
+// 16 workstation-like nodes, each with a 1 GHz processor, a 1 MB
+// direct-mapped cache, 120 ns main memory, a 250 MHz / 256-bit MOESI
+// snooping memory bus, and one of the studied NIs attached directly to that
+// bus; the nodes are connected by a 40 ns network with return-to-sender
+// flow control.
+package machine
+
+import (
+	"fmt"
+
+	"nisim/internal/cache"
+	"nisim/internal/mainmem"
+	"nisim/internal/membus"
+	"nisim/internal/msglayer"
+	"nisim/internal/netsim"
+	"nisim/internal/nic"
+	"nisim/internal/proc"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+	"nisim/internal/trace"
+)
+
+// AppBase is the start of the per-node application data region in DRAM. It
+// is offset so that small application working sets begin at cache offset
+// 0x40000 (256 KB), clear of the staggered NI queue structures; large
+// working sets conflict with everything, as on a real direct-mapped cache.
+const AppBase membus.Addr = 0x0104_0000
+
+// Config selects the machine to build. DefaultConfig reproduces Table 3.
+type Config struct {
+	Nodes       int
+	NIKind      nic.Kind
+	FlowBuffers int // flow-control buffers per direction; netsim.Infinite allowed
+
+	CPU    sim.Clock
+	Bus    membus.Timing
+	Cache  cache.Config
+	MemLat sim.Time
+	NI     nic.Config
+	Net    netsim.Config
+	Msg    msglayer.Config
+
+	// Tracer, when non-nil, receives a structured event line per bus
+	// transaction (and any other subsystems wired to it). Off by default.
+	Tracer *trace.Tracer
+}
+
+// DefaultConfig returns the paper's system parameters with the given NI and
+// flow-control buffer count.
+func DefaultConfig(kind nic.Kind, flowBuffers int) Config {
+	return Config{
+		Nodes:       16,
+		NIKind:      kind,
+		FlowBuffers: flowBuffers,
+		CPU:         sim.GHz(1),
+		Bus:         membus.DefaultTiming(),
+		Cache:       cache.DefaultConfig(),
+		MemLat:      120 * sim.Nanosecond,
+		NI:          nic.DefaultConfig(),
+		Net:         netsim.DefaultConfig(),
+		Msg:         msglayer.DefaultConfig(),
+	}
+}
+
+// Node is one machine node as seen by application code.
+type Node struct {
+	ID   int
+	Proc *proc.Proc
+	NI   nic.NI
+	EP   *msglayer.Endpoint
+
+	mach         *Machine
+	barrierEpoch int // releases seen
+	barrierCount int // arrivals seen (coordinator only)
+}
+
+// Machine is an assembled system ready to run one program.
+type Machine struct {
+	Eng   *sim.Engine
+	Cfg   Config
+	Nodes []*Node
+	Net   *netsim.Network
+	Stats *stats.Machine
+
+	ran bool
+}
+
+// New builds a machine per cfg.
+func New(cfg Config) *Machine {
+	if cfg.Nodes < 1 {
+		panic("machine: need at least one node")
+	}
+	eng := sim.NewEngine()
+	m := &Machine{
+		Eng:   eng,
+		Cfg:   cfg,
+		Net:   netsim.New(eng, cfg.Net, cfg.Nodes, cfg.FlowBuffers),
+		Stats: stats.NewMachine(cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		st := m.Stats.Nodes[i]
+		bus := membus.New(eng, cfg.Bus, st)
+		if cfg.Tracer != nil && cfg.Tracer.Enabled(trace.Bus) {
+			i := i
+			bus.Trace = func(format string, args ...any) {
+				cfg.Tracer.Event(eng.Now(), trace.Bus, i, format, args...)
+			}
+		}
+		mem := mainmem.New(fmt.Sprintf("dram-%d", i), cfg.MemLat, eng)
+		bus.MapRange(nic.DRAMBase, nic.DRAMLimit, mem)
+		c := cache.New(fmt.Sprintf("cache-%d", i), eng, bus, cfg.Cache, st)
+		pr := &proc.Proc{ID: i, Eng: eng, Bus: bus, Cache: c, Stats: st, CPU: cfg.CPU}
+		ep := m.Net.Endpoint(i)
+		ep.Stats = st
+		ni := nic.New(cfg.NIKind, &nic.Env{
+			Eng: eng, ID: i, Bus: bus, Mem: mem, EP: ep, Stats: st, CPU: cfg.CPU, Cfg: cfg.NI,
+		})
+		node := &Node{ID: i, Proc: pr, NI: ni, mach: m}
+		node.EP = msglayer.New(pr, ni, cfg.Net, cfg.Msg)
+		m.Nodes = append(m.Nodes, node)
+	}
+	// Wire cross-node feedback for send-throttled NIs.
+	for _, n := range m.Nodes {
+		if pa, ok := n.NI.(nic.PeerAware); ok {
+			pa.SetPeerLookup(func(id int) nic.NI { return m.Nodes[id].NI })
+		}
+	}
+	return m
+}
+
+// Run executes prog on every node (as that node's processor software) until
+// all instances return, then records the parallel execution time and tears
+// the machine down. A Machine runs exactly one program.
+func (m *Machine) Run(prog func(n *Node)) *stats.Machine {
+	if m.ran {
+		panic("machine: Run called twice")
+	}
+	m.ran = true
+	m.registerBarrier()
+
+	done := 0
+	for _, n := range m.Nodes {
+		n := n
+		p := m.Eng.Spawn(fmt.Sprintf("app-%d", n.ID), func(p *sim.Process) {
+			prog(n)
+			done++
+		})
+		n.Proc.Bind(p)
+	}
+	m.Eng.RunWhile(func() bool { return done < len(m.Nodes) })
+	m.Stats.ExecTime = m.Eng.Now()
+	m.Eng.Drain()
+	return m.Stats
+}
+
+// Reserved messaging-layer handler ids (applications use ids below 200).
+const (
+	HBarrierArrive  = 250
+	HBarrierRelease = 251
+)
+
+func (m *Machine) registerBarrier() {
+	for _, n := range m.Nodes {
+		n := n
+		n.EP.Register(HBarrierArrive, func(ep *msglayer.Endpoint, msg *msglayer.Message) {
+			n.barrierCount++
+		})
+		n.EP.Register(HBarrierRelease, func(ep *msglayer.Endpoint, msg *msglayer.Message) {
+			n.barrierEpoch++
+		})
+	}
+}
+
+// Size returns the number of nodes in the machine.
+func (n *Node) Size() int { return len(n.mach.Nodes) }
+
+// Barrier synchronizes all nodes through the messaging layer: everyone
+// sends an arrival to node 0; node 0 broadcasts a release. The traffic (and
+// its cost on the node's NI) is part of the simulation, as it was for
+// Tempest programs.
+func (n *Node) Barrier() {
+	N := len(n.mach.Nodes)
+	if N == 1 {
+		return
+	}
+	if n.ID == 0 {
+		n.EP.WaitUntil(func() bool { return n.barrierCount >= N-1 })
+		n.barrierCount -= N - 1
+		for i := 1; i < N; i++ {
+			n.EP.Send(i, HBarrierRelease, 4, 0)
+		}
+		return
+	}
+	target := n.barrierEpoch + 1
+	n.EP.Send(0, HBarrierArrive, 4, 0)
+	n.EP.WaitUntil(func() bool { return n.barrierEpoch >= target })
+}

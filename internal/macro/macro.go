@@ -1,0 +1,129 @@
+// Package macro runs the macrobenchmark experiments behind the paper's
+// Figure 1 (data-transfer/buffering share of execution time), Figure 3a
+// (fifo NIs across flow-control buffer counts), Figure 3b (coherent NIs),
+// and Figure 4 (single-cycle NI_2w versus CNI_32Q_m).
+package macro
+
+import (
+	"nisim/internal/machine"
+	"nisim/internal/netsim"
+	"nisim/internal/nic"
+	"nisim/internal/stats"
+	"nisim/internal/workload"
+)
+
+// Exec runs one (NI, flow-buffer, application) cell and returns machine
+// statistics.
+func Exec(kind nic.Kind, flowBufs int, app workload.App, p workload.Params) *stats.Machine {
+	cfg := machine.DefaultConfig(kind, flowBufs)
+	return workload.Run(cfg, app, p)
+}
+
+// Figure1Row is one application's bar in Figure 1: of the execution time on
+// a CM-5-like NI with one flow-control buffer, the share attributable to NI
+// data transfer (the processor-time the transfer mechanism costs) and to
+// buffering (the time that disappears when flow-control buffering is made
+// infinite).
+type Figure1Row struct {
+	App               workload.App
+	TransferFraction  float64
+	BufferingFraction float64
+}
+
+// Figure1 regenerates Figure 1. Each application runs twice: once with one
+// flow-control buffer (the figure's configuration) and once with infinite
+// buffering. The buffering component is the differential; the transfer
+// component is the measured transfer work under infinite buffering, as a
+// share of the one-buffer execution time.
+func Figure1(p workload.Params) []Figure1Row {
+	var rows []Figure1Row
+	for _, app := range workload.Apps() {
+		one := Exec(nic.CM5, 1, app, p)
+		inf := Exec(nic.CM5, netsim.Infinite, app, p)
+		t1 := float64(one.ExecTime)
+		buffering := (t1 - float64(inf.ExecTime)) / t1
+		if buffering < 0 {
+			buffering = 0
+		}
+		// Transfer work measured in the bounce-free run, expressed relative
+		// to the one-buffer execution time.
+		var transferTime float64
+		for _, n := range inf.Nodes {
+			transferTime += float64(n.TimeIn[stats.Transfer])
+		}
+		transfer := transferTime / (t1 * float64(len(inf.Nodes)))
+		rows = append(rows, Figure1Row{
+			App:               app,
+			TransferFraction:  transfer,
+			BufferingFraction: buffering,
+		})
+	}
+	return rows
+}
+
+// BufferLevels are the flow-control buffer counts of Figure 3a and
+// Figure 4 (Infinite renders as the black bar).
+var BufferLevels = []int{1, 2, 8, netsim.Infinite}
+
+// Cell is one (NI, buffers, app) execution time, normalized by the caller.
+type Cell struct {
+	Kind nic.Kind
+	Bufs int
+	App  workload.App
+	// Normalized is execution time relative to the experiment's baseline.
+	Normalized float64
+	// ExecUS is the raw execution time in microseconds.
+	ExecUS float64
+}
+
+// Figure3a regenerates Figure 3a: the three fifo-based NIs at each
+// flow-control buffer level, normalized to the AP3000-like NI with eight
+// buffers.
+func Figure3a(p workload.Params) []Cell {
+	return sweep([]nic.Kind{nic.CM5, nic.UDMA, nic.AP3000}, BufferLevels, p)
+}
+
+// Figure3b regenerates Figure 3b: the four fully or partially coherent
+// NIs with eight flow-control buffers, normalized to the AP3000-like NI
+// with eight buffers. (These NIs buffer in main memory, so they are
+// insensitive to the flow-control buffer count.)
+func Figure3b(p workload.Params) []Cell {
+	return sweep([]nic.Kind{nic.MemoryChannel, nic.StarTJR, nic.CNI512Q, nic.CNI32Qm}, []int{8}, p)
+}
+
+func sweep(kinds []nic.Kind, bufLevels []int, p workload.Params) []Cell {
+	var cells []Cell
+	for _, app := range workload.Apps() {
+		base := Exec(nic.AP3000, 8, app, p).ExecTime
+		for _, k := range kinds {
+			for _, b := range bufLevels {
+				st := Exec(k, b, app, p)
+				cells = append(cells, Cell{
+					Kind: k, Bufs: b, App: app,
+					Normalized: float64(st.ExecTime) / float64(base),
+					ExecUS:     st.ExecTime.Microseconds(),
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// Figure4 regenerates Figure 4: the single-cycle (register-mapped) NI_2w
+// at each flow-control buffer level, normalized to CNI_32Q_m on the memory
+// bus (whose main-memory buffering makes it independent of the level).
+func Figure4(p workload.Params) []Cell {
+	var cells []Cell
+	for _, app := range workload.Apps() {
+		base := Exec(nic.CNI32Qm, 8, app, p).ExecTime
+		for _, b := range append([]int{}, BufferLevels...) {
+			st := Exec(nic.CM5SingleCycle, b, app, p)
+			cells = append(cells, Cell{
+				Kind: nic.CM5SingleCycle, Bufs: b, App: app,
+				Normalized: float64(st.ExecTime) / float64(base),
+				ExecUS:     st.ExecTime.Microseconds(),
+			})
+		}
+	}
+	return cells
+}

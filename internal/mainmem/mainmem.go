@@ -1,0 +1,96 @@
+// Package mainmem models a node's DRAM main memory: the home for all
+// cacheable application addresses and, for NIs that buffer messages in main
+// memory (CNI_0Q_m, CNI_32Q_m, the Memory Channel-like NI), the home of the
+// NI message queues.
+package mainmem
+
+import (
+	"nisim/internal/membus"
+	"nisim/internal/sim"
+)
+
+// Memory is a DRAM (or NI SRAM/DRAM) module: a fixed access latency plus a
+// serialization constraint — the module services one access at a time, so
+// back-to-back block transfers see queueing delay. This contention is what
+// makes "via main memory" NI paths (StarT-JR-like, Memory Channel-like)
+// slower under streaming than paths that keep messages in NI storage.
+type Memory struct {
+	name    string
+	latency sim.Time
+	// Clock providers call HomeLatency exactly once per transaction that
+	// touches the module (the membus contract), so busyUntil can be
+	// advanced there.
+	busyUntil sim.Time
+	eng       *sim.Engine
+
+	// Reads and Writes count accesses that reached the DRAM.
+	Reads, Writes int64
+
+	// watchers receive a callback when a block in their registered range is
+	// written at the home (used by NIs to observe queue writebacks).
+	watchers []watcher
+}
+
+type watcher struct {
+	lo, hi membus.Addr
+	fn     func(t *membus.Transaction)
+}
+
+// New returns a memory module with the given access latency (Table 3:
+// 120 ns for main memory, 60 ns for NI SRAM). eng provides the current time
+// for the serialization model; pass nil to disable serialization.
+func New(name string, latency sim.Time, eng *sim.Engine) *Memory {
+	return &Memory{name: name, latency: latency, eng: eng}
+}
+
+// TargetName implements membus.Target.
+func (m *Memory) TargetName() string { return m.name }
+
+// HomeLatency implements membus.Target. The bus calls it exactly once per
+// transaction that the module services; the module claims one access slot.
+func (m *Memory) HomeLatency(t *membus.Transaction) sim.Time {
+	if m.eng == nil {
+		return m.latency
+	}
+	start := m.eng.Now()
+	if m.busyUntil > start {
+		start = m.busyUntil
+	}
+	m.busyUntil = start + m.latency
+	return m.busyUntil - m.eng.Now()
+}
+
+// Claim reserves one access slot without a bus transaction — used by NIs
+// writing or reading their own local storage — and returns the delay from
+// now until that access completes.
+func (m *Memory) Claim() sim.Time {
+	if m.eng == nil {
+		return m.latency
+	}
+	start := m.eng.Now()
+	if m.busyUntil > start {
+		start = m.busyUntil
+	}
+	m.busyUntil = start + m.latency
+	return m.busyUntil - m.eng.Now()
+}
+
+// HomeAccess implements membus.Target.
+func (m *Memory) HomeAccess(t *membus.Transaction) {
+	switch t.Kind {
+	case membus.Writeback, membus.UncachedWrite, membus.BlockWrite, membus.WriteInvalidate:
+		m.Writes++
+	default:
+		m.Reads++
+	}
+	for _, w := range m.watchers {
+		if t.Addr >= w.lo && t.Addr < w.hi {
+			w.fn(t)
+		}
+	}
+}
+
+// Watch registers fn to run whenever an access in [lo, hi) reaches the DRAM.
+func (m *Memory) Watch(lo, hi membus.Addr, fn func(t *membus.Transaction)) {
+	m.watchers = append(m.watchers, watcher{lo, hi, fn})
+}

@@ -1,0 +1,365 @@
+// Package membus models a node's split-transaction, snooping memory bus —
+// the fabric every NI in the paper attaches to. The bus carries coherent
+// block transactions (MOESI GetS/GetX/Upgrade/Writeback), uncached register
+// accesses, and UltraSparc-style block-buffer transfers.
+//
+// Timing model (Table 3: 256-bit bus at 250 MHz, so one 64-byte block moves
+// in two data beats): a transaction occupies the bus for an
+// arbitration+address phase, then — after the supplier's access latency,
+// during which the bus is free for other transactions — for a turnaround
+// plus data-beat phase. Coherence state transitions are applied atomically
+// at the address phase, which is when all attached snoopers observe the
+// transaction.
+package membus
+
+import (
+	"fmt"
+
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// Addr is a physical address on a node's memory bus.
+type Addr uint64
+
+// BlockSize is the coherence block size in bytes (Table 3).
+const BlockSize = 64
+
+// BlockOf returns the block-aligned address containing a.
+func BlockOf(a Addr) Addr { return a &^ (BlockSize - 1) }
+
+// Kind enumerates bus transaction types.
+type Kind int
+
+const (
+	// GetS requests a block for reading; a cache holding it in M/O/E
+	// supplies it cache-to-cache, otherwise the home does.
+	GetS Kind = iota
+	// GetX requests a block for writing; all other copies are invalidated.
+	GetX
+	// Upgrade converts a Shared copy to Modified without a data transfer.
+	Upgrade
+	// Writeback writes a dirty block back to its home.
+	Writeback
+	// UncachedRead reads Size bytes from a device register, bypassing caches.
+	UncachedRead
+	// UncachedWrite posts Size bytes to a device register, bypassing caches.
+	UncachedWrite
+	// BlockRead moves a 64-byte block from a device into a processor-side
+	// block buffer (UltraSparc block load). Non-coherent.
+	BlockRead
+	// BlockWrite moves a 64-byte block from a processor-side block buffer to
+	// a device (UltraSparc block store). Non-coherent.
+	BlockWrite
+	// Invalidate is an address-only coherent transaction issued by a device
+	// that has produced a new version of a block it homes or caches: all
+	// other cached copies are invalidated, no data moves on the bus.
+	Invalidate
+	// WriteInvalidate is a coherent block write to the home that also
+	// invalidates all cached copies — the transaction DMA-style NIs use to
+	// deposit message blocks into main memory.
+	WriteInvalidate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GetS:
+		return "GetS"
+	case GetX:
+		return "GetX"
+	case Upgrade:
+		return "Upgrade"
+	case Writeback:
+		return "Writeback"
+	case UncachedRead:
+		return "UncachedRead"
+	case UncachedWrite:
+		return "UncachedWrite"
+	case BlockRead:
+		return "BlockRead"
+	case BlockWrite:
+		return "BlockWrite"
+	case Invalidate:
+		return "Invalidate"
+	case WriteInvalidate:
+		return "WriteInvalidate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// coherent reports whether the transaction is snooped by caches.
+func (k Kind) coherent() bool {
+	switch k {
+	case GetS, GetX, Upgrade, Writeback, Invalidate, WriteInvalidate:
+		return true
+	}
+	return false
+}
+
+// carriesData reports whether the transaction has a data phase.
+func (k Kind) carriesData() bool { return k != Upgrade && k != Invalidate }
+
+// Transaction is one bus operation. Fill in Kind, Addr, Size and Done;
+// Requester identifies the issuing snooper so it is excluded from snooping.
+type Transaction struct {
+	Kind      Kind
+	Addr      Addr
+	Size      int // bytes; defaults to BlockSize for block kinds
+	Requester Snooper
+	// Done, if non-nil, runs at the simulated time the transaction completes
+	// (data delivered to the requester, or write accepted by the bus).
+	Done func()
+	// FromCache is set by the bus when the data was supplied cache-to-cache.
+	FromCache bool
+	// Shared is set by the bus when another snooper retains a copy.
+	Shared bool
+}
+
+// SnoopReply is a snooper's response to observing a transaction's address
+// phase.
+type SnoopReply struct {
+	// Owner indicates this snooper holds the block in an owning state and
+	// will supply the data cache-to-cache.
+	Owner bool
+	// Shared indicates this snooper retains a (shared) copy.
+	Shared bool
+	// SupplyLatency is the snooper's access time to drive the data when it
+	// is the owner.
+	SupplyLatency sim.Time
+}
+
+// Snooper observes coherent transactions on the bus.
+type Snooper interface {
+	// SnooperName identifies the device in diagnostics.
+	SnooperName() string
+	// Snoop observes a coherent transaction issued by another device and
+	// applies its state transition. It runs at the address phase.
+	Snoop(t *Transaction) SnoopReply
+}
+
+// Target is a device that serves as the home for an address range: main
+// memory for DRAM addresses, an NI for NI-resident queue and register
+// addresses.
+type Target interface {
+	// TargetName identifies the device in diagnostics.
+	TargetName() string
+	// HomeLatency is the device access time to serve t when no cache owns
+	// the block (reads) or to absorb the data (writes).
+	HomeLatency(t *Transaction) sim.Time
+	// HomeAccess is invoked when the transaction's effect reaches the
+	// device — e.g. an uncached register write arriving at an NI. It runs
+	// after HomeLatency has elapsed.
+	HomeAccess(t *Transaction)
+}
+
+// Timing holds the bus timing parameters.
+type Timing struct {
+	Clock          sim.Clock // bus clock (250 MHz ⇒ 4 ns cycles)
+	ArbAddrCycles  int64     // arbitration + address phase
+	TurnCycles     int64     // turnaround before data beats
+	BeatBytes      int       // bytes moved per data beat (256-bit bus ⇒ 32)
+	CacheSupplyLat sim.Time  // processor-cache cache-to-cache supply latency
+}
+
+// DefaultTiming returns the Table 3 bus: 250 MHz, 256 bits wide, 2-cycle
+// arbitration+address, 1-cycle turnaround, 24 ns cache-to-cache supply.
+func DefaultTiming() Timing {
+	return Timing{
+		Clock:          sim.MHz(250),
+		ArbAddrCycles:  2,
+		TurnCycles:     1,
+		BeatBytes:      32,
+		CacheSupplyLat: 24 * sim.Nanosecond,
+	}
+}
+
+type mapping struct {
+	lo, hi Addr // [lo, hi)
+	home   Target
+}
+
+// Bus is one node's memory bus.
+type Bus struct {
+	eng      *sim.Engine
+	timing   Timing
+	snoopers []Snooper
+	ranges   []mapping
+	freeAt   sim.Time
+	node     *stats.Node
+
+	// Trace, if non-nil, receives a line per transaction (debugging).
+	Trace func(format string, args ...any)
+}
+
+// New creates a bus on engine e with the given timing. stats may be nil.
+func New(e *sim.Engine, timing Timing, node *stats.Node) *Bus {
+	return &Bus{eng: e, timing: timing, node: node}
+}
+
+// AttachSnooper registers a coherent device (cache, CNI) on the bus.
+func (b *Bus) AttachSnooper(s Snooper) { b.snoopers = append(b.snoopers, s) }
+
+// MapRange routes [lo, hi) to home. Later mappings take precedence, so a
+// device can overlay part of an earlier range.
+func (b *Bus) MapRange(lo, hi Addr, home Target) {
+	b.ranges = append(b.ranges, mapping{lo, hi, home})
+}
+
+// HomeOf returns the home device for address a, or nil if unmapped.
+func (b *Bus) HomeOf(a Addr) Target {
+	for i := len(b.ranges) - 1; i >= 0; i-- {
+		if a >= b.ranges[i].lo && a < b.ranges[i].hi {
+			return b.ranges[i].home
+		}
+	}
+	return nil
+}
+
+// Timing returns the bus timing parameters.
+func (b *Bus) Timing() Timing { return b.timing }
+
+// reserve claims the bus for cycles bus cycles starting no earlier than
+// ready, returning the start and end times of the occupancy.
+func (b *Bus) reserve(ready sim.Time, cycles int64) (start, end sim.Time) {
+	start = ready
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	start = b.timing.Clock.Align(start)
+	end = start + b.timing.Clock.Cycles(cycles)
+	b.freeAt = end
+	return start, end
+}
+
+func (b *Bus) dataBeats(size int) int64 {
+	if size <= 0 {
+		size = BlockSize
+	}
+	beats := int64((size + b.timing.BeatBytes - 1) / b.timing.BeatBytes)
+	if beats < 1 {
+		beats = 1
+	}
+	return beats
+}
+
+// Issue places t on the bus. The transaction proceeds asynchronously; Done
+// fires at completion. Issue may be called from any simulation context.
+func (b *Bus) Issue(t *Transaction) {
+	if t.Size == 0 {
+		t.Size = BlockSize
+	}
+	if b.node != nil {
+		b.node.BusTransactions++
+		switch t.Kind {
+		case UncachedRead, UncachedWrite:
+			b.node.UncachedAccesses++
+		case BlockRead, BlockWrite:
+			b.node.BlockBufTransfers++
+		}
+	}
+	_, addrEnd := b.reserve(b.eng.Now(), b.timing.ArbAddrCycles)
+	b.eng.At(addrEnd, func() { b.addressPhase(t) })
+}
+
+// addressPhase runs at the end of the arbitration+address occupancy: snoop,
+// pick the supplier, and schedule the data phase.
+func (b *Bus) addressPhase(t *Transaction) {
+	var supplyLat sim.Time
+	fromCache := false
+
+	if t.Kind.coherent() {
+		for _, s := range b.snoopers {
+			if s == t.Requester {
+				continue
+			}
+			r := s.Snoop(t)
+			if r.Owner {
+				if fromCache {
+					panic(fmt.Sprintf("membus: two owners for %s %#x", t.Kind, t.Addr))
+				}
+				fromCache = true
+				supplyLat = r.SupplyLatency
+				if supplyLat == 0 {
+					supplyLat = b.timing.CacheSupplyLat
+				}
+			}
+			if r.Shared {
+				t.Shared = true
+			}
+		}
+	}
+	t.FromCache = fromCache
+
+	home := b.HomeOf(t.Addr)
+	if home == nil {
+		panic(fmt.Sprintf("membus: no home for address %#x (%s)", t.Addr, t.Kind))
+	}
+
+	if b.Trace != nil {
+		b.Trace("%s %#x size=%d fromCache=%v", t.Kind, t.Addr, t.Size, fromCache)
+	}
+
+	switch t.Kind {
+	case Upgrade, Invalidate:
+		// No data phase and no home involvement: complete at the end of the
+		// address phase.
+		if t.Done != nil {
+			t.Done()
+		}
+	case Writeback, UncachedWrite, BlockWrite, WriteInvalidate:
+		// Write data follows the address phase immediately; the device
+		// absorbs it HomeLatency later, but the requester is released as
+		// soon as the bus accepts the data.
+		_, dataEnd := b.reserve(b.eng.Now(), b.timing.TurnCycles+b.dataBeats(t.Size))
+		lat := home.HomeLatency(t)
+		b.eng.At(dataEnd+lat, func() { home.HomeAccess(t) })
+		b.eng.At(dataEnd, func() {
+			if t.Done != nil {
+				t.Done()
+			}
+		})
+	default:
+		// Read-style: the owner cache, or failing that the home, drives the
+		// data after its access latency.
+		homeSupplies := !fromCache
+		if homeSupplies {
+			supplyLat = home.HomeLatency(t)
+		}
+		ready := b.eng.Now() + supplyLat
+		_, dataEnd := b.reserve(ready, b.timing.TurnCycles+b.dataBeats(t.Size))
+		b.eng.At(dataEnd, func() {
+			if b.node != nil {
+				if t.FromCache {
+					b.node.CacheToCache++
+				} else if t.Kind == GetS || t.Kind == GetX {
+					b.node.MemToCache++
+				}
+			}
+			if homeSupplies {
+				home.HomeAccess(t)
+			}
+			if t.Done != nil {
+				t.Done()
+			}
+		})
+	}
+}
+
+// IssueAndWait issues t and blocks the calling process until it completes.
+// The blocked time is charged to the process's current category.
+func (b *Bus) IssueAndWait(p *sim.Process, t *Transaction) {
+	done := false
+	prev := t.Done
+	t.Done = func() {
+		done = true
+		if prev != nil {
+			prev()
+		}
+		p.Unpark()
+	}
+	b.Issue(t)
+	for !done {
+		p.Park()
+	}
+}

@@ -1,0 +1,233 @@
+package membus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// fixedTarget is a Target with constant latency and an access log.
+type fixedTarget struct {
+	name     string
+	latency  sim.Time
+	accesses []Kind
+}
+
+func (f *fixedTarget) TargetName() string                  { return f.name }
+func (f *fixedTarget) HomeLatency(t *Transaction) sim.Time { return f.latency }
+func (f *fixedTarget) HomeAccess(t *Transaction)           { f.accesses = append(f.accesses, t.Kind) }
+
+// inertSnooper records what it observes and never owns anything.
+type inertSnooper struct{ seen []Kind }
+
+func (s *inertSnooper) SnooperName() string { return "inert" }
+func (s *inertSnooper) Snoop(t *Transaction) SnoopReply {
+	s.seen = append(s.seen, t.Kind)
+	return SnoopReply{}
+}
+
+// ownerSnooper claims ownership of one block.
+type ownerSnooper struct {
+	block  Addr
+	supply sim.Time
+	hits   int
+}
+
+func (s *ownerSnooper) SnooperName() string { return "owner" }
+func (s *ownerSnooper) Snoop(t *Transaction) SnoopReply {
+	if BlockOf(t.Addr) == s.block && t.Kind == GetS {
+		s.hits++
+		return SnoopReply{Owner: true, Shared: true, SupplyLatency: s.supply}
+	}
+	return SnoopReply{}
+}
+
+func newBus() (*sim.Engine, *Bus, *fixedTarget) {
+	eng := sim.NewEngine()
+	bus := New(eng, DefaultTiming(), stats.NewNode())
+	home := &fixedTarget{name: "home", latency: 120 * sim.Nanosecond}
+	bus.MapRange(0, 1<<32, home)
+	return eng, bus, home
+}
+
+func TestKindStringsAreDistinct(t *testing.T) {
+	kinds := []Kind{GetS, GetX, Upgrade, Writeback, UncachedRead, UncachedWrite, BlockRead, BlockWrite, Invalidate, WriteInvalidate}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestReadFromHomeTiming(t *testing.T) {
+	eng, bus, home := newBus()
+	var done sim.Time
+	bus.Issue(&Transaction{Kind: GetS, Addr: 0x100, Done: func() { done = eng.Now() }})
+	eng.Run()
+	// addr 8ns + 120ns + turnaround+2 beats 12ns = 140ns
+	if done != 140*sim.Nanosecond {
+		t.Fatalf("GetS completed at %v, want 140ns", done)
+	}
+	if len(home.accesses) != 1 {
+		t.Fatalf("home saw %d accesses, want 1", len(home.accesses))
+	}
+}
+
+func TestOwnerSuppliesInsteadOfHome(t *testing.T) {
+	eng, bus, home := newBus()
+	own := &ownerSnooper{block: 0x200, supply: 24 * sim.Nanosecond}
+	bus.AttachSnooper(own)
+	var done sim.Time
+	tr := &Transaction{Kind: GetS, Addr: 0x200, Done: func() { done = eng.Now() }}
+	bus.Issue(tr)
+	eng.Run()
+	if !tr.FromCache {
+		t.Fatal("owner did not supply")
+	}
+	if done != 44*sim.Nanosecond {
+		t.Fatalf("cache-to-cache GetS at %v, want 44ns", done)
+	}
+	if len(home.accesses) != 0 {
+		t.Fatal("home accessed despite cache-to-cache supply")
+	}
+}
+
+func TestUpgradeAndInvalidateSkipHome(t *testing.T) {
+	eng, bus, home := newBus()
+	sn := &inertSnooper{}
+	bus.AttachSnooper(sn)
+	fired := 0
+	bus.Issue(&Transaction{Kind: Upgrade, Addr: 0x40, Done: func() { fired++ }})
+	bus.Issue(&Transaction{Kind: Invalidate, Addr: 0x80, Done: func() { fired++ }})
+	eng.Run()
+	if fired != 2 {
+		t.Fatalf("address-only transactions completed %d, want 2", fired)
+	}
+	if len(home.accesses) != 0 {
+		t.Fatalf("home touched by address-only transactions: %v", home.accesses)
+	}
+	if len(sn.seen) != 2 {
+		t.Fatalf("snooper saw %d transactions, want 2", len(sn.seen))
+	}
+}
+
+func TestWriteInvalidateReachesHomeAndSnoopers(t *testing.T) {
+	eng, bus, home := newBus()
+	sn := &inertSnooper{}
+	bus.AttachSnooper(sn)
+	bus.Issue(&Transaction{Kind: WriteInvalidate, Addr: 0x40})
+	eng.Run()
+	if len(home.accesses) != 1 || home.accesses[0] != WriteInvalidate {
+		t.Fatalf("home accesses = %v", home.accesses)
+	}
+	if len(sn.seen) != 1 {
+		t.Fatal("snoopers did not observe WriteInvalidate")
+	}
+}
+
+func TestUncachedBypassesSnoopers(t *testing.T) {
+	eng, bus, _ := newBus()
+	sn := &inertSnooper{}
+	bus.AttachSnooper(sn)
+	bus.Issue(&Transaction{Kind: UncachedRead, Addr: 0x40, Size: 8})
+	bus.Issue(&Transaction{Kind: UncachedWrite, Addr: 0x40, Size: 8})
+	bus.Issue(&Transaction{Kind: BlockRead, Addr: 0x40})
+	bus.Issue(&Transaction{Kind: BlockWrite, Addr: 0x40})
+	eng.Run()
+	if len(sn.seen) != 0 {
+		t.Fatalf("uncached/block transactions were snooped: %v", sn.seen)
+	}
+}
+
+func TestRequesterNotSnooped(t *testing.T) {
+	eng, bus, _ := newBus()
+	sn := &inertSnooper{}
+	bus.AttachSnooper(sn)
+	bus.Issue(&Transaction{Kind: GetS, Addr: 0x40, Requester: sn})
+	eng.Run()
+	if len(sn.seen) != 0 {
+		t.Fatal("requester snooped its own transaction")
+	}
+}
+
+func TestTwoOwnersPanics(t *testing.T) {
+	eng, bus, _ := newBus()
+	bus.AttachSnooper(&ownerSnooper{block: 0x40})
+	bus.AttachSnooper(&ownerSnooper{block: 0x40})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("two owners did not panic")
+		}
+	}()
+	bus.Issue(&Transaction{Kind: GetS, Addr: 0x40})
+	eng.Run()
+}
+
+func TestUnmappedAddressPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := New(eng, DefaultTiming(), nil)
+	bus.MapRange(0, 0x1000, &fixedTarget{name: "small"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmapped address did not panic")
+		}
+	}()
+	bus.Issue(&Transaction{Kind: GetS, Addr: 0x2000})
+	eng.Run()
+}
+
+func TestBlockOf(t *testing.T) {
+	if BlockOf(0x7f) != 0x40 {
+		t.Fatalf("BlockOf(0x7f) = %#x", BlockOf(0x7f))
+	}
+	if BlockOf(0x40) != 0x40 {
+		t.Fatalf("BlockOf(0x40) = %#x", BlockOf(0x40))
+	}
+}
+
+// Property: for any set of concurrent transactions, completions never
+// overlap in the data-phase sense — the bus serializes, so total completion
+// time grows at least linearly with the transaction count.
+func TestBusSerializationProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		eng, bus, _ := newBus()
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			bus.Issue(&Transaction{Kind: UncachedWrite, Addr: Addr(i) * 8, Size: 8, Done: func() {
+				last = eng.Now()
+			}})
+		}
+		eng.Run()
+		// Each uncached write occupies >= 16ns of bus time.
+		return last >= sim.Time(n)*16*sim.Nanosecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Done callbacks fire in a valid order — a transaction issued
+// strictly after another completes cannot finish before it (FIFO address
+// phases with equal service times).
+func TestFIFOCompletionOrder(t *testing.T) {
+	eng, bus, _ := newBus()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		bus.Issue(&Transaction{Kind: GetS, Addr: Addr(i) * 64, Done: func() {
+			order = append(order, i)
+		}})
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order %v", order)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package micro
+
+import (
+	"nisim/internal/machine"
+	"nisim/internal/msglayer"
+	"nisim/internal/nic"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// LogP is a measured LogP-style characterization of one NI (§6.1 discusses
+// the model and why the paper refrains from using it: the latency and
+// overhead components do not capture the same thing for every NI — a
+// CM-5-like NI does its data transfer inside the overhead term, a CNI
+// inside the latency term. The measurement here makes that visible).
+type LogP struct {
+	Kind nic.Kind
+	// L is the mean message delivery time from send start to handler
+	// dispatch, for unloaded point-to-point traffic, minus the send
+	// overhead — the "everything the processor does not see" term.
+	L sim.Time
+	// Os and Or are the sender's and receiver's processor occupancy per
+	// message (the time the processor spends on transfer work).
+	Os, Or sim.Time
+	// G is the gap: the steady-state time per message under streaming (the
+	// reciprocal of small-message throughput).
+	G sim.Time
+}
+
+// LogPOf measures the LogP parameters for an NI at the given payload size.
+func LogPOf(kind nic.Kind, payload int) LogP {
+	const (
+		paced  = 120 // paced messages for L/o (no queuing)
+		warmup = 40
+	)
+	cfg := machine.DefaultConfig(kind, 8)
+	cfg.Nodes = 2
+	if kind == nic.UDMA {
+		cfg.NI.UDMAThresholdBytes = 0
+	}
+	m := machine.New(cfg)
+
+	const h = 1
+	received := 0
+	var delivery sim.Time
+	for _, n := range m.Nodes {
+		n.EP.Register(h, func(ep *msglayer.Endpoint, msg *msglayer.Message) {
+			received++
+			if received > warmup {
+				delivery += msg.ArriveTime - msg.SendTime
+			}
+		})
+	}
+
+	var sendT0, sendT1, recvT0, recvT1 sim.Time
+	var sent int
+	st := m.Run(func(n *machine.Node) {
+		if n.ID == 0 {
+			// Paced sends: enough compute between messages that neither the
+			// NI nor the receiver queues.
+			n.Proc.Compute(1000)
+			sendT0 = n.Proc.Stats.TimeIn[stats.Transfer]
+			for i := 0; i < warmup+paced; i++ {
+				n.EP.Send(1, h, payload, 0)
+				if i == warmup-1 {
+					sendT0 = n.Proc.Stats.TimeIn[stats.Transfer]
+				}
+				sent++
+				n.Proc.Compute(20000)
+			}
+			sendT1 = n.Proc.Stats.TimeIn[stats.Transfer]
+			n.Barrier()
+			return
+		}
+		n.EP.WaitUntil(func() bool { return received == warmup+paced })
+		// Receiver occupancy is measured over the same message window.
+		recvT1 = n.Proc.Stats.TimeIn[stats.Transfer]
+		n.Barrier()
+	})
+	_ = st
+	recvT0 = recvT1 * sim.Time(warmup) / sim.Time(warmup+paced)
+
+	os := (sendT1 - sendT0) / sim.Time(paced)
+	or := (recvT1 - recvT0) / sim.Time(paced)
+	meanDelivery := delivery / sim.Time(paced)
+	l := meanDelivery - os
+	if l < 0 {
+		l = 0
+	}
+
+	// Gap: steady-state streaming rate.
+	bwMB := Bandwidth(kind, 8, payload, 300)
+	var g sim.Time
+	if bwMB > 0 {
+		bytesPerMsg := float64(payload + 8)
+		g = sim.Time(bytesPerMsg / (bwMB * 1e6) * float64(sim.Second))
+	}
+
+	return LogP{Kind: kind, L: l, Os: os, Or: or, G: g}
+}

@@ -1,0 +1,30 @@
+package micro
+
+import (
+	"testing"
+
+	"nisim/internal/nic"
+)
+
+func TestLogPShowsProcessorInvolvementSplit(t *testing.T) {
+	// The paper's §6.1 point: processor-managed NIs carry their data
+	// transfer in the overhead terms; NI-managed designs in L. So the
+	// CM-5-like NI's send overhead must dwarf a CNI's.
+	cm5 := LogPOf(nic.CM5, 64)
+	cni := LogPOf(nic.CNI32Qm, 64)
+	if cm5.Os < 2*cni.Os {
+		t.Errorf("CM-5 o_send (%v) not clearly above CNI_32Qm's (%v)", cm5.Os, cni.Os)
+	}
+	if cm5.G <= cni.G {
+		t.Errorf("CM-5 gap (%v) not above CNI_32Qm's (%v)", cm5.G, cni.G)
+	}
+}
+
+func TestLogPComponentsPositive(t *testing.T) {
+	for _, k := range []nic.Kind{nic.CM5, nic.AP3000, nic.CNI32Qm} {
+		lp := LogPOf(k, 64)
+		if lp.Os <= 0 || lp.Or <= 0 || lp.G <= 0 {
+			t.Errorf("%v: non-positive LogP components %+v", k, lp)
+		}
+	}
+}

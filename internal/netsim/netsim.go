@@ -1,0 +1,322 @@
+// Package netsim models the paper's abstract network and its end-to-end
+// flow control. The network is topology-less: a message injected at one
+// node arrives at another 40 ns after injection of its last byte (Table 3).
+// Flow control is return-to-sender (§5.1.2): the sending NI allocates one
+// of F outgoing buffers and injects; the receiving NI either accepts the
+// message into one of its F incoming buffers and acknowledges (freeing the
+// sender's buffer), or bounces the message back on a guaranteed second
+// network, after which the sender retries from the still-allocated buffer.
+package netsim
+
+import (
+	"fmt"
+
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// HeaderBytes is the fixed per-message header size (§6.1: "each message
+// contains an eight-byte header").
+const HeaderBytes = 8
+
+// Infinite, used as a buffer count, models unbounded flow-control buffering
+// (the black bars of Figure 3a).
+const Infinite = int(1) << 40
+
+// Message is one network message.
+type Message struct {
+	Src, Dst int
+	// Handler is the active-message handler index (messaging-layer level).
+	Handler int
+	// Payload carries real bytes when integrity matters (tests, examples).
+	// It may be nil, in which case PayloadLen alone defines the size.
+	Payload []byte
+	// PayloadLen is the payload size in bytes.
+	PayloadLen int
+	// Channel is a virtual-channel tag used by the bulk-transfer layer.
+	Channel int
+	// Arg carries small out-of-band metadata for protocol layers.
+	Arg uint64
+	// SendTime is when the messaging layer started the send (for latency
+	// accounting); ArriveTime is set on acceptance at the destination.
+	SendTime, ArriveTime sim.Time
+
+	attempts int
+}
+
+// NewMessage builds a message with the given payload bytes.
+func NewMessage(src, dst, handler int, payload []byte) *Message {
+	return &Message{Src: src, Dst: dst, Handler: handler, Payload: payload, PayloadLen: len(payload)}
+}
+
+// NewSized builds a message with a synthetic payload of n bytes.
+func NewSized(src, dst, handler, n int) *Message {
+	return &Message{Src: src, Dst: dst, Handler: handler, PayloadLen: n}
+}
+
+// Size returns the wire size: payload plus the 8-byte header.
+func (m *Message) Size() int { return m.PayloadLen + HeaderBytes }
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{%d->%d h%d %dB}", m.Src, m.Dst, m.Handler, m.Size())
+}
+
+// Config holds network parameters.
+type Config struct {
+	// Latency is the time from injection of the last byte at the source to
+	// arrival of the first byte at the destination (Table 3: 40 ns).
+	Latency sim.Time
+	// BytesPerNS is the link bandwidth for injection/ejection serialization.
+	BytesPerNS int
+	// RetryBase is the backoff before re-injecting a bounced message;
+	// attempt k waits k×RetryBase, capped at RetryCap.
+	RetryBase sim.Time
+	RetryCap  sim.Time
+	// MaxNetMsg is the maximum single network message size (Table 3:
+	// 256 bytes). The messaging layer fragments larger sends.
+	MaxNetMsg int
+}
+
+// DefaultConfig returns the Table 3 network.
+func DefaultConfig() Config {
+	return Config{
+		Latency:    40 * sim.Nanosecond,
+		BytesPerNS: 1,
+		RetryBase:  150 * sim.Nanosecond,
+		RetryCap:   2 * sim.Microsecond,
+		MaxNetMsg:  256,
+	}
+}
+
+// Network connects a fixed set of endpoints.
+type Network struct {
+	eng *sim.Engine
+	cfg Config
+	eps []*Endpoint
+
+	// Delivered counts accepted data messages network-wide.
+	Delivered int64
+}
+
+// New creates a network with n endpoints, each with bufs flow-control
+// buffers in each direction (use Infinite for unbounded).
+func New(eng *sim.Engine, cfg Config, n, bufs int) *Network {
+	nw := &Network{eng: eng, cfg: cfg}
+	for i := 0; i < n; i++ {
+		ep := &Endpoint{
+			net: nw, id: i,
+			outFree: bufs, inFree: bufs, bufs: bufs,
+			outCond: sim.NewCond(eng),
+		}
+		nw.eps = append(nw.eps, ep)
+	}
+	return nw
+}
+
+// Endpoint returns endpoint i.
+func (nw *Network) Endpoint(i int) *Endpoint { return nw.eps[i] }
+
+// Size returns the number of endpoints.
+func (nw *Network) Size() int { return len(nw.eps) }
+
+// Config returns the network configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+func (nw *Network) serialization(bytes int) sim.Time {
+	if nw.cfg.BytesPerNS <= 0 {
+		return 0
+	}
+	return sim.Time(bytes/nw.cfg.BytesPerNS) * sim.Nanosecond
+}
+
+// Endpoint is one NI's attachment to the network, implementing the
+// return-to-sender protocol. The owning NI wires OnAccept (and optionally
+// OnOutFree) and calls AcquireOut/Inject to send and ReleaseIn when it has
+// drained an accepted message out of the incoming flow-control buffer.
+type Endpoint struct {
+	net  *Network
+	id   int
+	bufs int
+
+	outFree int
+	inFree  int
+	outCond *sim.Cond
+
+	nextInjectAt sim.Time
+	nextEjectAt  sim.Time
+
+	// OnAccept is invoked when an arriving message is accepted into an
+	// incoming flow-control buffer. The NI must eventually call ReleaseIn
+	// exactly once per accepted message.
+	OnAccept func(m *Message)
+	// OnOutFree, if non-nil, is invoked whenever an outgoing buffer frees
+	// (for NI-managed send queues that drain as credits return).
+	OnOutFree func()
+	// OnBounce, if non-nil, is invoked when a message is returned to this
+	// sender, and the NI takes over the retry — for processor-managed NIs,
+	// software must notice the returned message and re-push it (the
+	// "processor involved in buffering" column of Table 2). When nil, the
+	// endpoint retries in hardware after a backoff (NI-managed buffering).
+	OnBounce func(m *Message)
+	// Stats receives flow-control counters; may be nil.
+	Stats *stats.Node
+}
+
+// ID returns the endpoint's node id.
+func (ep *Endpoint) ID() int { return ep.id }
+
+// Buffers returns the configured flow-control buffer count per direction.
+func (ep *Endpoint) Buffers() int { return ep.bufs }
+
+// OutFree returns the number of free outgoing buffers.
+func (ep *Endpoint) OutFree() int { return ep.outFree }
+
+// InFree returns the number of free incoming buffers.
+func (ep *Endpoint) InFree() int { return ep.inFree }
+
+// TryAcquireOut claims an outgoing flow-control buffer if one is free.
+func (ep *Endpoint) TryAcquireOut() bool {
+	if ep.outFree <= 0 {
+		return false
+	}
+	ep.outFree--
+	return true
+}
+
+// AcquireOut blocks process p until an outgoing buffer is free, then claims
+// it. Blocked time is charged to the Buffering category.
+func (ep *Endpoint) AcquireOut(p *sim.Process) {
+	if ep.outFree <= 0 && ep.Stats != nil {
+		ep.Stats.SendBlocked++
+	}
+	for ep.outFree <= 0 {
+		ep.outCond.WaitAs(p, stats.Buffering)
+	}
+	ep.outFree--
+}
+
+// WaitOut parks p until an outgoing buffer may have freed; callers re-check
+// with TryAcquireOut (used by NIs whose processors spin on a status
+// register). Blocked time is charged to the Buffering category.
+func (ep *Endpoint) WaitOut(p *sim.Process) { ep.outCond.WaitAs(p, stats.Buffering) }
+
+// releaseOut returns an outgoing buffer (ack received or send aborted).
+func (ep *Endpoint) releaseOut() {
+	ep.outFree++
+	ep.outCond.Broadcast()
+	if ep.OnOutFree != nil {
+		ep.net.eng.After(0, ep.OnOutFree)
+	}
+}
+
+// Inject serializes m onto the link and launches it toward its destination.
+// The caller must have acquired an outgoing buffer. Injection is pipelined:
+// Inject returns immediately and the link schedule advances.
+func (ep *Endpoint) Inject(m *Message) {
+	if m.Src != ep.id {
+		panic(fmt.Sprintf("netsim: endpoint %d injecting message with src %d", ep.id, m.Src))
+	}
+	if m.Dst == ep.id {
+		panic("netsim: message to self")
+	}
+	if m.Size() > ep.net.cfg.MaxNetMsg {
+		panic(fmt.Sprintf("netsim: message size %d exceeds network maximum %d", m.Size(), ep.net.cfg.MaxNetMsg))
+	}
+	m.attempts++
+	eng := ep.net.eng
+	start := eng.Now()
+	if ep.nextInjectAt > start {
+		start = ep.nextInjectAt
+	}
+	injectEnd := start + ep.net.serialization(m.Size())
+	ep.nextInjectAt = injectEnd
+	dst := ep.net.eps[m.Dst]
+	eng.At(injectEnd+ep.net.cfg.Latency, func() { dst.arrive(m) })
+}
+
+// InjectWait acquires an outgoing buffer (blocking p) and injects m.
+func (ep *Endpoint) InjectWait(p *sim.Process, m *Message) {
+	ep.AcquireOut(p)
+	ep.Inject(m)
+}
+
+// arrive handles a data message reaching this endpoint: serialize ejection,
+// then accept or bounce.
+func (ep *Endpoint) arrive(m *Message) {
+	eng := ep.net.eng
+	start := eng.Now()
+	if ep.nextEjectAt > start {
+		start = ep.nextEjectAt
+	}
+	done := start + ep.net.serialization(m.Size())
+	ep.nextEjectAt = done
+	eng.At(done, func() { ep.decide(m) })
+}
+
+func (ep *Endpoint) decide(m *Message) {
+	eng := ep.net.eng
+	src := ep.net.eps[m.Src]
+	if ep.inFree > 0 {
+		ep.inFree--
+		m.ArriveTime = eng.Now()
+		ep.net.Delivered++
+		// Acknowledgment returns on the (uncongested) control network.
+		eng.After(ep.net.cfg.Latency, src.releaseOut)
+		if ep.OnAccept == nil {
+			panic(fmt.Sprintf("netsim: endpoint %d has no OnAccept", ep.id))
+		}
+		ep.OnAccept(m)
+		return
+	}
+	// Bounce: return to sender on the guaranteed second network.
+	eng.After(ep.net.cfg.Latency+ep.net.serialization(m.Size()), func() { src.bounced(m) })
+}
+
+func (ep *Endpoint) bounced(m *Message) {
+	if ep.Stats != nil {
+		ep.Stats.Bounces++
+	}
+	if ep.OnBounce != nil {
+		ep.OnBounce(m)
+		return
+	}
+	d := ep.net.cfg.RetryBase * sim.Time(m.attempts)
+	if d > ep.net.cfg.RetryCap {
+		d = ep.net.cfg.RetryCap
+	}
+	ep.net.eng.After(d, func() {
+		if ep.Stats != nil {
+			ep.Stats.Retries++
+		}
+		ep.Inject(m)
+	})
+}
+
+// ReleaseIn frees one incoming flow-control buffer; the NI calls it when it
+// has moved an accepted message out of the buffer (into NI memory, main
+// memory, or the processor).
+func (ep *Endpoint) ReleaseIn() {
+	ep.inFree++
+	if ep.inFree > ep.bufs {
+		panic("netsim: ReleaseIn without matching accept")
+	}
+}
+
+// SwitchBuffer describes a commercial switch/router's internal buffering
+// (paper Table 1) — the motivation for NI-side buffering: switches cannot
+// hold much.
+type SwitchBuffer struct {
+	Name      string
+	Buffering string
+}
+
+// SwitchBufferTable reproduces paper Table 1.
+func SwitchBufferTable() []SwitchBuffer {
+	return []SwitchBuffer{
+		{"Cray T3E router", "105 bytes per non-adaptive virtual channel"},
+		{"IBM Vulcan switch (SP2)", "31 bytes + 1 Kbyte buffer pool shared between four ports"},
+		{"Myricom M2M switch", "20 bytes"},
+		{"SGI Spider/Craylink switch", "256 bytes per virtual channel"},
+		{"TMC CM-5 network router", "100 bytes"},
+	}
+}

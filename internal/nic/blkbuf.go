@@ -1,0 +1,120 @@
+package nic
+
+import (
+	"nisim/internal/membus"
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+	"nisim/internal/stats"
+)
+
+// blkbuf is the AP3000-like NI_16w+Blkbuf: the processor moves messages in
+// 64-byte units between the NI fifo and an on-chip block buffer using
+// UltraSparc-style block load/store instructions. Transfers use the bus's
+// block mechanism — but the processor still manages every transfer, and
+// buffering is limited to the NI fifo (the flow-control buffers).
+type blkbuf struct {
+	*fifoBase
+	env *Env
+}
+
+func newBlkbuf(env *Env) *blkbuf {
+	b := &blkbuf{env: env}
+	b.fifoBase = newFifoBase(env)
+	return b
+}
+
+func (b *blkbuf) Kind() Kind { return AP3000 }
+
+// Send implements NI: check status, then per 64-byte chunk copy the payload
+// into the block buffer and block-store it to the NI fifo; finally ring the
+// doorbell.
+func (b *blkbuf) Send(pr *proc.Proc, m *netsim.Message) {
+	pr.Work(stats.Transfer, b.env.Cfg.BlkbufPathCycles)
+	pr.UncachedRead(stats.Transfer, RegStatus, 8)
+	for !b.env.EP.TryAcquireOut() {
+		b.env.Stats.SendBlocked++
+		b.env.EP.WaitOut(pr.P)
+		pr.UncachedRead(stats.Transfer, RegStatus, 8)
+	}
+	b.push(pr, m)
+	b.env.EP.Inject(m)
+}
+
+// push moves the message through the block buffer into the NI fifo; it is
+// also the cost of re-pushing a returned message.
+func (b *blkbuf) push(pr *proc.Proc, m *netsim.Message) {
+	remaining := m.Size()
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > membus.BlockSize {
+			chunk = membus.BlockSize
+		}
+		// Fill the block buffer from registers/cache: one instruction per
+		// 8 bytes.
+		pr.Work(stats.Transfer, int64((chunk+7)/8))
+		// Flush the block buffer to the NI fifo (12-cycle overhead, §6.1.1).
+		pr.BlockWrite(stats.Transfer, FifoBase, b.env.Cfg.BlockBufCycles)
+		remaining -= chunk
+	}
+	pr.UncachedWrite(stats.Transfer, RegGo, 8)
+}
+
+// Poll implements NI.
+func (b *blkbuf) Poll(pr *proc.Proc) (*netsim.Message, bool) {
+	if len(b.recvQ) == 0 {
+		// Unsuccessful poll: monitoring cost attributable to buffering.
+		pr.UncachedRead(stats.Buffering, RegStatus, 8)
+		return nil, false
+	}
+	pr.UncachedRead(stats.Transfer, RegStatus, 8)
+	return b.receive(pr), true
+}
+
+// Recv implements NI.
+func (b *blkbuf) Recv(pr *proc.Proc) *netsim.Message {
+	b.waitForMessageServicing(pr, func(r *netsim.Message) { b.push(pr, r) })
+	pr.UncachedRead(stats.Transfer, RegStatus, 8)
+	return b.receive(pr)
+}
+
+func (b *blkbuf) receive(pr *proc.Proc) *netsim.Message {
+	m := b.head()
+	pr.Work(stats.Transfer, b.env.Cfg.BlkbufPathCycles)
+	remaining := m.Size()
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > membus.BlockSize {
+			chunk = membus.BlockSize
+		}
+		// Load the block buffer from the NI fifo (12-cycle overhead) and
+		// drain it into registers/cache.
+		pr.BlockRead(stats.Transfer, FifoBase, b.env.Cfg.BlockBufCycles)
+		pr.Work(stats.Transfer, int64((chunk+7)/8))
+		remaining -= chunk
+	}
+	recordRecv(b.env, m)
+	return b.pop()
+}
+
+// Pending implements NI.
+func (b *blkbuf) Pending() bool { return b.pending() }
+
+// Idle implements NI: sends complete synchronously.
+func (b *blkbuf) Idle() bool { return true }
+
+// CanSend implements NI: an outgoing flow-control buffer must be free.
+func (b *blkbuf) CanSend(m *netsim.Message) bool { return b.env.EP.OutFree() > 0 }
+
+// NeedsRetry implements NI.
+func (b *blkbuf) NeedsRetry() bool { return b.hasBounced() }
+
+// RetryOne implements NI: the processor consumes the returned message via
+// block loads, then re-pushes it through the block buffer.
+func (b *blkbuf) RetryOne(pr *proc.Proc) {
+	b.retryOne(pr, func(r *netsim.Message) {
+		for remaining := r.Size(); remaining > 0; remaining -= membus.BlockSize {
+			pr.BlockRead(pr.P.Category, FifoBase, b.env.Cfg.BlockBufCycles)
+		}
+		b.push(pr, r)
+	})
+}

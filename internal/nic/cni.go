@@ -1,0 +1,620 @@
+package nic
+
+import (
+	"fmt"
+
+	"nisim/internal/mainmem"
+	"nisim/internal/membus"
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// cni implements the three Coherent Network Interfaces. Processors and the
+// NI communicate through memory-based queues managed with the lazy-pointer,
+// message-valid-bit, and sense-reverse optimizations of Mukherjee et al.
+// [29]: no per-message pointer bus traffic — the processor discovers new
+// messages by reading the (cacheable) head block itself, and the NI
+// discovers new sends from a doorbell plus coherent fetches.
+//
+// The three designs differ in where queue storage lives:
+//
+//   - CNI_0Q_m (StarT-JR-like): queues homed in main memory, nothing cached
+//     on the NI. Incoming messages are deposited with coherent
+//     write-invalidate block transfers; the processor reads them from DRAM.
+//   - CNI_512Q: 512-block queues homed in NI DRAM. Incoming messages are
+//     written locally (one address-only invalidate per block on the bus);
+//     the processor reads them straight from the NI.
+//   - CNI_32Q_m: queues homed in main memory but cached in two 32-block NI
+//     SRAM caches. Receive-cache overflow bypasses straight to memory so the
+//     queue head stays cache-resident; consumed ("dead") messages are freed
+//     without writeback; the forced head update on flush keeps the dead-set
+//     known.
+//
+// CNI_512Q and CNI_32Q_m also prefetch send blocks: observing the
+// processor's request-for-exclusive on block k+1 of a message triggers a
+// fetch of block k, overlapping message creation with transfer.
+type cni struct {
+	env  *Env
+	kind Kind
+
+	homeAtNI bool // queue storage homed on the NI (CNI_512Q)
+	niCache  bool // NI SRAM caches over memory-homed queues (CNI_32Q_m)
+	prefetch bool
+	throttle bool
+
+	sendRing, recvRing cniRing
+	sendPtr, recvPtr   membus.Addr // cacheable head/tail pointer blocks
+
+	qmem               *mainmem.Memory // NI-homed queue storage (CNI_512Q)
+	sendSRAM, recvSRAM *mainmem.Memory // CNI_32Q_m NI caches
+
+	// Send side.
+	sendQ       []*sendEntry
+	sendWork    *sim.Cond
+	sendSpace   *sim.Cond // ring space freed
+	sendDrain   *sim.Cond // NI send-cache space freed
+	outFree     *sim.Cond // network out-buffer freed
+	fetched     map[int64]bool
+	cacheLiveS  int64 // live blocks in the NI send cache
+	composeTail int64 // logical tail reserved by in-progress composes
+	doorbelled  int64 // logical tail covered by doorbells
+
+	// Receive side.
+	acceptQ     []*netsim.Message
+	recvWork    *sim.Cond
+	deliverable []*recvEntry
+	recvCond    *sim.Cond
+	consumeCond *sim.Cond
+	liveRecv    map[int64]bool // logical recv blocks resident in the NI cache
+	cacheLiveR  int64          // NI's view of occupied receive-cache blocks
+	unconsumed  int64          // blocks accepted into the receive queue, not yet consumed
+
+	// Send throttling (CNI_32Q_m+Throttle): a software credit scheme that
+	// keeps, per destination, no more unconsumed blocks outstanding than the
+	// receiver's NI cache holds. outstanding is the sender-side ledger;
+	// consume at the receiver returns the credit via peerFn.
+	outstanding  map[int]int64
+	throttleCond *sim.Cond
+
+	// peerFn resolves the cni at another node. Set by the machine layer.
+	peerFn func(node int) *cni
+}
+
+// cniRing is a queue of 64-byte blocks with monotonically increasing
+// logical head/tail indices mapped onto a fixed physical ring.
+type cniRing struct {
+	base membus.Addr
+	cap  int64 // capacity in blocks
+	head int64 // first live block
+	tail int64 // first free block
+}
+
+func (r *cniRing) addr(logical int64) membus.Addr {
+	return r.base + membus.Addr(logical%r.cap)*membus.BlockSize
+}
+
+func (r *cniRing) contains(a membus.Addr) bool {
+	return a >= r.base && a < r.base+membus.Addr(r.cap)*membus.BlockSize
+}
+
+// logicalAt maps a physical block address to the most recent logical index
+// at or below limit-1 that aliases it.
+func (r *cniRing) logicalAt(a membus.Addr, limit int64) int64 {
+	idx := int64(a-r.base) / membus.BlockSize
+	last := limit - 1
+	return last - ((last-idx)%r.cap+r.cap)%r.cap
+}
+
+type sendEntry struct {
+	m     *netsim.Message
+	start int64
+	nb    int64
+}
+
+type recvEntry struct {
+	m       *netsim.Message
+	start   int64
+	nb      int64
+	inCache bool // resident in the CNI_32Q_m receive cache
+}
+
+func newCNI(env *Env, kind Kind) *cni {
+	c := &cni{
+		env:         env,
+		kind:        kind,
+		homeAtNI:    kind == CNI512Q,
+		niCache:     kind == CNI32Qm || kind == CNI32QmThrottle,
+		prefetch:    (kind == CNI512Q || kind == CNI32Qm || kind == CNI32QmThrottle) && !env.Cfg.DisableCNIPrefetch,
+		throttle:    kind == CNI32QmThrottle,
+		sendWork:    sim.NewCond(env.Eng),
+		sendSpace:   sim.NewCond(env.Eng),
+		sendDrain:   sim.NewCond(env.Eng),
+		outFree:     sim.NewCond(env.Eng),
+		recvWork:    sim.NewCond(env.Eng),
+		recvCond:    sim.NewCond(env.Eng),
+		consumeCond: sim.NewCond(env.Eng),
+		fetched:     make(map[int64]bool),
+		liveRecv:    make(map[int64]bool),
+	}
+	if c.throttle {
+		c.outstanding = make(map[int]int64)
+		c.throttleCond = sim.NewCond(env.Eng)
+	}
+	if c.homeAtNI {
+		c.sendRing = cniRing{base: NIQSendBase, cap: int64(env.Cfg.CNIQueueBlocks)}
+		c.recvRing = cniRing{base: NIQRecvBase, cap: int64(env.Cfg.CNIQueueBlocks)}
+		c.sendPtr = QmPtrBase
+		c.recvPtr = QmPtrBase + membus.BlockSize
+		c.qmem = mainmem.New("cni-qmem", env.Cfg.NIDRAM, env.Eng)
+		env.Bus.MapRange(NIQSendBase, DeviceLimit, c.qmem)
+	} else {
+		c.sendRing = cniRing{base: QmSendBase, cap: int64(env.Cfg.QmSendQueueBlocks)}
+		c.recvRing = cniRing{base: QmRecvBase, cap: int64(env.Cfg.QmQueueBlocks)}
+		c.sendPtr = QmPtrBase
+		c.recvPtr = QmPtrBase + membus.BlockSize
+	}
+	if c.niCache {
+		c.sendSRAM = mainmem.New("cni-send-cache", env.Cfg.NISRAM, env.Eng)
+		c.recvSRAM = mainmem.New("cni-recv-cache", env.Cfg.NISRAM, env.Eng)
+	}
+	env.Bus.AttachSnooper(c)
+	env.EP.OnAccept = func(m *netsim.Message) {
+		c.acceptQ = append(c.acceptQ, m)
+		c.recvWork.Broadcast()
+	}
+	env.EP.OnOutFree = func() { c.outFree.Broadcast() }
+	env.Eng.Spawn(fmt.Sprintf("cni-send-%d", env.ID), c.sendEngine)
+	env.Eng.Spawn(fmt.Sprintf("cni-recv-%d", env.ID), c.recvEngine)
+	return c
+}
+
+// Kind implements NI.
+func (c *cni) Kind() Kind { return c.kind }
+
+// SnooperName implements membus.Snooper.
+func (c *cni) SnooperName() string { return c.kind.ShortName() }
+
+// Snoop implements membus.Snooper: supply receive-cache blocks to the
+// processor, and watch the send queue for prefetch opportunities.
+func (c *cni) Snoop(t *membus.Transaction) membus.SnoopReply {
+	switch t.Kind {
+	case membus.GetS:
+		if c.niCache && c.recvRing.contains(t.Addr) {
+			li := c.recvRing.logicalAt(t.Addr, c.recvRing.tail)
+			if c.liveRecv[li] {
+				// CNI-cache-to-processor-cache transfer: the NI keeps an
+				// owned copy until the message dies.
+				return membus.SnoopReply{Owner: true, Shared: true, SupplyLatency: c.recvSRAM.Claim()}
+			}
+		}
+	case membus.GetX, membus.Upgrade:
+		if c.sendRing.contains(t.Addr) {
+			c.snoopCompose(t.Addr)
+		}
+	}
+	return membus.SnoopReply{}
+}
+
+// snoopCompose reacts to the processor taking exclusive ownership of a send
+// queue block: drop any stale NI copy (fetched too early ⇒ refetch later)
+// and, with prefetch enabled, start fetching the previous block of the
+// message being composed.
+func (c *cni) snoopCompose(a membus.Addr) {
+	li := c.sendRing.logicalAt(a, c.composeTail)
+	if c.fetched[li] {
+		delete(c.fetched, li)
+		c.env.Stats.Refetches++
+	}
+	if !c.prefetch {
+		return
+	}
+	prev := li - 1
+	if prev < c.doorbelled || c.fetched[prev] {
+		return
+	}
+	c.fetched[prev] = true
+	c.env.Stats.Prefetches++
+	c.env.Bus.Issue(&membus.Transaction{
+		Kind:      membus.GetS,
+		Addr:      c.sendRing.addr(prev),
+		Requester: c,
+		Done: func() {
+			if c.niCache {
+				c.sendSRAM.Claim()
+			} else if c.homeAtNI {
+				c.qmem.Claim()
+			}
+		},
+	})
+}
+
+// Send implements NI: the processor composes the message into cacheable
+// queue memory and rings the doorbell; the NI manages the transfer from
+// there, so the processor is released immediately (modulo throttling).
+func (c *cni) Send(pr *proc.Proc, m *netsim.Message) {
+	nb := int64(blocksFor(m))
+	if c.throttle {
+		c.throttleWait(pr, m, nb)
+	}
+	if c.sendRing.tail+nb-c.sendRing.head > c.sendRing.cap {
+		c.env.Stats.SendBlocked++
+		for c.sendRing.tail+nb-c.sendRing.head > c.sendRing.cap {
+			c.sendSpace.WaitAs(pr.P, stats.Buffering)
+		}
+	}
+	start := c.sendRing.tail
+	c.sendRing.tail += nb
+	c.composeTail = c.sendRing.tail
+
+	remaining := m.Size()
+	for i := int64(0); i < nb; i++ {
+		chunk := remaining
+		if chunk > membus.BlockSize {
+			chunk = membus.BlockSize
+		}
+		pr.CachedWrite(stats.Transfer, c.sendRing.addr(start+i), chunk)
+		remaining -= chunk
+	}
+	// Lazy tail-pointer update (cacheable) — the doorbell.
+	pr.CachedWrite(stats.Transfer, c.sendPtr, 8)
+	c.doorbelled = c.sendRing.tail
+	c.sendQ = append(c.sendQ, &sendEntry{m: m, start: start, nb: nb})
+	c.sendWork.Broadcast()
+}
+
+// throttleWait models CNI_32Q_m+Throttle: a software credit scheme holds
+// the sender until the receiver's NI cache has room for the message, so the
+// receiver keeps consuming from fast NI SRAM instead of overflowing to main
+// memory. Credits return when the receiver consumes (see consume).
+func (c *cni) throttleWait(pr *proc.Proc, m *netsim.Message, nb int64) {
+	for c.outstanding[m.Dst]+nb > int64(c.env.Cfg.CNICacheBlocks) {
+		c.throttleCond.WaitAs(pr.P, stats.Buffering)
+	}
+	c.outstanding[m.Dst] += nb
+}
+
+// SetPeerLookup wires cross-node visibility for the throttled variant.
+func (c *cni) SetPeerLookup(fn func(node int) NI) {
+	c.peerFn = func(node int) *cni {
+		if p, ok := fn(node).(*cni); ok {
+			return p
+		}
+		if mc, ok := fn(node).(*memChannel); ok {
+			return mc.recv
+		}
+		return nil
+	}
+}
+
+// sendEngine is the NI-side send state machine: fetch message blocks from
+// the processor's cache (or memory) with coherent reads, then inject.
+func (c *cni) sendEngine(p *sim.Process) {
+	for {
+		for len(c.sendQ) == 0 {
+			c.sendWork.Wait(p)
+		}
+		e := c.sendQ[0]
+		c.sendQ = c.sendQ[1:]
+		for i := int64(0); i < e.nb; i++ {
+			li := e.start + i
+			if c.fetched[li] {
+				delete(c.fetched, li)
+				continue
+			}
+			if c.niCache {
+				for c.cacheLiveS+1 > int64(c.env.Cfg.CNICacheBlocks) {
+					c.sendDrain.Wait(p)
+				}
+				c.cacheLiveS++
+			}
+			c.env.Bus.IssueAndWait(p, &membus.Transaction{
+				Kind:      membus.GetS,
+				Addr:      c.sendRing.addr(li),
+				Requester: c,
+			})
+			// The local store of the fetched block lands in the device's
+			// write buffer; reads bypass it, so it neither stalls the engine
+			// nor delays subsequent reads. Only the SRAM caches, being
+			// single-ported, charge their occupancy.
+			if c.niCache {
+				c.sendSRAM.Claim()
+			}
+		}
+		for !c.env.EP.TryAcquireOut() {
+			c.outFree.Wait(p)
+		}
+		c.env.EP.Inject(e.m)
+		c.sendRing.head = e.start + e.nb
+		if c.niCache {
+			c.cacheLiveS -= e.nb
+			if c.cacheLiveS < 0 {
+				c.cacheLiveS = 0
+			}
+			c.sendDrain.Broadcast()
+		}
+		c.sendSpace.Broadcast()
+	}
+}
+
+// recvEngine is the NI-side receive state machine: move each accepted
+// message from its incoming flow-control buffer into the receive queue.
+func (c *cni) recvEngine(p *sim.Process) {
+	for {
+		for len(c.acceptQ) == 0 {
+			c.recvWork.Wait(p)
+		}
+		m := c.acceptQ[0]
+		c.acceptQ = c.acceptQ[1:]
+		nb := int64(blocksFor(m))
+		for c.recvRing.tail+nb-c.recvRing.head > c.recvRing.cap {
+			// Queue full: hold the flow-control buffer (backpressure).
+			c.consumeCond.Wait(p)
+		}
+		start := c.recvRing.tail
+		c.recvRing.tail += nb
+		c.unconsumed += nb
+
+		if c.niCache && c.env.Cfg.DisableCNIBypass {
+			// Ablation: no bypass — hold the flow-control buffer until the
+			// receive cache has room (backpressure instead of steering
+			// through memory).
+			for c.cacheLiveR+nb > int64(c.env.Cfg.CNICacheBlocks) {
+				c.reclaimDead()
+				if c.cacheLiveR+nb <= int64(c.env.Cfg.CNICacheBlocks) {
+					break
+				}
+				c.consumeCond.Wait(p)
+			}
+		}
+		inCache := false
+		switch {
+		case c.niCache && c.cacheLiveR+nb <= int64(c.env.Cfg.CNICacheBlocks):
+			// Write into the NI receive cache; invalidate stale processor
+			// copies with address-only transactions.
+			inCache = true
+			for i := int64(0); i < nb; i++ {
+				c.recvSRAM.Claim() // posted SRAM write
+				c.env.Bus.IssueAndWait(p, &membus.Transaction{
+					Kind:      membus.Invalidate,
+					Addr:      c.recvRing.addr(start + i),
+					Requester: c,
+				})
+				c.liveRecv[start+i] = true
+			}
+			c.cacheLiveR += nb
+		case c.niCache:
+			// Receive cache full of pending messages: bypass to main memory
+			// so the head stays readable via fast cache-to-cache transfers.
+			// The forced head update (a coherent read of the head-pointer
+			// block, supplied from the processor cache) is the moment the NI
+			// learns which cached messages are dead and can reclaim their
+			// blocks without writeback.
+			c.env.Stats.NIBypasses++
+			c.env.Bus.IssueAndWait(p, &membus.Transaction{
+				Kind:      membus.GetS,
+				Addr:      c.recvPtr,
+				Requester: c,
+			})
+			c.reclaimDead()
+			for i := int64(0); i < nb; i++ {
+				c.env.Bus.IssueAndWait(p, &membus.Transaction{
+					Kind:      membus.WriteInvalidate,
+					Addr:      c.recvRing.addr(start + i),
+					Requester: c,
+				})
+			}
+		case c.homeAtNI:
+			// CNI_512Q: local write into NI DRAM (buffered, read-bypassed)
+			// plus an address-only invalidate per block.
+			for i := int64(0); i < nb; i++ {
+				c.env.Bus.IssueAndWait(p, &membus.Transaction{
+					Kind:      membus.Invalidate,
+					Addr:      c.recvRing.addr(start + i),
+					Requester: c,
+				})
+			}
+		default:
+			// CNI_0Q_m: coherent write-invalidate block transfers into main
+			// memory.
+			for i := int64(0); i < nb; i++ {
+				c.env.Bus.IssueAndWait(p, &membus.Transaction{
+					Kind:      membus.WriteInvalidate,
+					Addr:      c.recvRing.addr(start + i),
+					Requester: c,
+				})
+			}
+		}
+		c.env.EP.ReleaseIn()
+		c.deliverable = append(c.deliverable, &recvEntry{m: m, start: start, nb: nb, inCache: inCache})
+		c.recvCond.Broadcast()
+	}
+}
+
+// Poll implements NI: a sense-reverse poll is a cached read of the head
+// block — a 1-cycle cache hit while nothing has arrived, a coherent fetch
+// (from the NI cache, NI memory, or DRAM, depending on the design) when the
+// NI has deposited a message there.
+func (c *cni) Poll(pr *proc.Proc) (*netsim.Message, bool) {
+	if len(c.deliverable) == 0 {
+		// Unsuccessful poll: a cache-resident head read, so the monitoring
+		// cost of a coherent NI is a 1-cycle hit rather than an uncached
+		// bus round trip.
+		pr.CachedRead(stats.Buffering, c.recvRing.addr(c.recvRing.head), 8)
+		return nil, false
+	}
+	pr.CachedRead(stats.Transfer, c.recvRing.addr(c.recvRing.head), 8)
+	return c.consume(pr), true
+}
+
+// Recv implements NI.
+func (c *cni) Recv(pr *proc.Proc) *netsim.Message {
+	for len(c.deliverable) == 0 {
+		c.recvCond.WaitAs(pr.P, stats.Compute)
+	}
+	pr.CachedRead(stats.Transfer, c.recvRing.addr(c.recvRing.head), 8)
+	return c.consume(pr)
+}
+
+func (c *cni) consume(pr *proc.Proc) *netsim.Message {
+	e := c.deliverable[0]
+	c.deliverable = c.deliverable[1:]
+	m := e.m
+
+	remaining := m.Size()
+	for i := int64(0); i < e.nb; i++ {
+		chunk := remaining
+		if chunk > membus.BlockSize {
+			chunk = membus.BlockSize
+		}
+		pr.CachedRead(stats.Transfer, c.recvRing.addr(e.start+i), chunk)
+		remaining -= chunk
+	}
+	// Copy payload into the user buffer: one store per 8 bytes.
+	pr.Work(stats.Transfer, int64((m.Size()+7)/8))
+	// Lazy head-pointer update (cacheable).
+	pr.CachedWrite(stats.Transfer, c.recvPtr, 8)
+
+	c.recvRing.head = e.start + e.nb
+	c.unconsumed -= e.nb
+	if c.peerFn != nil {
+		if sender := c.peerFn(m.Src); sender != nil && sender.throttle {
+			sender.outstanding[c.env.ID] -= e.nb
+			sender.throttleCond.Broadcast()
+			// The credit return carries a head update, so the NI can
+			// reclaim dead blocks without waiting for a flush.
+			c.reclaimDead()
+		}
+	}
+	if e.inCache {
+		c.env.Stats.NICacheHits += e.nb
+	} else if c.niCache {
+		c.env.Stats.NICacheMisses += e.nb
+	}
+	c.consumeCond.Broadcast()
+	recordRecv(c.env, m)
+	return m
+}
+
+// reclaimDead frees receive-cache blocks below the (just learned) head —
+// dead-message suppression: the blocks leave without a writeback because
+// the home copy no longer matters. Under the lazy-pointer optimization this
+// happens only when a flush forces a head update, which is why an
+// overloaded receive cache stays full of dead messages and keeps bypassing.
+func (c *cni) reclaimDead() {
+	for li := range c.liveRecv {
+		if li < c.recvRing.head {
+			delete(c.liveRecv, li)
+			c.cacheLiveR--
+			if c.env.Cfg.DisableDeadSuppress {
+				// Ablation: without dead-message suppression each reclaimed
+				// block is written back to its main-memory home.
+				c.env.Bus.Issue(&membus.Transaction{
+					Kind:      membus.Writeback,
+					Addr:      c.recvRing.addr(li),
+					Requester: c,
+				})
+			}
+		}
+	}
+}
+
+// Pending implements NI.
+func (c *cni) Pending() bool { return len(c.deliverable) > 0 }
+
+// NeedsRetry implements NI: CNI buffering never involves the processor;
+// bounced messages are retried by the NI itself.
+func (c *cni) NeedsRetry() bool { return false }
+
+// RetryOne implements NI (no-op; see NeedsRetry).
+func (c *cni) RetryOne(pr *proc.Proc) {}
+
+// Idle implements NI.
+func (c *cni) Idle() bool { return len(c.sendQ) == 0 }
+
+// memChannel is the Memory Channel-like hybrid: a block-buffer send
+// interface with a StarT-JR-style coherent, memory-buffered receive
+// interface. Unlike the AP3000's fifo protocol, the Memory Channel send
+// side is reflective memory: stores to a mapped page stream to the NI
+// without status-register checks, which is why the paper finds its send
+// performance almost identical to the StarT-JR-like NI's (§6.1.1).
+type memChannel struct {
+	env  *Env
+	send *blkbuf
+	recv *cni
+}
+
+func newMemChannel(env *Env) *memChannel {
+	// Order matters: the blkbuf wires OnAccept first, then the cni
+	// constructor overrides it — receive is the coherent side.
+	send := newBlkbuf(env)
+	recv := newCNI(env, StarTJR)
+	// Memory Channel buffering does not involve the processor (Table 2):
+	// returned messages are retried by the NI, not the software, so undo
+	// the blkbuf's bounce wiring.
+	env.EP.OnBounce = nil
+	return &memChannel{env: env, send: send, recv: recv}
+}
+
+// Kind implements NI.
+func (mc *memChannel) Kind() Kind { return MemoryChannel }
+
+// mcSendCycles is the small fixed software cost of a reflective-memory
+// send (header build, page-table-mapped window selection).
+const mcSendCycles = 30
+
+// Send implements NI: fill the block buffer and block-store each 64-byte
+// chunk into the mapped send window.
+func (mc *memChannel) Send(pr *proc.Proc, m *netsim.Message) {
+	pr.Work(stats.Transfer, mcSendCycles)
+	for !mc.env.EP.TryAcquireOut() {
+		mc.env.Stats.SendBlocked++
+		mc.env.EP.WaitOut(pr.P)
+	}
+	remaining := m.Size()
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > membus.BlockSize {
+			chunk = membus.BlockSize
+		}
+		pr.Work(stats.Transfer, int64((chunk+7)/8))
+		pr.BlockWrite(stats.Transfer, FifoBase, mc.env.Cfg.BlockBufCycles)
+		remaining -= chunk
+	}
+	mc.env.EP.Inject(m)
+}
+
+// Poll implements NI via the coherent receive interface.
+func (mc *memChannel) Poll(pr *proc.Proc) (*netsim.Message, bool) { return mc.recv.Poll(pr) }
+
+// Recv implements NI.
+func (mc *memChannel) Recv(pr *proc.Proc) *netsim.Message { return mc.recv.Recv(pr) }
+
+// Pending implements NI.
+func (mc *memChannel) Pending() bool { return mc.recv.Pending() }
+
+// Idle implements NI.
+func (mc *memChannel) Idle() bool { return true }
+
+// NeedsRetry implements NI: the Memory Channel NI retries in hardware.
+func (mc *memChannel) NeedsRetry() bool { return false }
+
+// RetryOne implements NI (no-op; see NeedsRetry).
+func (mc *memChannel) RetryOne(pr *proc.Proc) {}
+
+// CanSend implements NI: the send queue must have ring space (and, for the
+// throttled variant, the receiver must have credit).
+func (c *cni) CanSend(m *netsim.Message) bool {
+	nb := int64(blocksFor(m))
+	if c.sendRing.tail+nb-c.sendRing.head > c.sendRing.cap {
+		return false
+	}
+	if c.throttle && c.outstanding[m.Dst]+nb > int64(c.env.Cfg.CNICacheBlocks) {
+		return false
+	}
+	return true
+}
+
+// CanSend implements NI via the block-buffer send side.
+func (mc *memChannel) CanSend(m *netsim.Message) bool { return mc.send.CanSend(m) }

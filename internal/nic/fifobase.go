@@ -1,0 +1,117 @@
+package nic
+
+import (
+	"nisim/internal/mainmem"
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// fifoBase is the machinery shared by the fifo-style NIs (NI_2w,
+// NI_64w+Udma, NI_16w+Blkbuf): an SRAM-backed fifo window on the device,
+// uncached status registers, and a receive queue that is physically the
+// network's incoming flow-control buffers — which is why these designs are
+// so sensitive to the flow-control buffer count (Figure 3a).
+type fifoBase struct {
+	env      *Env
+	fifo     *mainmem.Memory // serialized NI SRAM behind the fifo window
+	regs     *regsTarget
+	recvQ    []*netsim.Message
+	bounced  []*netsim.Message // returned-to-sender messages awaiting re-push
+	recvCond *sim.Cond
+}
+
+func newFifoBase(env *Env) *fifoBase {
+	f := &fifoBase{
+		env:      env,
+		fifo:     mainmem.New("ni-fifo", env.Cfg.NISRAM+env.Cfg.IOBridge, env.Eng),
+		regs:     &regsTarget{latency: env.Cfg.NISRAM + env.Cfg.IOBridge},
+		recvCond: sim.NewCond(env.Eng),
+	}
+	env.Bus.MapRange(RegBase, FifoBase, f.regs)
+	env.Bus.MapRange(FifoBase, NIQSendBase, f.fifo)
+	env.EP.OnAccept = func(m *netsim.Message) {
+		// The message occupies its incoming flow-control buffer until the
+		// processor pops it; ReleaseIn happens at pop time.
+		f.recvQ = append(f.recvQ, m)
+		f.recvCond.Broadcast()
+	}
+	// Fifo NIs involve the processor in buffering (Table 2): a returned
+	// message sits in its still-allocated outgoing buffer until the
+	// software notices and re-pushes it.
+	env.EP.OnBounce = func(m *netsim.Message) {
+		f.bounced = append(f.bounced, m)
+		f.recvCond.Broadcast()
+	}
+	return f
+}
+
+// retryOne re-sends the oldest returned message. The repush callback
+// charges the processor the design's re-push cost; the time, and the
+// injection, count as processor-involved buffering work. Callers must
+// prefer consuming incoming messages over retrying (consume-first avoids
+// livelock between mutually bouncing senders).
+func (f *fifoBase) retryOne(pr *proc.Proc, repush func(m *netsim.Message)) {
+	m := f.bounced[0]
+	f.bounced = f.bounced[1:]
+	f.env.Stats.Retries++
+	prev := pr.P.Category
+	pr.P.Category = stats.Buffering
+	repush(m)
+	pr.P.Category = prev
+	f.env.EP.Inject(m)
+}
+
+// hasBounced reports whether returned messages await software service.
+func (f *fifoBase) hasBounced() bool { return len(f.bounced) > 0 }
+
+// pending reports whether a message is waiting.
+func (f *fifoBase) pending() bool { return len(f.recvQ) > 0 }
+
+// head returns the message at the fifo head without popping it.
+func (f *fifoBase) head() *netsim.Message {
+	if len(f.recvQ) == 0 {
+		return nil
+	}
+	return f.recvQ[0]
+}
+
+// pop removes the head message and frees its flow-control buffer.
+func (f *fifoBase) pop() *netsim.Message {
+	m := f.recvQ[0]
+	f.recvQ = f.recvQ[1:]
+	f.env.EP.ReleaseIn()
+	return m
+}
+
+// waitForMessage parks the processor until a message is waiting. The idle
+// time is charged to the compute category (it is communication wait, not an
+// NI data-transfer or buffering cost).
+func (f *fifoBase) waitForMessage(pr *proc.Proc) {
+	for len(f.recvQ) == 0 {
+		f.recvCond.WaitAs(pr.P, stats.Compute)
+	}
+}
+
+// waitForMessageServicing is waitForMessage for NIs whose software must
+// also re-push returned messages while it waits. Incoming messages take
+// priority over retries.
+func (f *fifoBase) waitForMessageServicing(pr *proc.Proc, repush func(m *netsim.Message)) {
+	for {
+		if len(f.recvQ) > 0 {
+			return
+		}
+		if len(f.bounced) > 0 {
+			f.retryOne(pr, repush)
+			continue
+		}
+		f.recvCond.WaitAs(pr.P, stats.Compute)
+	}
+}
+
+// recordRecv updates the NI-level fragment counters; application-message
+// counters are maintained by the messaging layer on reassembly.
+func recordRecv(env *Env, m *netsim.Message) {
+	env.Stats.FragmentsReceived++
+}

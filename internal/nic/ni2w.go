@@ -1,0 +1,184 @@
+package nic
+
+import (
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+	"nisim/internal/stats"
+)
+
+// ni2w is the CM-5-like NI_2w: the processor sees only the first two words
+// of the NI fifo and moves every message word itself with uncached loads
+// and stores. All five design parameters are at their least aggressive
+// settings: small transfers, full processor involvement, and
+// register-to-register source/destination.
+//
+// With singleCycle set, the same design is mapped into the processor
+// (Figure 4's single-cycle NI_2w, approximating register-mapped NIs such as
+// the MIT M-machine): every access costs one processor cycle and no bus
+// transaction.
+type ni2w struct {
+	*fifoBase
+	env         *Env
+	singleCycle bool
+}
+
+func newNI2w(env *Env, singleCycle bool) *ni2w {
+	n := &ni2w{env: env, singleCycle: singleCycle}
+	n.fifoBase = newFifoBase(env)
+	return n
+}
+
+func (n *ni2w) Kind() Kind {
+	if n.singleCycle {
+		return CM5SingleCycle
+	}
+	return CM5
+}
+
+// statusRead models checking an NI status register: send-space on the send
+// side, receive-ready on the receive side.
+func (n *ni2w) statusRead(pr *proc.Proc) {
+	if n.singleCycle {
+		pr.Work(stats.Transfer, 1)
+		return
+	}
+	pr.UncachedRead(stats.Transfer, RegStatus, 8)
+}
+
+// moveWord models one fifo-window access of Cfg.UncachedWordBytes.
+func (n *ni2w) moveWord(pr *proc.Proc, load bool) {
+	pr.Work(stats.Transfer, n.env.Cfg.WordLoopCycles)
+	if n.singleCycle {
+		pr.Work(stats.Transfer, 1)
+		return
+	}
+	if load {
+		pr.UncachedRead(stats.Transfer, FifoBase, n.env.Cfg.UncachedWordBytes)
+	} else {
+		pr.UncachedWrite(stats.Transfer, FifoBase, n.env.Cfg.UncachedWordBytes)
+	}
+}
+
+// Send implements NI: check send space, push the message through the
+// two-word fifo window as a train of sub-messages — one status check per
+// Cfg.SubMsgBytes chunk, as on the CM-5, whose fifo messages held at most a
+// few words — and fire the doorbell. The processor manages the whole
+// transfer.
+// pathCycles is the per-message software cost of this NI's messaging path.
+// The memory-bus NI_2w pays the full fifo path (uncached-access juggling);
+// the register-mapped variant exists precisely to strip that to almost
+// nothing (the M-machine's motivation).
+func (n *ni2w) pathCycles() int64 {
+	if n.singleCycle {
+		return 15
+	}
+	return n.env.Cfg.FifoPathCycles
+}
+
+func (n *ni2w) Send(pr *proc.Proc, m *netsim.Message) {
+	pr.Work(stats.Transfer, n.pathCycles())
+	n.statusRead(pr)
+	// An outgoing flow-control buffer is the send fifo slot; without one
+	// the processor spins on the status register (buffering stall).
+	for !n.env.EP.TryAcquireOut() {
+		n.env.Stats.SendBlocked++
+		n.env.EP.WaitOut(pr.P)
+		n.statusRead(pr)
+	}
+	n.push(pr, m)
+	n.env.EP.Inject(m)
+}
+
+// push moves the message through the two-word window and fires the
+// doorbell; it is also the cost of re-pushing a returned message.
+func (n *ni2w) push(pr *proc.Proc, m *netsim.Message) {
+	w := n.env.Cfg.UncachedWordBytes
+	wordsPerChunk := n.env.Cfg.SubMsgBytes / w
+	for sent, word := 0, 0; sent < m.Size(); {
+		if word == wordsPerChunk {
+			n.statusRead(pr)
+			word = 0
+		}
+		n.moveWord(pr, false)
+		sent += w
+		word++
+	}
+	// Doorbell: the final uncached store launches the message.
+	if !n.singleCycle {
+		pr.UncachedWrite(stats.Transfer, RegGo, 8)
+	} else {
+		pr.Work(stats.Transfer, 1)
+	}
+}
+
+// Poll implements NI: one status read, then — if a message waits — pop it
+// word by word.
+func (n *ni2w) Poll(pr *proc.Proc) (*netsim.Message, bool) {
+	if len(n.recvQ) == 0 {
+		// An unsuccessful poll is pure monitoring cost — the price of
+		// limited buffering (§3.2) — so it lands in the buffering category.
+		prev := pr.P.Category
+		pr.P.Category = stats.Buffering
+		n.statusRead(pr)
+		pr.P.Category = prev
+		return nil, false
+	}
+	n.statusRead(pr)
+	return n.receive(pr), true
+}
+
+// Recv implements NI.
+func (n *ni2w) Recv(pr *proc.Proc) *netsim.Message {
+	n.waitForMessageServicing(pr, func(b *netsim.Message) { n.push(pr, b) })
+	n.statusRead(pr)
+	return n.receive(pr)
+}
+
+func (n *ni2w) receive(pr *proc.Proc) *netsim.Message {
+	m := n.head()
+	pr.Work(stats.Transfer, n.pathCycles())
+	n.popWords(pr, m)
+	recordRecv(n.env, m)
+	return n.pop()
+}
+
+// Pending implements NI.
+func (n *ni2w) Pending() bool { return n.pending() }
+
+// Idle implements NI: sends complete synchronously.
+func (n *ni2w) Idle() bool { return true }
+
+// CanSend implements NI: an outgoing flow-control buffer must be free.
+func (n *ni2w) CanSend(m *netsim.Message) bool { return n.env.EP.OutFree() > 0 }
+
+// NeedsRetry implements NI.
+func (n *ni2w) NeedsRetry() bool { return n.hasBounced() }
+
+// RetryOne implements NI: the processor first consumes the returned
+// message from the network (it comes back through the receive path), then
+// re-pushes it word by word.
+func (n *ni2w) RetryOne(pr *proc.Proc) {
+	n.retryOne(pr, func(b *netsim.Message) {
+		// The retry handler is messaging software — register mapping does
+		// not shrink it — plus the pop and re-push through the window.
+		pr.Work(pr.P.Category, n.env.Cfg.FifoPathCycles)
+		n.popWords(pr, b)
+		n.push(pr, b)
+	})
+}
+
+// popWords is the word-loop cost of draining one message out of the fifo
+// window (shared by normal receive and bounce consumption).
+func (n *ni2w) popWords(pr *proc.Proc, m *netsim.Message) {
+	w := n.env.Cfg.UncachedWordBytes
+	wordsPerChunk := n.env.Cfg.SubMsgBytes / w
+	for got, word := 0, 0; got < m.Size(); {
+		if word == wordsPerChunk {
+			n.statusRead(pr)
+			word = 0
+		}
+		n.moveWord(pr, true)
+		got += w
+		word++
+	}
+}

@@ -1,0 +1,395 @@
+// Package nic implements the seven memory-bus network interfaces the paper
+// evaluates (Table 2), plus the single-cycle (processor-register-mapped)
+// NI_2w variant of Figure 4 and the send-throttled CNI_32Q_m of Table 5.
+//
+// Every NI exposes the same contract — Send, Poll, Recv — to the messaging
+// layer, and realizes it with different bus transactions, device memories,
+// and degrees of processor involvement:
+//
+//	NI_2w            (CM-5-like)          uncached word pushes/pops
+//	NI_64w+Udma      (Princeton UDMA)     user-level DMA initiation, block DMA
+//	NI_16w+Blkbuf    (AP3000-like)        block-buffer loads/stores
+//	CNI_0Q_m         (StarT-JR-like)      coherent queues homed in memory
+//	Blkbuf_S/CNI_R   (Memory Channel)     block-buffer send, coherent receive
+//	CNI_512Q         (CNI, no cache)      coherent queues homed on the NI
+//	CNI_32Q_m        (CNI with cache)     memory-homed queues + 32-block NI cache
+package nic
+
+import (
+	"fmt"
+
+	"nisim/internal/mainmem"
+	"nisim/internal/membus"
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// Kind identifies one of the studied NI designs.
+type Kind int
+
+// The NI designs of Table 2 (plus the two §6 variants).
+const (
+	CM5             Kind = iota // NI_2w, CM-5-like
+	CM5SingleCycle              // single-cycle NI_2w (processor-register-mapped, Figure 4)
+	UDMA                        // NI_64w+Udma, Princeton UDMA-based
+	AP3000                      // NI_16w+Blkbuf, Fujitsu AP3000-like
+	StarTJR                     // CNI_0Q_m, MIT StarT-JR-like
+	MemoryChannel               // (NI_16w+Blkbuf)_S (CNI_0Q_m)_R, DEC Memory Channel-like
+	CNI512Q                     // Wisconsin CNI without a cache
+	CNI32Qm                     // Wisconsin CNI with a cache
+	CNI32QmThrottle             // CNI_32Q_m with send throttling (Table 5 bandwidth)
+	numKinds
+)
+
+// Kinds lists all supported NI kinds.
+func Kinds() []Kind {
+	ks := make([]Kind, 0, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// PaperSeven lists the seven NIs of the paper's main evaluation, in Table 2
+// order.
+func PaperSeven() []Kind {
+	return []Kind{CM5, UDMA, AP3000, StarTJR, MemoryChannel, CNI512Q, CNI32Qm}
+}
+
+func (k Kind) String() string {
+	switch k {
+	case CM5:
+		return "NI_2w (CM-5-like)"
+	case CM5SingleCycle:
+		return "single-cycle NI_2w"
+	case UDMA:
+		return "NI_64w+Udma (Udma-based)"
+	case AP3000:
+		return "NI_16w+Blkbuf (AP3000-like)"
+	case StarTJR:
+		return "CNI_0Qm (Start-JR-like)"
+	case MemoryChannel:
+		return "Memory Channel-like"
+	case CNI512Q:
+		return "CNI_512Q"
+	case CNI32Qm:
+		return "CNI_32Qm"
+	case CNI32QmThrottle:
+		return "CNI_32Qm+Throttle"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ShortName returns a compact identifier usable in CLI flags and reports.
+func (k Kind) ShortName() string {
+	switch k {
+	case CM5:
+		return "cm5"
+	case CM5SingleCycle:
+		return "cm5-1cycle"
+	case UDMA:
+		return "udma"
+	case AP3000:
+		return "ap3000"
+	case StarTJR:
+		return "startjr"
+	case MemoryChannel:
+		return "memchannel"
+	case CNI512Q:
+		return "cni512q"
+	case CNI32Qm:
+		return "cni32qm"
+	case CNI32QmThrottle:
+		return "cni32qm-throttle"
+	default:
+		return fmt.Sprintf("kind%d", int(k))
+	}
+}
+
+// KindByName resolves a ShortName back to a Kind.
+func KindByName(s string) (Kind, error) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.ShortName() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("nic: unknown NI kind %q", s)
+}
+
+// NI is the contract every network interface model implements. The
+// messaging layer is the only intended caller; it fragments application
+// messages to the network maximum before calling Send.
+type NI interface {
+	// Kind identifies the design.
+	Kind() Kind
+	// Send performs all processor-side work to transmit m and hands it to
+	// the network, blocking the calling processor exactly as long as the
+	// design requires (a CM-5-like NI blocks for every word; a CNI returns
+	// after composing the message in cacheable queue memory).
+	Send(pr *proc.Proc, m *netsim.Message)
+	// Poll checks for a received message. When one is available it performs
+	// the processor-side reception work (pops, block loads, or coherent
+	// queue reads) and returns it. When none is available it charges only
+	// the design's polling cost and returns false.
+	Poll(pr *proc.Proc) (*netsim.Message, bool)
+	// Recv blocks until a message is available, then receives it as Poll
+	// does. Idle waiting is charged to the compute category; only the
+	// actual transfer work counts as transfer time.
+	Recv(pr *proc.Proc) *netsim.Message
+	// Pending reports, at zero simulated cost, whether a message could be
+	// returned now. Application loops use it to decide whether to poll.
+	Pending() bool
+	// CanSend reports, at zero simulated cost, whether Send(m) would
+	// proceed without blocking on buffering. The messaging layer polls and
+	// dispatches incoming messages while CanSend is false — the software
+	// discipline that avoids the fetch-deadlock of §3.2. Only this node's
+	// own sends consume the checked resources, so a true result cannot be
+	// invalidated before the immediately following Send.
+	CanSend(m *netsim.Message) bool
+	// NeedsRetry reports whether returned-to-sender messages await software
+	// re-push (true only for NIs whose buffering involves the processor,
+	// Table 2). Zero simulated cost.
+	NeedsRetry() bool
+	// RetryOne re-pushes the oldest returned message, charging the
+	// processor the design's re-push cost. Callers must prefer consuming
+	// incoming messages first.
+	RetryOne(pr *proc.Proc)
+	// Idle reports whether the NI has no queued or in-flight work on the
+	// send side (used by drain barriers at the end of program phases).
+	Idle() bool
+}
+
+// Config holds the NI-design constants. Zero value is not useful; call
+// DefaultConfig.
+type Config struct {
+	NISRAM sim.Time // NI SRAM access time (Table 3: 60 ns)
+	NIDRAM sim.Time // NI DRAM access time (CNI_512Q; Table 3 note: 120 ns)
+
+	// UncachedWordBytes is the width of one NI_2w fifo access.
+	UncachedWordBytes int
+	// WordLoopCycles is the software loop overhead per fifo word moved.
+	WordLoopCycles int64
+	// SubMsgBytes is the NI_2w fifo-window granularity: larger transfers
+	// move as a train of sub-messages, each requiring its own status check
+	// (the CM-5 fifo held at most a few words per message).
+	SubMsgBytes int
+	// FifoPathCycles is the per-message software overhead specific to the
+	// fifo-NI messaging paths (fifo arbitration, bounds and alignment
+	// handling) charged on each side, on top of the common layer costs.
+	FifoPathCycles int64
+
+	// BlkbufPathCycles is the per-message software overhead of the
+	// block-buffer messaging path; lower than FifoPathCycles because the
+	// block interface needs no per-word bounds or alignment handling.
+	BlkbufPathCycles int64
+	// BlockBufCycles is the instruction overhead to flush or load the
+	// 64-byte block buffer (§6.1.1: 12 processor cycles).
+	BlockBufCycles int64
+
+	// UDMAThresholdBytes: payloads at or below this use the uncached-window
+	// path; larger payloads use UDMA (§6.1.1: 96 bytes).
+	UDMAThresholdBytes int
+	// UDMAMasterSwitch is the bus-master handoff time for a UDMA start.
+	UDMAMasterSwitch sim.Time
+
+	// CNIQueueBlocks is the CNI_512Q queue capacity in 64-byte blocks.
+	CNIQueueBlocks int
+	// CNICacheBlocks is the CNI_32Q_m per-direction NI cache capacity.
+	CNICacheBlocks int
+	// QmQueueBlocks is the capacity of a memory-homed receive queue ring
+	// ("plentiful buffering in main memory").
+	QmQueueBlocks int
+	// QmSendQueueBlocks is the memory-homed send queue ring capacity. The
+	// send side needs only enough to decouple the processor from the NI, and
+	// keeping it small keeps the composing blocks warm in the processor
+	// cache across wraps.
+	QmSendQueueBlocks int
+
+	// Ablation switches (all off in the paper's configurations).
+
+	// DisableCNIPrefetch turns off the CNI send-side block prefetch
+	// (CNI_512Q / CNI_32Q_m lose the overlap of composition and fetch).
+	DisableCNIPrefetch bool
+	// DisableCNIBypass makes a full CNI_32Q_m receive cache exert
+	// backpressure instead of writing fresh messages straight to memory.
+	DisableCNIBypass bool
+	// DisableDeadSuppress makes the CNI_32Q_m write consumed (dead) blocks
+	// back to main memory on reclamation instead of dropping them.
+	DisableDeadSuppress bool
+	// IOBridge places a fifo NI behind an I/O-bus bridge: every device
+	// access pays this extra latency (the paper's motivation: I/O buses
+	// are a factor of 2-10 worse than memory buses).
+	IOBridge sim.Time
+}
+
+// DefaultConfig returns the paper's constants.
+func DefaultConfig() Config {
+	return Config{
+		NISRAM:             60 * sim.Nanosecond,
+		NIDRAM:             120 * sim.Nanosecond,
+		UncachedWordBytes:  8,
+		WordLoopCycles:     2,
+		SubMsgBytes:        16,
+		FifoPathCycles:     150,
+		BlkbufPathCycles:   60,
+		BlockBufCycles:     12,
+		UDMAThresholdBytes: 96,
+		UDMAMasterSwitch:   100 * sim.Nanosecond,
+		CNIQueueBlocks:     512,
+		CNICacheBlocks:     32,
+		QmQueueBlocks:      8192,
+		QmSendQueueBlocks:  128,
+	}
+}
+
+// Node-local address map. Each node has a private physical address space;
+// the NI claims the device window and, for memory-homed CNI queues, fixed
+// DRAM regions.
+const (
+	// DRAMBase..DRAMLimit is main memory.
+	DRAMBase  membus.Addr = 0x0000_0000
+	DRAMLimit membus.Addr = 0x4000_0000
+
+	// QmSendBase / QmRecvBase are the memory-homed CNI queue rings. The
+	// bases are staggered modulo the 1 MB direct-mapped processor cache so
+	// that the send ring (8 KB at cache offset 0), the receive ring (512 KB
+	// at offset 64 KB), and the pointer blocks (offset 0x90000) never evict
+	// one another.
+	QmSendBase membus.Addr = 0x0800_0000
+	QmRecvBase membus.Addr = 0x0A01_0000
+	// QmPtrBase holds the cacheable head/tail pointer blocks.
+	QmPtrBase membus.Addr = 0x0C09_0000
+
+	// DeviceBase..DeviceLimit is the NI device window.
+	DeviceBase  membus.Addr = 0x4000_0000
+	DeviceLimit membus.Addr = 0x5000_0000
+
+	// RegBase holds uncached NI control/status registers.
+	RegBase membus.Addr = 0x4000_0000
+	// FifoBase is the fifo window (NI_2w pops/pushes, block-buffer
+	// transfers, UDMA window) backed by NI SRAM. Uncached, so its cache
+	// alignment is irrelevant.
+	FifoBase membus.Addr = 0x4010_0000
+	// NIQSendBase / NIQRecvBase are the CNI_512Q queue rings homed in NI
+	// DRAM: 32 KB each, staggered to cache offsets 0x2000 and 0xA0000.
+	NIQSendBase membus.Addr = 0x4100_2000
+	NIQRecvBase membus.Addr = 0x420A_0000
+
+	// Well-known registers.
+	RegStatus   = RegBase + 0x00 // send-space / recv-ready status
+	RegGo       = RegBase + 0x08 // send doorbell
+	RegUdmaAddr = RegBase + 0x10 // UDMA start: uncached store of address
+	RegUdmaStat = RegBase + 0x18 // UDMA start: uncached load completing the pair
+)
+
+// Env is everything an NI needs from its node. The machine layer builds it.
+type Env struct {
+	Eng   *sim.Engine
+	ID    int
+	Bus   *membus.Bus
+	Mem   *mainmem.Memory
+	EP    *netsim.Endpoint
+	Stats *stats.Node
+	CPU   sim.Clock
+	Cfg   Config
+}
+
+// New constructs the NI model for kind, wiring it to the node's bus,
+// memory, and network endpoint.
+func New(kind Kind, env *Env) NI {
+	switch kind {
+	case CM5:
+		return newNI2w(env, false)
+	case CM5SingleCycle:
+		return newNI2w(env, true)
+	case UDMA:
+		return newUdma(env)
+	case AP3000:
+		return newBlkbuf(env)
+	case StarTJR:
+		return newCNI(env, StarTJR)
+	case MemoryChannel:
+		return newMemChannel(env)
+	case CNI512Q:
+		return newCNI(env, CNI512Q)
+	case CNI32Qm:
+		return newCNI(env, CNI32Qm)
+	case CNI32QmThrottle:
+		return newCNI(env, CNI32QmThrottle)
+	default:
+		panic(fmt.Sprintf("nic: unknown kind %d", int(kind)))
+	}
+}
+
+// blocksFor returns how many 64-byte blocks m occupies in a CNI queue.
+func blocksFor(m *netsim.Message) int {
+	return (m.Size() + membus.BlockSize - 1) / membus.BlockSize
+}
+
+// wordsFor returns how many w-byte fifo words m occupies.
+func wordsFor(m *netsim.Message, w int) int {
+	return (m.Size() + w - 1) / w
+}
+
+// regsTarget is the membus.Target for the uncached control registers: a
+// fixed, non-serialized access latency with an optional write hook.
+type regsTarget struct {
+	latency sim.Time
+	onWrite func(t *membus.Transaction)
+}
+
+func (r *regsTarget) TargetName() string { return "ni-regs" }
+
+func (r *regsTarget) HomeLatency(t *membus.Transaction) sim.Time { return r.latency }
+
+func (r *regsTarget) HomeAccess(t *membus.Transaction) {
+	if t.Kind == membus.UncachedWrite && r.onWrite != nil {
+		r.onWrite(t)
+	}
+}
+
+// CatalogEntry is one row of the paper's Table 2.
+type CatalogEntry struct {
+	Kind        Kind
+	Notation    string // the paper's NI_iX notation
+	Description string
+	SendSize    string // "Uncached" or "Block"
+	SendManager string // "Processor" or "NI"
+	SendSource  string
+	RecvSize    string
+	RecvManager string
+	RecvDest    string
+	BufLocation string
+	ProcInvolve bool // processor involved in buffering?
+}
+
+// Catalog reproduces Table 2: the classification of the seven NIs by data
+// transfer and buffering parameters.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{CM5, "NI_2w", "TMC CM-5 NI-like", "Uncached", "Processor", "Processor Registers",
+			"Uncached", "Processor", "Processor Registers", "NI / VM", true},
+		{UDMA, "NI_64w+Udma", "Princeton Udma-based", "Block", "NI", "Cache/Memory",
+			"Block", "NI", "Memory", "NI / VM / Memory", true},
+		{AP3000, "NI_16w+Blkbuf", "Fujitsu AP3000-like", "Block", "Processor", "Block Buffer",
+			"Block", "Processor", "Block Buffer", "NI / VM", true},
+		{StarTJR, "CNI_0Qm", "MIT StarT-JR-like", "Block", "NI", "Cache/Memory",
+			"Block", "NI", "Memory", "Memory", false},
+		{MemoryChannel, "(NI_16w+Blkbuf)_S(CNI_0Qm)_R", "DEC Memory Channel NI-like", "Block", "Processor", "Block Buffer",
+			"Block", "NI", "Memory", "Memory", false},
+		{CNI512Q, "CNI_512Q", "Wisconsin CNI with no cache", "Block", "NI", "Cache/Memory",
+			"Block", "NI", "Processor Cache", "NI / VM", true},
+		{CNI32Qm, "CNI_32Qm", "Wisconsin CNI with cache", "Block", "NI", "Cache/Memory",
+			"Block", "NI", "Processor Cache", "NI Cache / Memory", false},
+	}
+}
+
+// PeerAware is implemented by NIs that need cross-node visibility (the
+// send-throttled CNI_32Q_m's software credit scheme). The machine layer
+// wires it after all nodes exist.
+type PeerAware interface {
+	SetPeerLookup(fn func(node int) NI)
+}

@@ -1,0 +1,229 @@
+package nic
+
+import (
+	"nisim/internal/membus"
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// udma is the Princeton UDMA-based NI_64w+Udma: the processor can examine
+// the first 64 words (256 bytes) of the fifo directly, and can initiate an
+// NI-managed block DMA with a two-instruction user-level sequence (an
+// uncached store of the buffer address followed by an uncached load that
+// checks and commits the start).
+//
+// As in the paper (§6.1.1), the messaging layer uses the UDMA mechanism
+// only for payloads larger than Cfg.UDMAThresholdBytes; smaller messages
+// fall back on uncached word transfers like the CM-5-like NI. And as in the
+// paper, the software waits for each UDMA transfer to complete, so the
+// benefit is the block transfer itself, not overlap.
+type udma struct {
+	*fifoBase
+	env *Env
+
+	// stagingSeq rotates DMA staging buffers through a DRAM region so that
+	// consecutive transfers do not artificially hit in the cache.
+	stagingSeq int
+}
+
+// udmaStagingBase is the DRAM region UDMA deposits received messages into
+// (and reads send data from); user buffers in a real system. Offset so the
+// rotating staging slots live at cache offsets [0x42000, 0x82000).
+const udmaStagingBase membus.Addr = 0x2004_2000
+
+func newUdma(env *Env) *udma {
+	u := &udma{env: env}
+	u.fifoBase = newFifoBase(env)
+	return u
+}
+
+func (u *udma) Kind() Kind { return UDMA }
+
+func (u *udma) useDMA(m *netsim.Message) bool {
+	return m.PayloadLen > u.env.Cfg.UDMAThresholdBytes
+}
+
+func (u *udma) staging() membus.Addr {
+	u.stagingSeq++
+	return udmaStagingBase + membus.Addr(u.stagingSeq%256)*1024
+}
+
+// initiate models the two-instruction UDMA start plus the bus-master
+// handoff from processor to NI.
+func (u *udma) initiate(pr *proc.Proc) {
+	pr.UncachedWrite(stats.Transfer, RegUdmaAddr, 8)
+	pr.UncachedRead(stats.Transfer, RegUdmaStat, 8)
+	pr.P.SleepAs(stats.Transfer, u.env.Cfg.UDMAMasterSwitch)
+}
+
+// awaitDMA models the software waiting for a UDMA transfer to complete by
+// polling the NI's completion register (the paper's messaging layer "waits
+// until each UDMA transfer is complete").
+func (u *udma) awaitDMA(pr *proc.Proc, done *bool, doneCond *sim.Cond) {
+	for !*done {
+		doneCond.WaitAs(pr.P, stats.Transfer)
+	}
+	pr.UncachedRead(stats.Transfer, RegUdmaStat, 8)
+}
+
+// repush is the software cost of re-sending a returned message: small
+// messages are re-pushed through the window; for UDMA transfers the data
+// still sits in the NI, so the software re-runs the initiation sequence.
+func (u *udma) repush(pr *proc.Proc, m *netsim.Message) {
+	if !u.useDMA(m) {
+		words := wordsFor(m, u.env.Cfg.UncachedWordBytes)
+		for i := 0; i < words; i++ {
+			pr.Work(stats.Buffering, u.env.Cfg.WordLoopCycles)
+			pr.UncachedWrite(stats.Buffering, FifoBase, u.env.Cfg.UncachedWordBytes)
+		}
+		pr.UncachedWrite(stats.Buffering, RegGo, 8)
+		return
+	}
+	pr.UncachedWrite(stats.Buffering, RegUdmaAddr, 8)
+	pr.UncachedRead(stats.Buffering, RegUdmaStat, 8)
+}
+
+// Send implements NI.
+func (u *udma) Send(pr *proc.Proc, m *netsim.Message) {
+	pr.Work(stats.Transfer, u.env.Cfg.FifoPathCycles)
+	pr.UncachedRead(stats.Transfer, RegStatus, 8)
+	for !u.env.EP.TryAcquireOut() {
+		u.env.Stats.SendBlocked++
+		u.env.EP.WaitOut(pr.P)
+		pr.UncachedRead(stats.Transfer, RegStatus, 8)
+	}
+	if !u.useDMA(m) {
+		// CM-5-style uncached pushes through the 64-word window.
+		words := wordsFor(m, u.env.Cfg.UncachedWordBytes)
+		for i := 0; i < words; i++ {
+			pr.Work(stats.Transfer, u.env.Cfg.WordLoopCycles)
+			pr.UncachedWrite(stats.Transfer, FifoBase, u.env.Cfg.UncachedWordBytes)
+		}
+		pr.UncachedWrite(stats.Transfer, RegGo, 8)
+		u.env.EP.Inject(m)
+		return
+	}
+
+	// The message was composed in user memory: stage it through the cache
+	// so the DMA reads hit the true source (processor cache or memory).
+	src := u.staging()
+	pr.CachedWrite(stats.Transfer, src, m.Size())
+	u.initiate(pr)
+
+	// NI-managed DMA: coherent block reads of the source buffer, then
+	// injection. The software waits for completion (paper's simplification).
+	done := false
+	doneCond := sim.NewCond(u.env.Eng)
+	blocks := blocksFor(m)
+	var fetch func(i int)
+	fetch = func(i int) {
+		if i == blocks {
+			u.env.EP.Inject(m)
+			done = true
+			doneCond.Broadcast()
+			return
+		}
+		u.env.Bus.Issue(&membus.Transaction{
+			Kind: membus.GetS,
+			Addr: src + membus.Addr(i*membus.BlockSize),
+			Done: func() { fetch(i + 1) },
+		})
+	}
+	fetch(0)
+	u.awaitDMA(pr, &done, doneCond)
+}
+
+// Poll implements NI.
+func (u *udma) Poll(pr *proc.Proc) (*netsim.Message, bool) {
+	if len(u.recvQ) == 0 {
+		// Unsuccessful poll: monitoring cost attributable to buffering.
+		pr.UncachedRead(stats.Buffering, RegStatus, 8)
+		return nil, false
+	}
+	pr.UncachedRead(stats.Transfer, RegStatus, 8)
+	return u.receive(pr), true
+}
+
+// Recv implements NI.
+func (u *udma) Recv(pr *proc.Proc) *netsim.Message {
+	u.waitForMessageServicing(pr, func(r *netsim.Message) { u.repush(pr, r) })
+	pr.UncachedRead(stats.Transfer, RegStatus, 8)
+	return u.receive(pr)
+}
+
+func (u *udma) receive(pr *proc.Proc) *netsim.Message {
+	m := u.head()
+	pr.Work(stats.Transfer, u.env.Cfg.FifoPathCycles)
+	if !u.useDMA(m) {
+		words := wordsFor(m, u.env.Cfg.UncachedWordBytes)
+		for i := 0; i < words; i++ {
+			pr.Work(stats.Transfer, u.env.Cfg.WordLoopCycles)
+			pr.UncachedRead(stats.Transfer, FifoBase, u.env.Cfg.UncachedWordBytes)
+		}
+		recordRecv(u.env, m)
+		return u.pop()
+	}
+
+	// UDMA receive: the software first examines the message head in the
+	// 64-word window to find its size and destination buffer, then initiates
+	// the UDMA that deposits it into main memory without further processor
+	// involvement, and waits for completion.
+	pr.UncachedRead(stats.Transfer, FifoBase, 8)
+	pr.UncachedRead(stats.Transfer, FifoBase, 8)
+	dst := u.staging()
+	u.initiate(pr)
+	done := false
+	doneCond := sim.NewCond(u.env.Eng)
+	blocks := blocksFor(m)
+	var store func(i int)
+	store = func(i int) {
+		if i == blocks {
+			done = true
+			doneCond.Broadcast()
+			return
+		}
+		u.env.Bus.Issue(&membus.Transaction{
+			Kind: membus.WriteInvalidate,
+			Addr: dst + membus.Addr(i*membus.BlockSize),
+			Done: func() { store(i + 1) },
+		})
+	}
+	store(0)
+	u.awaitDMA(pr, &done, doneCond)
+	// The handler will read the data from memory; that cost lands on the
+	// consumer's cached reads of the staging buffer.
+	pr.CachedRead(stats.Transfer, dst, m.Size())
+	recordRecv(u.env, m)
+	return u.pop()
+}
+
+// Pending implements NI.
+func (u *udma) Pending() bool { return u.pending() }
+
+// Idle implements NI: Send blocks until the transfer finishes.
+func (u *udma) Idle() bool { return true }
+
+// CanSend implements NI: an outgoing flow-control buffer must be free.
+func (u *udma) CanSend(m *netsim.Message) bool { return u.env.EP.OutFree() > 0 }
+
+// NeedsRetry implements NI.
+func (u *udma) NeedsRetry() bool { return u.hasBounced() }
+
+// RetryOne implements NI: the processor examines the returned message in
+// the window, then re-pushes it.
+func (u *udma) RetryOne(pr *proc.Proc) {
+	u.retryOne(pr, func(r *netsim.Message) {
+		if !u.useDMA(r) {
+			words := wordsFor(r, u.env.Cfg.UncachedWordBytes)
+			for i := 0; i < words; i++ {
+				pr.UncachedRead(pr.P.Category, FifoBase, u.env.Cfg.UncachedWordBytes)
+			}
+		} else {
+			pr.UncachedRead(pr.P.Category, FifoBase, 8)
+			pr.UncachedRead(pr.P.Category, FifoBase, 8)
+		}
+		u.repush(pr, r)
+	})
+}

@@ -1,0 +1,99 @@
+// Package proc bundles the processor-side view of a node: the software
+// process, the processor cache, the memory bus, the statistics record, and
+// the processor clock. NI models and the messaging layer charge
+// processor-time costs through it.
+package proc
+
+import (
+	"nisim/internal/cache"
+	"nisim/internal/membus"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// Proc is one node's processor context.
+type Proc struct {
+	ID    int
+	Eng   *sim.Engine
+	Bus   *membus.Bus
+	Cache *cache.Cache
+	Stats *stats.Node
+	CPU   sim.Clock
+	// P is the software process currently executing on this processor. The
+	// machine layer sets it when it spawns the application.
+	P *sim.Process
+}
+
+// Bind attaches the software process and wires time accounting.
+func (pr *Proc) Bind(p *sim.Process) {
+	pr.P = p
+	p.Category = stats.Compute
+	p.OnBlocked = pr.Stats.Account
+}
+
+// Compute spends n processor cycles of application computation.
+func (pr *Proc) Compute(n int64) {
+	pr.P.SleepAs(stats.Compute, pr.CPU.Cycles(n))
+}
+
+// Work spends n processor cycles attributed to the given category
+// (stats.Transfer for messaging-layer instructions, etc.).
+func (pr *Proc) Work(category int, n int64) {
+	pr.P.SleepAs(category, pr.CPU.Cycles(n))
+}
+
+// UncachedRead performs an uncached load of size bytes from a device
+// address, blocking until the data returns. Charged to category.
+func (pr *Proc) UncachedRead(category int, a membus.Addr, size int) {
+	prev := pr.P.Category
+	pr.P.Category = category
+	pr.Bus.IssueAndWait(pr.P, &membus.Transaction{Kind: membus.UncachedRead, Addr: a, Size: size})
+	pr.P.Category = prev
+}
+
+// UncachedWrite performs an uncached store of size bytes to a device
+// address, blocking until the bus accepts it (the device sees it later).
+func (pr *Proc) UncachedWrite(category int, a membus.Addr, size int) {
+	prev := pr.P.Category
+	pr.P.Category = category
+	pr.Bus.IssueAndWait(pr.P, &membus.Transaction{Kind: membus.UncachedWrite, Addr: a, Size: size})
+	pr.P.Category = prev
+}
+
+// BlockRead performs an UltraSparc-style block load: 64 bytes from a device
+// into the processor's block buffer, plus the instruction overhead the
+// paper charges for loading the buffer (§6.1.1: 12 cycles per flush/load).
+func (pr *Proc) BlockRead(category int, a membus.Addr, instrCycles int64) {
+	prev := pr.P.Category
+	pr.P.Category = category
+	pr.P.Sleep(pr.CPU.Cycles(instrCycles))
+	pr.Bus.IssueAndWait(pr.P, &membus.Transaction{Kind: membus.BlockRead, Addr: a, Size: membus.BlockSize})
+	pr.P.Category = prev
+}
+
+// BlockWrite performs an UltraSparc-style block store from the block buffer
+// to a device.
+func (pr *Proc) BlockWrite(category int, a membus.Addr, instrCycles int64) {
+	prev := pr.P.Category
+	pr.P.Category = category
+	pr.P.Sleep(pr.CPU.Cycles(instrCycles))
+	pr.Bus.IssueAndWait(pr.P, &membus.Transaction{Kind: membus.BlockWrite, Addr: a, Size: membus.BlockSize})
+	pr.P.Category = prev
+}
+
+// CachedRead reads n bytes at a through the processor cache, charged to
+// category.
+func (pr *Proc) CachedRead(category int, a membus.Addr, n int) {
+	prev := pr.P.Category
+	pr.P.Category = category
+	pr.Cache.ReadBytes(pr.P, a, n)
+	pr.P.Category = prev
+}
+
+// CachedWrite writes n bytes at a through the processor cache.
+func (pr *Proc) CachedWrite(category int, a membus.Addr, n int) {
+	prev := pr.P.Category
+	pr.P.Category = category
+	pr.Cache.WriteBytes(pr.P, a, n)
+	pr.P.Category = prev
+}

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.Row("a", "1")
+	tbl.Row("longer-name", "23")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	// The value column should start at the same offset in both rows.
+	off2 := strings.Index(lines[2], "1")
+	off3 := strings.Index(lines[3], "23")
+	if off2 != off3 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", off2, off3, out)
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tbl := NewTable("only")
+	tbl.Row("a", "b", "c")
+	if strings.Contains(tbl.String(), "b") {
+		t.Fatal("extra cells not dropped")
+	}
+}
+
+func TestRowf(t *testing.T) {
+	tbl := NewTable("x", "y")
+	tbl.Rowf([]string{"%.2f", "%d"}, 1.234, 42)
+	out := tbl.String()
+	if !strings.Contains(out, "1.23") || !strings.Contains(out, "42") {
+		t.Fatalf("Rowf output wrong:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	b := Bar(1.0, 20)
+	if len(b) != 20 {
+		t.Fatalf("bar width %d", len(b))
+	}
+	if !strings.Contains(b, "|") {
+		t.Fatal("baseline marker missing")
+	}
+	small, big := Bar(0.5, 20), Bar(2.0, 20)
+	if strings.Count(small, "#") >= strings.Count(big, "#") {
+		t.Fatal("bar length not monotone in value")
+	}
+	if got := Bar(-1, 10); strings.Count(got, "#") != 0 {
+		t.Fatal("negative value produced bar segments")
+	}
+	if len(Bar(100, 10)) != 10 {
+		t.Fatal("clipping failed")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.123) != "12.3%" {
+		t.Fatalf("Percent = %q", Percent(0.123))
+	}
+}

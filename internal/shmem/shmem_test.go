@@ -1,0 +1,264 @@
+package shmem_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"nisim/internal/machine"
+	"nisim/internal/membus"
+	"nisim/internal/nic"
+	"nisim/internal/shmem"
+)
+
+func newMachine(nodes int) *machine.Machine {
+	cfg := machine.DefaultConfig(nic.CNI32Qm, 8)
+	cfg.Nodes = nodes
+	return machine.New(cfg)
+}
+
+const blk = membus.BlockSize
+
+func TestReadMissThenHit(t *testing.T) {
+	m := newMachine(4)
+	p := shmem.New(shmem.DefaultConfig())
+	states := make([]string, 4)
+	m.Run(func(n *machine.Node) {
+		sn := p.Register(n)
+		n.Barrier()
+		if n.ID == 2 {
+			sn.Read(1 * blk) // homed at node 1
+			states[2] = sn.State(1 * blk)
+			sn.Read(1 * blk) // hit
+		}
+		n.Barrier()
+	})
+	if states[2] != "S" {
+		t.Fatalf("state after read = %q, want S", states[2])
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	m := newMachine(4)
+	p := shmem.New(shmem.DefaultConfig())
+	var after2, after3 string
+	m.Run(func(n *machine.Node) {
+		sn := p.Register(n)
+		n.Barrier()
+		// Nodes 2 and 3 read block 0 (homed at 0); then node 1 writes it.
+		if n.ID == 2 || n.ID == 3 {
+			sn.Read(0)
+		}
+		n.Barrier()
+		if n.ID == 1 {
+			sn.Write(0)
+		}
+		n.Barrier()
+		// The write must have invalidated the readers. They poll during
+		// barriers, so the invalidations have been served.
+		if n.ID == 2 {
+			after2 = sn.State(0)
+		}
+		if n.ID == 3 {
+			after3 = sn.State(0)
+		}
+		n.Barrier()
+	})
+	if after2 != "I" || after3 != "I" {
+		t.Fatalf("sharer states after remote write = %q/%q, want I/I", after2, after3)
+	}
+}
+
+func TestRecallFromOwner(t *testing.T) {
+	m := newMachine(4)
+	p := shmem.New(shmem.DefaultConfig())
+	var ownerAfter, readerState string
+	m.Run(func(n *machine.Node) {
+		sn := p.Register(n)
+		n.Barrier()
+		if n.ID == 1 {
+			sn.Write(2 * blk) // homed at node 2, owned M by node 1
+		}
+		n.Barrier()
+		if n.ID == 3 {
+			sn.Read(2 * blk) // must recall from node 1
+			readerState = sn.State(2 * blk)
+		}
+		n.Barrier()
+		if n.ID == 1 {
+			ownerAfter = sn.State(2 * blk)
+		}
+		n.Barrier()
+	})
+	if readerState != "S" {
+		t.Fatalf("reader state = %q, want S", readerState)
+	}
+	if ownerAfter != "I" {
+		t.Fatalf("previous owner state = %q, want I (recalled)", ownerAfter)
+	}
+}
+
+func TestDataTravelsWithProtocol(t *testing.T) {
+	m := newMachine(4)
+	p := shmem.New(shmem.DefaultConfig())
+	want := []byte("boundary values!")
+	var got []byte
+	m.Run(func(n *machine.Node) {
+		sn := p.Register(n)
+		if n.ID == 1 {
+			sn.SeedBytes(1*blk, want) // block 1 homed at node 1
+		}
+		n.Barrier()
+		if n.ID == 3 {
+			got = sn.ReadBytes(1 * blk)
+		}
+		n.Barrier()
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+func TestWrittenDataVisibleAfterRecall(t *testing.T) {
+	m := newMachine(4)
+	p := shmem.New(shmem.DefaultConfig())
+	var got []byte
+	want := []byte("updated by node 1")
+	m.Run(func(n *machine.Node) {
+		sn := p.Register(n)
+		n.Barrier()
+		if n.ID == 1 {
+			sn.WriteBytes(2*blk, want)
+		}
+		n.Barrier()
+		if n.ID == 0 {
+			got = sn.ReadBytes(2 * blk)
+		}
+		n.Barrier()
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+func TestHomeLocalAccesses(t *testing.T) {
+	m := newMachine(2)
+	p := shmem.New(shmem.DefaultConfig())
+	var st string
+	m.Run(func(n *machine.Node) {
+		sn := p.Register(n)
+		n.Barrier()
+		if n.ID == 0 {
+			sn.Write(0) // block 0 homed at node 0: no messages needed
+			st = sn.State(0)
+		}
+		n.Barrier()
+	})
+	if st != "M" {
+		t.Fatalf("home-local write state = %q, want M", st)
+	}
+}
+
+func TestRacingWritersSerialize(t *testing.T) {
+	// All nodes hammer the same block with writes; afterwards exactly one
+	// owner remains and everyone agrees on the final bytes.
+	m := newMachine(4)
+	p := shmem.New(shmem.DefaultConfig())
+	final := make([][]byte, 4)
+	m.Run(func(n *machine.Node) {
+		sn := p.Register(n)
+		n.Barrier()
+		for i := 0; i < 5; i++ {
+			sn.WriteBytes(3*blk, []byte(fmt.Sprintf("node%d-i%d", n.ID, i)))
+		}
+		n.Barrier()
+		final[n.ID] = sn.ReadBytes(3 * blk)
+		n.Barrier()
+	})
+	for i := 1; i < 4; i++ {
+		if !bytes.Equal(final[i], final[0]) {
+			t.Fatalf("nodes disagree on final value: %q vs %q", final[0], final[i])
+		}
+	}
+}
+
+// Property: for any interleaving of reads and writes over a small set of
+// blocks, the protocol terminates and single-writer/multi-reader holds at
+// quiescence: a block with state M anywhere has no other sharers.
+func TestCoherenceInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		if len(ops) == 0 {
+			return true
+		}
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		const N = 4
+		m := newMachine(N)
+		p := shmem.New(shmem.DefaultConfig())
+		sns := make([]*shmem.Node, N)
+		ok := true
+		m.Run(func(n *machine.Node) {
+			sn := p.Register(n)
+			sns[n.ID] = sn
+			n.Barrier()
+			for i, op := range ops {
+				if int(op)%N != n.ID {
+					continue
+				}
+				gaddr := int64(op/16%4) * blk
+				if (int(op)+i)%2 == 0 {
+					sn.Read(gaddr)
+				} else {
+					sn.Write(gaddr)
+				}
+			}
+			n.Barrier() // serve stragglers
+			n.Barrier()
+		})
+		for b := int64(0); b < 4; b++ {
+			owners, sharers := 0, 0
+			for _, sn := range sns {
+				switch sn.State(b * blk) {
+				case "M":
+					owners++
+				case "S":
+					sharers++
+				}
+			}
+			if owners > 1 || (owners == 1 && sharers > 0) {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolMessageSizes(t *testing.T) {
+	// appbt grain: 12-byte requests, 32-byte data.
+	cfg := shmem.DefaultConfig()
+	cfg.DataBytes = 24
+	m := newMachine(4)
+	p := shmem.New(cfg)
+	st := m.Run(func(n *machine.Node) {
+		sn := p.Register(n)
+		n.Barrier()
+		if n.ID == 3 {
+			for i := int64(0); i < 20; i++ {
+				sn.Read((i*4 + 1) * blk)
+			}
+		}
+		n.Barrier()
+	})
+	sizes := st.Total().Sizes()
+	if sizes.Count(12) == 0 {
+		t.Fatal("no 12-byte protocol requests recorded")
+	}
+	if sizes.Count(32) == 0 {
+		t.Fatal("no 32-byte data replies recorded")
+	}
+}

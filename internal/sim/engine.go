@@ -1,0 +1,165 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with two programming models: plain scheduled callbacks for hardware
+// state machines, and cooperative processes (goroutine-backed coroutines
+// with strict handoff) for software running on simulated processors.
+//
+// Simulated time is measured in integer picoseconds so that every clock in
+// the modeled system (1 GHz processor, 250 MHz memory bus, 40 ns network,
+// 60/120 ns device memories) has an exact integral period.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp or duration in picoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds returns t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// the cooperative-process machinery guarantees that at most one goroutine
+// touches the engine at any instant.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	procs   map[*Process]struct{}
+	stopped bool
+	stepped uint64 // number of events executed
+}
+
+// NewEngine returns an engine positioned at time zero with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{procs: make(map[*Process]struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.stepped }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// a discrete-event simulation must never travel backwards.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.pq.pushEvent(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the next pending event, advancing time. It returns false if
+// the queue is empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.pq) == 0 {
+		return false
+	}
+	ev := e.pq.popEvent()
+	e.now = ev.at
+	e.stepped++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for !e.stopped && len(e.pq) > 0 && e.pq.peek().at <= t {
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// RunWhile executes events until cond reports false, the queue drains, or
+// the engine is stopped. cond is evaluated after every event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for !e.stopped && cond() && e.Step() {
+	}
+}
+
+// Stop halts the run loop after the current event. Parked processes remain
+// parked; call Drain to terminate their goroutines.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Drain kills every live process, releasing its goroutine. The engine is
+// unusable for further simulation afterwards. It is safe to call Drain on an
+// engine with no live processes.
+func (e *Engine) Drain() {
+	e.stopped = true
+	for p := range e.procs {
+		p.kill()
+	}
+	e.procs = make(map[*Process]struct{})
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Process is a cooperative coroutine running simulated software. Exactly one
+// goroutine — either the engine's run loop or one process — executes at any
+// instant; control is handed off synchronously, so simulations remain fully
+// deterministic despite using goroutines under the hood.
+//
+// All Process methods except Done must be called from within the process's
+// own body function.
+type Process struct {
+	eng    *Engine
+	name   string
+	sem    chan struct{} // engine -> process: resume
+	back   chan struct{} // process -> engine: yielded or finished
+	done   bool
+	killed bool
+	parked bool
+
+	// Category is an opaque tag identifying what the simulated software is
+	// currently doing (compute, data transfer, buffering stall, ...). Time
+	// accounting layers read and restore it around blocking operations.
+	Category int
+
+	// OnBlocked, if non-nil, is invoked with (category, duration) every time
+	// the process spends simulated time blocked. Higher layers use it to
+	// attribute processor time.
+	OnBlocked func(category int, d Time)
+}
+
+// Spawn creates a process executing body and schedules it to start at the
+// current simulation time. The body runs entirely inside engine time.
+func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{
+		eng:  e,
+		name: name,
+		sem:  make(chan struct{}),
+		back: make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.sem
+		if p.killed {
+			p.back <- struct{}{}
+			return
+		}
+		body(p)
+		p.done = true
+		delete(e.procs, p)
+		p.back <- struct{}{}
+	}()
+	e.After(0, p.resume)
+	return p
+}
+
+// resume transfers control to the process and waits until it yields back.
+// Must be called from engine context (an event callback).
+func (p *Process) resume() {
+	if p.done {
+		return
+	}
+	p.parked = false
+	p.sem <- struct{}{}
+	<-p.back
+}
+
+// suspend parks the process, handing control back to the engine. Must be
+// called from process context.
+func (p *Process) suspend() {
+	p.parked = true
+	p.back <- struct{}{}
+	<-p.sem
+	if p.killed {
+		p.done = true
+		delete(p.eng.procs, p)
+		p.back <- struct{}{}
+		runtime.Goexit()
+	}
+}
+
+// kill terminates a parked or unstarted process. Called from engine context.
+func (p *Process) kill() {
+	if p.done {
+		return
+	}
+	p.killed = true
+	p.sem <- struct{}{}
+	<-p.back
+}
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Name returns the process's diagnostic name.
+func (p *Process) Name() string { return p.name }
+
+// Done reports whether the process body has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.eng.now }
+
+// Sleep blocks the process for d picoseconds of simulated time, attributing
+// the time to the process's current Category.
+func (p *Process) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %s sleeping negative duration %v", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	start := p.eng.now
+	p.eng.After(d, p.resume)
+	p.suspend()
+	p.account(start)
+}
+
+// SleepAs is Sleep with an explicit accounting category, restoring the
+// previous category afterwards.
+func (p *Process) SleepAs(category int, d Time) {
+	prev := p.Category
+	p.Category = category
+	p.Sleep(d)
+	p.Category = prev
+}
+
+// Yield reschedules the process at the current time, after all events
+// already scheduled for this instant.
+func (p *Process) Yield() {
+	p.eng.After(0, p.resume)
+	p.suspend()
+}
+
+// Park suspends the process until another component calls Unpark (directly
+// or via a Cond). Blocked time is charged to the current Category.
+func (p *Process) Park() {
+	start := p.eng.now
+	p.suspend()
+	p.account(start)
+}
+
+// ParkAs is Park with an explicit accounting category.
+func (p *Process) ParkAs(category int) {
+	prev := p.Category
+	p.Category = category
+	p.Park()
+	p.Category = prev
+}
+
+// Unpark schedules a parked process to resume at the current time. It is a
+// no-op for done processes. Safe to call from engine or process context.
+func (p *Process) Unpark() {
+	if p.done {
+		return
+	}
+	p.eng.After(0, p.resume)
+}
+
+func (p *Process) account(start Time) {
+	if p.OnBlocked != nil {
+		if d := p.eng.now - start; d > 0 {
+			p.OnBlocked(p.Category, d)
+		}
+	}
+}
+
+// Cond is a condition variable for processes. The zero value is not usable;
+// create with NewCond.
+type Cond struct {
+	eng     *Engine
+	waiters []*Process
+}
+
+// NewCond returns a condition variable bound to engine e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait parks p until Broadcast or Signal. As with sync.Cond, callers must
+// re-check their predicate in a loop: wakeups are broadcast at time t and a
+// competing process may consume the resource first.
+func (c *Cond) Wait(p *Process) {
+	c.waiters = append(c.waiters, p)
+	p.Park()
+}
+
+// WaitAs is Wait with an explicit accounting category for the blocked time.
+func (c *Cond) WaitAs(p *Process, category int) {
+	prev := p.Category
+	p.Category = category
+	c.Wait(p)
+	p.Category = prev
+}
+
+// Broadcast wakes all waiting processes.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.Unpark()
+	}
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.Unpark()
+}
+
+// Waiters returns the number of processes currently waiting.
+func (c *Cond) Waiters() int { return len(c.waiters) }

@@ -1,0 +1,259 @@
+// Package stats collects per-node and machine-wide measurements: processor
+// time attributed to compute, data transfer, and buffering (the breakdown
+// behind the paper's Figure 1), bus-transaction counters, message-size
+// histograms (Table 4), and flow-control bounce/retry counts.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nisim/internal/sim"
+)
+
+// Processor-time categories. These are the values carried in
+// sim.Process.Category; the zero value (Compute) is the default so that any
+// unattributed blocked time counts as computation.
+const (
+	// Compute is application computation (including cache-miss stalls on
+	// application data).
+	Compute = iota
+	// Transfer is processor time spent transferring message data to or from
+	// the NI, or initiating such transfers: uncached loads/stores of message
+	// words, block-buffer flush/load, queue reads/writes, UDMA initiation,
+	// and messaging-layer copy/dispatch instructions.
+	Transfer
+	// Buffering is processor time stalled on buffering: waiting for a free
+	// outgoing flow-control buffer, retrying bounced sends, and waiting to
+	// drain NI buffers that would otherwise clog the network.
+	Buffering
+	numCategories
+)
+
+// CategoryName returns a human-readable name for a processor-time category.
+func CategoryName(c int) string {
+	switch c {
+	case Compute:
+		return "compute"
+	case Transfer:
+		return "transfer"
+	case Buffering:
+		return "buffering"
+	default:
+		return fmt.Sprintf("category%d", c)
+	}
+}
+
+// Node accumulates statistics for a single machine node.
+type Node struct {
+	// TimeIn[c] is the processor time attributed to category c.
+	TimeIn [numCategories]sim.Time
+
+	// Bus transaction counters.
+	BusTransactions   int64 // all transactions on this node's memory bus
+	CacheToCache      int64 // blocks supplied cache-to-cache (incl. NI cache)
+	MemToCache        int64 // blocks supplied to the processor cache by DRAM
+	UncachedAccesses  int64 // uncached loads+stores
+	BlockBufTransfers int64 // UltraSparc-style block load/store transfers
+
+	// Messaging counters. Messages are application-level (post-reassembly);
+	// fragments are the network messages the NI actually moved.
+	MessagesSent      int64
+	MessagesReceived  int64
+	BytesSent         int64
+	BytesReceived     int64
+	FragmentsSent     int64
+	FragmentsReceived int64
+
+	// Flow control counters.
+	Bounces     int64 // messages returned to this sender
+	Retries     int64 // re-injections after a bounce
+	SendBlocked int64 // sends that had to wait for an outgoing buffer
+
+	// NI-specific counters.
+	NICacheHits   int64 // processor receive fills supplied by the NI cache
+	NICacheMisses int64 // receive fills that fell through to main memory
+	NIBypasses    int64 // incoming messages written straight to memory (full cache)
+	Prefetches    int64 // CNI send-side block prefetches
+	Refetches     int64 // prefetched blocks fetched again (fetched too early)
+
+	sizes *Histogram
+}
+
+// NewNode returns an empty node-statistics record.
+func NewNode() *Node { return &Node{sizes: NewHistogram()} }
+
+// Account adds blocked-processor time to a category. It is shaped to plug
+// directly into sim.Process.OnBlocked.
+func (n *Node) Account(category int, d sim.Time) {
+	if category < 0 || category >= numCategories {
+		category = Compute
+	}
+	n.TimeIn[category] += d
+}
+
+// RecordMessageSize records the total size in bytes (header + payload) of a
+// sent message for the Table 4 histogram.
+func (n *Node) RecordMessageSize(bytes int) { n.sizes.Add(bytes) }
+
+// Sizes returns the message-size histogram.
+func (n *Node) Sizes() *Histogram { return n.sizes }
+
+// BusyTime returns total attributed (non-idle) processor time.
+func (n *Node) BusyTime() sim.Time {
+	var t sim.Time
+	for _, v := range n.TimeIn {
+		t += v
+	}
+	return t
+}
+
+// Machine aggregates statistics across all nodes of a simulated machine.
+type Machine struct {
+	Nodes []*Node
+	// ExecTime is the parallel execution time: the time at which the last
+	// application process finished.
+	ExecTime sim.Time
+}
+
+// NewMachine returns a machine record with n empty node records.
+func NewMachine(n int) *Machine {
+	m := &Machine{Nodes: make([]*Node, n)}
+	for i := range m.Nodes {
+		m.Nodes[i] = NewNode()
+	}
+	return m
+}
+
+// Total returns a node record holding the sum over all nodes.
+func (m *Machine) Total() *Node {
+	t := NewNode()
+	for _, n := range m.Nodes {
+		for c := range n.TimeIn {
+			t.TimeIn[c] += n.TimeIn[c]
+		}
+		t.BusTransactions += n.BusTransactions
+		t.CacheToCache += n.CacheToCache
+		t.MemToCache += n.MemToCache
+		t.UncachedAccesses += n.UncachedAccesses
+		t.BlockBufTransfers += n.BlockBufTransfers
+		t.MessagesSent += n.MessagesSent
+		t.MessagesReceived += n.MessagesReceived
+		t.BytesSent += n.BytesSent
+		t.BytesReceived += n.BytesReceived
+		t.FragmentsSent += n.FragmentsSent
+		t.FragmentsReceived += n.FragmentsReceived
+		t.Bounces += n.Bounces
+		t.Retries += n.Retries
+		t.SendBlocked += n.SendBlocked
+		t.NICacheHits += n.NICacheHits
+		t.NICacheMisses += n.NICacheMisses
+		t.NIBypasses += n.NIBypasses
+		t.Prefetches += n.Prefetches
+		t.Refetches += n.Refetches
+		t.sizes.Merge(n.sizes)
+	}
+	return t
+}
+
+// Fraction returns TimeIn[category] summed over nodes divided by total
+// processor time (ExecTime × nodes). This is the Figure 1 metric: the share
+// of execution time the machine spends in a category.
+func (m *Machine) Fraction(category int) float64 {
+	if m.ExecTime <= 0 || len(m.Nodes) == 0 {
+		return 0
+	}
+	var in sim.Time
+	for _, n := range m.Nodes {
+		in += n.TimeIn[category]
+	}
+	return float64(in) / (float64(m.ExecTime) * float64(len(m.Nodes)))
+}
+
+// Histogram counts occurrences of integer values (message sizes in bytes).
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{counts: make(map[int]int64)} }
+
+// Add records one occurrence of v.
+func (h *Histogram) Add(v int) { h.counts[v]++; h.total++ }
+
+// Merge adds all of other's counts into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for v, c := range other.counts {
+		h.counts[v] += c
+	}
+	h.total += other.total
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the number of occurrences of v.
+func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+
+// Fraction returns the share of recorded values equal to v.
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// FractionBetween returns the share of values v with lo <= v <= hi.
+func (h *Histogram) FractionBetween(lo, hi int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var c int64
+	for v, n := range h.counts {
+		if v >= lo && v <= hi {
+			c += n
+		}
+	}
+	return float64(c) / float64(h.total)
+}
+
+// Mean returns the average recorded value.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum int64
+	for v, n := range h.counts {
+		sum += int64(v) * n
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// Peaks returns the distinct values sorted by descending count, capped at n.
+func (h *Histogram) Peaks(n int) []int {
+	vals := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool {
+		if h.counts[vals[i]] != h.counts[vals[j]] {
+			return h.counts[vals[i]] > h.counts[vals[j]]
+		}
+		return vals[i] < vals[j]
+	})
+	if len(vals) > n {
+		vals = vals[:n]
+	}
+	return vals
+}
+
+// String renders the histogram's top peaks with their shares.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for _, v := range h.Peaks(6) {
+		fmt.Fprintf(&b, "%dB:%.0f%% ", v, 100*h.Fraction(v))
+	}
+	return strings.TrimSpace(b.String())
+}

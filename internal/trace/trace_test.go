@@ -1,0 +1,80 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nisim/internal/machine"
+	"nisim/internal/msglayer"
+	"nisim/internal/nic"
+	"nisim/internal/sim"
+	"nisim/internal/trace"
+)
+
+func TestBusTracing(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := machine.DefaultConfig(nic.CNI32Qm, 8)
+	cfg.Nodes = 2
+	cfg.Tracer = trace.New(&buf, trace.Bus)
+	m := machine.New(cfg)
+	const h = 1
+	got := false
+	for _, n := range m.Nodes {
+		n.EP.Register(h, func(ep *msglayer.Endpoint, msg *msglayer.Message) { got = true })
+	}
+	m.Run(func(n *machine.Node) {
+		if n.ID == 0 {
+			n.EP.Send(1, h, 64, 0)
+		} else {
+			n.EP.WaitUntil(func() bool { return got })
+		}
+		n.Barrier()
+	})
+	out := buf.String()
+	if cfg.Tracer.Lines() == 0 {
+		t.Fatal("no trace lines written")
+	}
+	if !strings.Contains(out, "GetS") && !strings.Contains(out, "GetX") {
+		t.Fatalf("no coherent transactions in trace:\n%s", out[:min(400, len(out))])
+	}
+	if !strings.Contains(out, "bus") {
+		t.Fatal("category tag missing")
+	}
+}
+
+func TestCategoryFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	tr := trace.New(&buf, trace.Net)
+	if tr.Enabled(trace.Bus) {
+		t.Fatal("bus enabled despite net-only filter")
+	}
+	tr.Event(10*sim.Nanosecond, trace.Bus, 0, "hidden")
+	if buf.Len() != 0 {
+		t.Fatal("filtered event written")
+	}
+	tr.Event(10*sim.Nanosecond, trace.Net, 1, "shown %d", 7)
+	if !strings.Contains(buf.String(), "shown 7") {
+		t.Fatalf("event missing: %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), "node1") {
+		t.Fatalf("node tag missing: %q", buf.String())
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *trace.Tracer
+	if tr.Enabled(trace.Bus) {
+		t.Fatal("nil tracer enabled")
+	}
+	if tr.Lines() != 0 {
+		t.Fatal("nil tracer has lines")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"nisim/internal/machine"
+	"nisim/internal/membus"
+	"nisim/internal/shmem"
+)
+
+// appbt is the NAS APPBT computational-fluid-dynamics kernel: a 3D cube of
+// cells divided into subcubes among the nodes, exchanging subcube boundaries
+// each iteration through the invalidation-based shared-memory protocol
+// (§5.2). The data grain is small (24-byte payloads — APPBT exchanges a few
+// words per face cell), which yields Table 4's mix: 12-byte protocol
+// requests/invalidations/acks (67%) and 32-byte data messages (32%).
+//
+// Boundary blocks come in two kinds, chosen 2:1 so the protocol's message
+// mix lands on the paper's: blocks homed at their writer (the reader's miss
+// recalls nothing remote; the writer's update invalidates the reader), and
+// blocks homed at their reader (the writer's update is a remote write miss;
+// the reader's miss recalls from the writer).
+func appbtProgram(p Params) func(n *machine.Node) {
+	iters := p.scale(6)
+	const (
+		writerHomed    = 6 // per neighbor: blocks homed at the writer
+		readerHomed    = 3 // per neighbor: blocks homed at the reader
+		computePerRead = 2400
+		blk            = int64(membus.BlockSize)
+	)
+	cfg := shmem.DefaultConfig()
+	cfg.DataBytes = 24 // 32-byte data messages
+	proto := shmem.New(cfg)
+
+	// Block naming: the k-th boundary block homed at node h for the face
+	// toward neighbor nb. HomeOf(g) == g mod N, so g = slot*N + h.
+	blockAt := func(h, nb, k, N int) int64 {
+		slot := int64(nb*16 + k + 1)
+		return (slot*int64(N) + int64(h)) * blk
+	}
+
+	return func(n *machine.Node) {
+		N := n.Size()
+		sn := proto.Register(n)
+		nbrs := neighbor3D(n.ID, N)
+		n.Barrier()
+
+		for it := 0; it < iters; it++ {
+			// Update phase: write this subcube's boundary faces, both the
+			// self-homed blocks and the neighbor-homed ones.
+			for _, nb := range nbrs {
+				for k := 0; k < writerHomed; k++ {
+					sn.Write(blockAt(n.ID, nb, k, N))
+				}
+				for k := 0; k < readerHomed; k++ {
+					sn.Write(blockAt(nb, n.ID, 8+k, N))
+				}
+				n.Proc.Compute(1500)
+			}
+			n.Barrier()
+			// Stencil phase: read the neighbors' freshly written faces.
+			for _, nb := range nbrs {
+				for k := 0; k < writerHomed; k++ {
+					sn.Read(blockAt(nb, n.ID, k, N))
+					n.Proc.Compute(computePerRead)
+				}
+				for k := 0; k < readerHomed; k++ {
+					sn.Read(blockAt(n.ID, nb, 8+k, N))
+					n.Proc.Compute(computePerRead)
+				}
+			}
+			n.Barrier()
+		}
+		n.Barrier()
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"nisim/internal/machine"
+	"nisim/internal/membus"
+	"nisim/internal/shmem"
+)
+
+// barnes is the SPLASH-2 Barnes-Hut hierarchical N-body kernel, running on
+// the invalidation-based shared-memory protocol with block-grain (132-byte
+// payload) cell data. Communication is irregular: every node walks the
+// shared octree, whose upper levels are homed with a skew toward low node
+// ids. The Table 4 mix emerges from the protocol: 12-byte requests,
+// invalidations, and acks (67%), 140-byte cell-data transfers (29%), and
+// 16-byte exclusive upgrades for read-modify-write cells (4%).
+func barnesProgram(p Params) func(n *machine.Node) {
+	iters := p.scale(5)
+	const (
+		pureReads      = 14 // tree-cell reads per iteration
+		sharedWrites   = 8  // cell updates invalidating two sharers
+		upgrades       = 4  // read-then-upgrade body updates
+		computePerRead = 2600
+		blk            = int64(membus.BlockSize)
+	)
+	proto := shmem.New(shmem.DefaultConfig()) // 132-byte data -> 140-byte messages
+
+	// treeBlock names the k-th shared tree cell homed at node h.
+	treeBlock := func(h, k, N int) int64 {
+		return ((int64(k)+1)*int64(N) + int64(h)) * blk
+	}
+
+	return func(n *machine.Node) {
+		N := n.Size()
+		sn := proto.Register(n)
+		r := rng(Barnes, n.ID)
+		// Skewed home choice: octree roots live on low node ids.
+		skewedHome := func() int {
+			for {
+				d := int(r.ExpFloat64() * float64(N) / 4)
+				if d >= N {
+					d = r.Intn(N)
+				}
+				if d != n.ID {
+					return d
+				}
+			}
+		}
+		n.Barrier()
+
+		for it := 0; it < iters; it++ {
+			// Sharing phase: become a sharer of the cells this node's force
+			// phase will invalidate, so the later writes do a real
+			// invalidation round (two sharers each).
+			left, right := (n.ID+N-1)%N, (n.ID+1)%N
+			for k := 0; k < sharedWrites; k++ {
+				sn.Read(treeBlock(left, 100+k, N))
+				sn.Read(treeBlock(right, 100+k, N))
+			}
+			n.Barrier()
+			// Force phase: irregular tree reads, cell updates, and body
+			// upgrades.
+			for k := 0; k < pureReads; k++ {
+				sn.Read(treeBlock(skewedHome(), it*pureReads+k, N))
+				n.Proc.Compute(computePerRead)
+			}
+			for k := 0; k < sharedWrites; k++ {
+				sn.Write(treeBlock(n.ID, 100+k, N))
+				n.Proc.Compute(800)
+			}
+			for k := 0; k < upgrades; k++ {
+				// Body blocks homed two nodes over: the read makes this node
+				// the sole sharer, so the write earns a 16-byte upgrade grant.
+				g := treeBlock((n.ID+2)%N, 200+it*upgrades+k, N)
+				sn.Read(g)
+				n.Proc.Compute(400)
+				sn.Write(g)
+			}
+			n.Barrier()
+		}
+		n.Barrier()
+	}
+}

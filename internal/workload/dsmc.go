@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"nisim/internal/machine"
+	"nisim/internal/msglayer"
+)
+
+// dsmc is the discrete-simulation-Monte-Carlo gas kernel: after each
+// iteration, molecules that crossed cell boundaries migrate to their new
+// owner via fine-grain one-way active messages in a producer-consumer
+// pattern — 12-byte movement notices (45%), 44-byte single-particle
+// payloads (25%), and 140-byte batched payloads (26%), Table 4.
+func dsmcProgram(p Params) func(n *machine.Node) {
+	rs := &runState{}
+	iters := p.scale(8)
+	const (
+		noticesPerIter = 20
+		smallPerIter   = 11
+		batchPerIter   = 12
+		noticePayload  = 4   // 12-byte message
+		smallPayload   = 36  // 44-byte message
+		batchPayload   = 132 // 140-byte message
+		computeStep    = 55000
+	)
+	return func(n *machine.Node) {
+		N := n.Size()
+		r := rng(Dsmc, n.ID)
+		// Molecules migrate mostly to spatial neighbors.
+		dest := func() int {
+			d := (n.ID + 1 + r.Intn(3)) % N
+			if d == n.ID {
+				d = (d + 1) % N
+			}
+			return d
+		}
+		handler := rs.counted(func(ep *msglayer.Endpoint, m *msglayer.Message) {
+			// Insert the arriving molecules into local cells.
+			ep.Proc().Compute(60 + int64(m.PayloadLen/4)*8)
+		})
+		n.EP.Register(hOneWay, handler)
+
+		for it := 0; it < iters; it++ {
+			// Move phase: local computation.
+			n.Proc.Compute(computeStep)
+			// Migration phase: producer-consumer bursts.
+			for i := 0; i < noticesPerIter; i++ {
+				rs.countedSend(n, dest(), hOneWay, noticePayload, 0)
+				if i%2 == 0 {
+					n.Proc.Compute(300)
+				}
+			}
+			for i := 0; i < smallPerIter; i++ {
+				rs.countedSend(n, dest(), hOneWay, smallPayload, 0)
+				n.Proc.Compute(250)
+			}
+			for i := 0; i < batchPerIter; i++ {
+				rs.countedSend(n, dest(), hOneWay, batchPayload, 0)
+				n.Proc.Compute(400)
+			}
+			n.Barrier()
+		}
+		n.Barrier()
+		rs.quiesce(n)
+	}
+}

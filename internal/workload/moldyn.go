@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"nisim/internal/machine"
+	"nisim/internal/msglayer"
+)
+
+// moldyn is the CHARMM-like molecular-dynamics kernel: its dominant
+// communication is a custom bulk-reduction protocol in which each node
+// streams 1.5 KB of partial forces to its ring neighbor over Tempest
+// virtual channels (the 3084-byte messages, 2% of count but most of the
+// bytes), alongside 140-byte partial updates (27%) and many 12-byte
+// control messages (65%), Table 4.
+func moldynProgram(p Params) func(n *machine.Node) {
+	rs := &runState{}
+	iters := p.scale(5)
+	const (
+		controlPerIter = 33
+		partialPerIter = 13
+		tinyPerIter    = 2
+		bulkPayload    = 3076 // 3084-byte message
+		partialPayload = 132  // 140-byte message
+		controlPayload = 4    // 12-byte message
+		tinyPayload    = 0    // 8-byte message
+		computePerIter = 130000
+	)
+	type shared struct{ bulkGot []int }
+	sh := &shared{}
+	return func(n *machine.Node) {
+		N := n.Size()
+		if sh.bulkGot == nil {
+			sh.bulkGot = make([]int, N)
+		}
+		r := rng(Moldyn, n.ID)
+		right := (n.ID + 1) % N
+		dest := func() int {
+			d := r.Intn(N)
+			if d == n.ID {
+				d = right
+			}
+			return d
+		}
+		n.EP.Register(hBulk, func(ep *msglayer.Endpoint, m *msglayer.Message) {
+			// Accumulate the partial forces into the local array.
+			ep.Proc().Compute(int64(m.PayloadLen / 8 * 2))
+			sh.bulkGot[ep.NodeID()]++
+		})
+		n.EP.Register(hOneWay, rs.counted(func(ep *msglayer.Endpoint, m *msglayer.Message) {
+			ep.Proc().Compute(70)
+		}))
+		n.EP.Register(hControl, rs.counted(nil))
+
+		for it := 0; it < iters; it++ {
+			// Non-bonded force computation.
+			n.Proc.Compute(computePerIter)
+			// Interleaved control and partial-force traffic.
+			for i := 0; i < controlPerIter; i++ {
+				rs.countedSend(n, dest(), hControl, controlPayload, 0)
+				if i%3 == 0 {
+					n.Proc.Compute(500)
+				}
+			}
+			for i := 0; i < partialPerIter; i++ {
+				rs.countedSend(n, dest(), hOneWay, partialPayload, 0)
+				n.Proc.Compute(400)
+			}
+			for i := 0; i < tinyPerIter; i++ {
+				rs.countedSend(n, dest(), hControl, tinyPayload, 0)
+			}
+			// Bulk reduction step over the ring virtual channel: send the
+			// 1.5 KB partial-force vector right, wait for the left
+			// neighbor's.
+			target := it + 1
+			n.EP.Send(right, hBulk, bulkPayload, 0)
+			n.EP.WaitUntil(func() bool { return sh.bulkGot[n.ID] >= target })
+			n.Barrier()
+		}
+		n.Barrier()
+		rs.quiesce(n)
+	}
+}

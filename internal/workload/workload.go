@@ -1,0 +1,185 @@
+// Package workload implements the seven macrobenchmarks of Table 4 as
+// synthetic kernels that reproduce each application's communication
+// pattern: message-size mix, destinations, burstiness, and the balance of
+// computation to communication. The kernels run on the messaging layer
+// exactly as the originals ran on Tempest: request-response shared-memory
+// protocols for appbt and barnes, fine-grain one-way active messages for
+// dsmc/em3d/spsolve, bulk reduction over virtual channels for moldyn, and
+// batched single-producer/multiple-consumer streams for unstructured.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nisim/internal/machine"
+	"nisim/internal/msglayer"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// App names one of the seven macrobenchmarks.
+type App string
+
+// The seven macrobenchmarks (Table 4).
+const (
+	Appbt        App = "appbt"
+	Barnes       App = "barnes"
+	Dsmc         App = "dsmc"
+	Em3d         App = "em3d"
+	Moldyn       App = "moldyn"
+	Spsolve      App = "spsolve"
+	Unstructured App = "unstructured"
+)
+
+// Apps lists the seven macrobenchmarks in the paper's order.
+func Apps() []App {
+	return []App{Appbt, Barnes, Dsmc, Em3d, Moldyn, Spsolve, Unstructured}
+}
+
+// ByName returns the App for a name.
+func ByName(s string) (App, error) {
+	for _, a := range Apps() {
+		if string(a) == s {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("workload: unknown application %q", s)
+}
+
+// Params scales a workload run.
+type Params struct {
+	// Iters scales the outer iteration count; 1.0 is the standard run used
+	// by the figure harnesses, smaller values make tests fast.
+	Iters float64
+}
+
+// DefaultParams is the standard scale.
+func DefaultParams() Params { return Params{Iters: 1} }
+
+func (p Params) scale(n int) int {
+	v := int(float64(n)*p.Iters + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Program returns the per-node program for app. Each invocation creates a
+// fresh shared run state, so a Program value must drive exactly one
+// machine.Run.
+func Program(app App, p Params) func(n *machine.Node) {
+	switch app {
+	case Appbt:
+		return appbtProgram(p)
+	case Barnes:
+		return barnesProgram(p)
+	case Dsmc:
+		return dsmcProgram(p)
+	case Em3d:
+		return em3dProgram(p)
+	case Moldyn:
+		return moldynProgram(p)
+	case Spsolve:
+		return spsolveProgram(p)
+	case Unstructured:
+		return unstructuredProgram(p)
+	default:
+		panic(fmt.Sprintf("workload: unknown app %q", app))
+	}
+}
+
+// Run builds a machine with cfg, runs app on it, and returns the
+// statistics.
+func Run(cfg machine.Config, app App, p Params) *stats.Machine {
+	m := machine.New(cfg)
+	return m.Run(Program(app, p))
+}
+
+// Application handler ids (must stay below the machine-reserved range).
+const (
+	hRequest = iota + 1 // shared-memory read request
+	hReply              // shared-memory data reply
+	hOneWay             // fine-grain one-way update
+	hBulk               // bulk data
+	hControl            // small control message
+)
+
+// runState is the shared state of one application run: completion counters
+// used for quiescence, and per-node scratch.
+type runState struct {
+	sent, recvd int64 // one-way messages: sent vs dispatched
+}
+
+// countedSend sends a one-way message that participates in the quiescence
+// count.
+func (rs *runState) countedSend(n *machine.Node, dst, handler, payload int, arg uint64) {
+	rs.sent++
+	n.EP.Send(dst, handler, payload, arg)
+}
+
+// counted wraps a handler so its deliveries are counted for quiescence.
+func (rs *runState) counted(h msglayer.Handler) msglayer.Handler {
+	return func(ep *msglayer.Endpoint, m *msglayer.Message) {
+		rs.recvd++
+		if h != nil {
+			h(ep, m)
+		}
+	}
+}
+
+// quiesce drives the run to global delivery of all counted one-way
+// messages, then synchronizes. Call after a barrier that guarantees no new
+// counted sends will be issued.
+func (rs *runState) quiesce(n *machine.Node) {
+	for rs.recvd < rs.sent {
+		if !n.EP.PollOne() {
+			n.Proc.P.SleepAs(stats.Compute, 500*sim.Nanosecond)
+		}
+	}
+	n.Barrier()
+}
+
+// rng returns a deterministic per-node random stream for an app run.
+func rng(app App, node int) *rand.Rand {
+	seed := int64(1)
+	for _, c := range app {
+		seed = seed*131 + int64(c)
+	}
+	return rand.New(rand.NewSource(seed*1000003 + int64(node)*7919))
+}
+
+// neighbor3D returns the node ids adjacent to node in a 4x2x2 (or generally
+// X×Y×Z) decomposition of n nodes, the appbt subcube topology.
+func neighbor3D(node, n int) []int {
+	dims := [3]int{1, 1, 1}
+	// Factor n into up to three near-equal dimensions.
+	rem := n
+	for i := 0; rem > 1; i = (i + 1) % 3 {
+		for f := 2; f <= rem; f++ {
+			if rem%f == 0 {
+				dims[i] *= f
+				rem /= f
+				break
+			}
+		}
+	}
+	x, y, z := node%dims[0], node/dims[0]%dims[1], node/(dims[0]*dims[1])
+	var out []int
+	add := func(xx, yy, zz int) {
+		if xx < 0 || xx >= dims[0] || yy < 0 || yy >= dims[1] || zz < 0 || zz >= dims[2] {
+			return
+		}
+		id := xx + yy*dims[0] + zz*dims[0]*dims[1]
+		if id != node {
+			out = append(out, id)
+		}
+	}
+	add(x-1, y, z)
+	add(x+1, y, z)
+	add(x, y-1, z)
+	add(x, y+1, z)
+	add(x, y, z-1)
+	add(x, y, z+1)
+	return out
+}

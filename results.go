@@ -1,0 +1,106 @@
+package nisim
+
+import (
+	"sort"
+
+	"nisim/internal/stats"
+)
+
+// Breakdown is the processor-time split of a run, as fractions of total
+// processor time (the paper's Figure 1 categories).
+type Breakdown struct {
+	// Compute is application computation, including cache-miss stalls and
+	// waiting for remote work.
+	Compute float64
+	// Transfer is processor time spent moving or initiating message data
+	// between the processor and the NI.
+	Transfer float64
+	// Buffering is processor time lost to limited buffering: status-register
+	// spinning, waiting for flow-control credits, and re-pushing
+	// returned-to-sender messages.
+	Buffering float64
+}
+
+// Counters aggregates event counts across all nodes.
+type Counters struct {
+	MessagesSent     int64 // application-level messages
+	MessagesReceived int64
+	BytesSent        int64
+	FragmentsSent    int64 // network messages after fragmentation
+	BusTransactions  int64
+	CacheToCache     int64 // blocks supplied cache-to-cache
+	MemToCache       int64 // blocks supplied to processor caches by DRAM
+	UncachedAccesses int64
+	Bounces          int64 // messages returned to their sender
+	Retries          int64
+	NICacheHits      int64 // CNI_32Q_m receive blocks served from NI cache
+	NICacheMisses    int64
+	NIBypasses       int64 // messages written straight to memory (full NI cache)
+	Prefetches       int64 // CNI send-side prefetches
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// ExecMicros is the parallel execution time in simulated microseconds.
+	ExecMicros float64
+	// Breakdown is the machine-wide processor-time split.
+	Breakdown Breakdown
+	// Counters holds machine-wide event counts.
+	Counters Counters
+	// MessageSizes histograms application message sizes in bytes (header
+	// included) — the paper's Table 4 view of a workload.
+	MessageSizes map[int]int64
+}
+
+func newResult(st *stats.Machine) Result {
+	tot := st.Total()
+	r := Result{
+		ExecMicros: st.ExecTime.Microseconds(),
+		Breakdown: Breakdown{
+			Compute:   1 - st.Fraction(stats.Transfer) - st.Fraction(stats.Buffering),
+			Transfer:  st.Fraction(stats.Transfer),
+			Buffering: st.Fraction(stats.Buffering),
+		},
+		Counters: Counters{
+			MessagesSent:     tot.MessagesSent,
+			MessagesReceived: tot.MessagesReceived,
+			BytesSent:        tot.BytesSent,
+			FragmentsSent:    tot.FragmentsSent,
+			BusTransactions:  tot.BusTransactions,
+			CacheToCache:     tot.CacheToCache,
+			MemToCache:       tot.MemToCache,
+			UncachedAccesses: tot.UncachedAccesses,
+			Bounces:          tot.Bounces,
+			Retries:          tot.Retries,
+			NICacheHits:      tot.NICacheHits,
+			NICacheMisses:    tot.NICacheMisses,
+			NIBypasses:       tot.NIBypasses,
+			Prefetches:       tot.Prefetches,
+		},
+		MessageSizes: make(map[int]int64),
+	}
+	sizes := tot.Sizes()
+	for _, v := range sizes.Peaks(1 << 20) {
+		r.MessageSizes[v] = sizes.Count(v)
+	}
+	return r
+}
+
+// TopMessageSizes returns the n most common message sizes, descending by
+// count.
+func (r Result) TopMessageSizes(n int) []int {
+	var out []int
+	for v := range r.MessageSizes {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if r.MessageSizes[out[i]] != r.MessageSizes[out[j]] {
+			return r.MessageSizes[out[i]] > r.MessageSizes[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

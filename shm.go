@@ -1,0 +1,61 @@
+package nisim
+
+import (
+	"nisim/internal/shmem"
+)
+
+// SharedMemory is a handle to the Tempest-style invalidation-based
+// shared-memory protocol, usable from custom programs: create one with
+// NewSharedMemory before Run, then Attach each node inside its program.
+// The global address space is block-grained (64-byte blocks) and homed
+// round-robin across the nodes.
+type SharedMemory struct {
+	proto *shmem.Protocol
+}
+
+// ShmemConfig configures the protocol's data grain.
+type ShmemConfig struct {
+	// DataBytes is the payload of a data or writeback message. 0 selects
+	// the block-grain default (132 bytes, i.e. 140-byte messages).
+	DataBytes int
+}
+
+// NewSharedMemory creates a protocol instance for one Run.
+func NewSharedMemory(cfg ShmemConfig) *SharedMemory {
+	c := shmem.DefaultConfig()
+	if cfg.DataBytes > 0 {
+		c.DataBytes = cfg.DataBytes
+	}
+	return &SharedMemory{proto: shmem.New(c)}
+}
+
+// SharedNode is one node's attachment to the shared-memory protocol.
+type SharedNode struct {
+	sn *shmem.Node
+}
+
+// Attach wires node n into the protocol and installs its handlers. Call it
+// once per node, at the top of the program, before the first Barrier.
+func (s *SharedMemory) Attach(n *Node) *SharedNode {
+	return &SharedNode{sn: s.proto.Register(n.n)}
+}
+
+// HomeOf returns the node that homes the block containing gaddr.
+func (s *SharedMemory) HomeOf(gaddr int64) int { return s.proto.HomeOf(gaddr / 64) }
+
+// Read performs a coherent read of the block containing gaddr, blocking
+// the simulated processor through the protocol's request-reply traffic on
+// a miss.
+func (sn *SharedNode) Read(gaddr int64) { sn.sn.Read(gaddr) }
+
+// Write performs a coherent write, acquiring exclusive ownership.
+func (sn *SharedNode) Write(gaddr int64) { sn.sn.Write(gaddr) }
+
+// ReadBytes reads the block's current payload bytes (for verification).
+func (sn *SharedNode) ReadBytes(gaddr int64) []byte { return sn.sn.ReadBytes(gaddr) }
+
+// WriteBytes writes payload bytes into the block.
+func (sn *SharedNode) WriteBytes(gaddr int64, b []byte) { sn.sn.WriteBytes(gaddr, b) }
+
+// State reports the local MSI-style state of the block ("I", "S", or "M").
+func (sn *SharedNode) State(gaddr int64) string { return sn.sn.State(gaddr) }
