@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race bench ci
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$'
+
+# ci is the full verification gate: compile everything, vet, and run the
+# test suite under the race detector.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"testing"
+
+	"nisim/internal/netsim"
+	"nisim/internal/sim"
+)
+
+func msg(src, dst int) *netsim.Message { return netsim.NewSized(src, dst, 1, 64) }
+
+func TestZero(t *testing.T) {
+	if !(Config{}).Zero() {
+		t.Fatal("zero value not Zero")
+	}
+	if !(Config{Seed: 42}).Zero() {
+		t.Fatal("seed alone must not arm the injector")
+	}
+	cases := []Config{
+		{Drop: 0.1}, {Corrupt: 0.1}, {Duplicate: 0.1}, {Delay: 0.1},
+		{ForceBounce: 0.1}, {CtlDrop: 0.1}, {EjectDrop: 0.1},
+		{Outages: []Outage{{Endpoint: -1, End: sim.Microsecond}}},
+	}
+	for i, c := range cases {
+		if c.Zero() {
+			t.Fatalf("case %d reported Zero", i)
+		}
+	}
+}
+
+func TestSameSeedSameVerdicts(t *testing.T) {
+	cfg := Config{
+		Seed: 7, Drop: 0.2, Corrupt: 0.2, Duplicate: 0.2, Delay: 0.2,
+		ForceBounce: 0.1, CtlDrop: 0.2, EjectDrop: 0.1,
+		MaxDelay: 300 * sim.Nanosecond,
+	}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		now := sim.Time(i) * sim.Nanosecond
+		m := msg(i%3, (i+1)%3)
+		va, vb := a.Inject(now, m), b.Inject(now, m)
+		if va != vb {
+			t.Fatalf("inject verdict %d diverged: %+v vs %+v", i, va, vb)
+		}
+		if ea, eb := a.Eject(now, m), b.Eject(now, m); ea != eb {
+			t.Fatalf("eject verdict %d diverged", i)
+		}
+		if ca, cb := a.DropControl(now, netsim.AckControl, m), b.DropControl(now, netsim.AckControl, m); ca != cb {
+			t.Fatalf("control verdict %d diverged", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	cfg := Config{Seed: 1, Drop: 0.5}
+	other := cfg
+	other.Seed = 2
+	a, b := New(cfg), New(other)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.Inject(0, msg(0, 1)) != b.Inject(0, msg(0, 1)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fault patterns")
+	}
+}
+
+func TestPerEndpointStreamsAreIndependent(t *testing.T) {
+	// The same injector serves every endpoint; each endpoint's decisions
+	// come from its own stream, so interleaving traffic from another
+	// endpoint must not change a sender's fault pattern.
+	cfg := Config{Seed: 3, Drop: 0.4}
+	solo, mixed := New(cfg), New(cfg)
+	var a []netsim.FaultVerdict
+	for i := 0; i < 100; i++ {
+		a = append(a, solo.Inject(0, msg(0, 1)))
+	}
+	for i := 0; i < 100; i++ {
+		mixed.Inject(0, msg(2, 1)) // interleaved foreign traffic
+		if v := mixed.Inject(0, msg(0, 1)); v != a[i] {
+			t.Fatalf("endpoint 0 verdict %d changed when endpoint 2 traffic interleaved", i)
+		}
+	}
+}
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	in := New(Config{Seed: 9})
+	for i := 0; i < 200; i++ {
+		if v := in.Inject(0, msg(0, 1)); v != (netsim.FaultVerdict{}) {
+			t.Fatalf("zero-rate injector issued %+v", v)
+		}
+		if v := in.Eject(0, msg(0, 1)); v != (netsim.FaultVerdict{}) {
+			t.Fatalf("zero-rate eject issued %+v", v)
+		}
+		if in.DropControl(0, netsim.BounceControl, msg(0, 1)) {
+			t.Fatal("zero-rate injector dropped a control message")
+		}
+	}
+}
+
+func TestCertainDrop(t *testing.T) {
+	in := New(Config{Seed: 1, Drop: 1})
+	for i := 0; i < 50; i++ {
+		if v := in.Inject(0, msg(0, 1)); !v.Drop {
+			t.Fatalf("Drop=1 did not drop message %d", i)
+		}
+	}
+}
+
+func TestDelayBounded(t *testing.T) {
+	max := 200 * sim.Nanosecond
+	in := New(Config{Seed: 5, Delay: 1, MaxDelay: max})
+	seen := false
+	for i := 0; i < 200; i++ {
+		v := in.Inject(0, msg(0, 1))
+		if v.Delay <= 0 || v.Delay > max {
+			t.Fatalf("delay %v outside (0, %v]", v.Delay, max)
+		}
+		if v.Delay > max/2 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("jitter never exceeded half the configured maximum — magnitude draw broken")
+	}
+}
+
+func TestOutageWindow(t *testing.T) {
+	in := New(Config{Seed: 1, Outages: []Outage{
+		{Endpoint: 0, Start: 100 * sim.Nanosecond, End: 200 * sim.Nanosecond},
+	}})
+	if v := in.Inject(50*sim.Nanosecond, msg(0, 1)); v.Drop {
+		t.Fatal("dropped before the outage window")
+	}
+	if v := in.Inject(150*sim.Nanosecond, msg(0, 1)); !v.Drop {
+		t.Fatal("outage did not destroy an injected message")
+	}
+	if !in.DropControl(150*sim.Nanosecond, netsim.AckControl, msg(1, 0)) {
+		t.Fatal("outage did not destroy a control message at the affected endpoint")
+	}
+	if v := in.Inject(200*sim.Nanosecond, msg(0, 1)); v.Drop {
+		t.Fatal("outage window end is inclusive; want half-open [Start, End)")
+	}
+	// Unaffected endpoint keeps working during the window.
+	if v := in.Inject(150*sim.Nanosecond, msg(1, 0)); v.Drop {
+		t.Fatal("outage leaked to an unaffected endpoint")
+	}
+
+	all := New(Config{Seed: 1, Outages: []Outage{{Endpoint: -1, End: sim.Microsecond}}})
+	if v := all.Eject(0, msg(1, 0)); !v.Drop {
+		t.Fatal("machine-wide outage did not cover ejection")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"nisim/internal/cache"
+	"nisim/internal/faults"
 	"nisim/internal/mainmem"
 	"nisim/internal/membus"
 	"nisim/internal/msglayer"
@@ -41,10 +42,30 @@ type Config struct {
 	Net    netsim.Config
 	Msg    msglayer.Config
 
+	// Faults configures deterministic network fault injection. The zero
+	// value (all rates zero, no outages) installs no fault plane and is
+	// bit-identical to the lossless network. Nonzero fault rates normally
+	// want Net.Reliability enabled too, or lost messages hang the program
+	// (Run then reports a stall diagnostic instead of returning).
+	Faults faults.Config
+
+	// StallHorizon is the fault-run watchdog interval: when faults are
+	// injected and the network makes no protocol progress for this long
+	// while flow-control buffers are held, Run panics with the quiescence
+	// diagnostic instead of livelocking on spinning software. Zero selects
+	// DefaultStallHorizon; lossless runs never arm the watchdog.
+	StallHorizon sim.Time
+
 	// Tracer, when non-nil, receives a structured event line per bus
 	// transaction (and any other subsystems wired to it). Off by default.
 	Tracer *trace.Tracer
 }
+
+// DefaultStallHorizon is how long the fault-run watchdog waits for network
+// progress before declaring a stall: generous against any legitimate lull
+// (the longest bounce backoffs and retransmission timeouts are well under a
+// millisecond on the Table 3 network).
+const DefaultStallHorizon = 2 * sim.Millisecond
 
 // DefaultConfig returns the paper's system parameters with the given NI and
 // flow-control buffer count.
@@ -126,6 +147,9 @@ func New(cfg Config) *Machine {
 			pa.SetPeerLookup(func(id int) nic.NI { return m.Nodes[id].NI })
 		}
 	}
+	if !cfg.Faults.Zero() {
+		m.Net.SetFaultPlane(faults.New(cfg.Faults))
+	}
 	return m
 }
 
@@ -148,7 +172,56 @@ func (m *Machine) Run(prog func(n *Node)) *stats.Machine {
 		})
 		n.Proc.Bind(p)
 	}
-	m.Eng.RunWhile(func() bool { return done < len(m.Nodes) })
+
+	// Livelock watchdog, armed only for fault runs: a lost message with the
+	// reliability layer off leaves software spinning (poll-while-blocked),
+	// so the event queue never drains and the quiescence check below never
+	// fires. Instead, sample network progress every StallHorizon; two equal
+	// samples with flow-control buffers still held mean nothing can ever
+	// advance. The tick stops rescheduling once it is the only event source,
+	// handing stall detection back to the queue-drain path.
+	stalled := ""
+	if !m.Cfg.Faults.Zero() {
+		horizon := m.Cfg.StallHorizon
+		if horizon <= 0 {
+			horizon = DefaultStallHorizon
+		}
+		last := int64(-1)
+		var tick func()
+		tick = func() {
+			if done >= len(m.Nodes) || stalled != "" {
+				return
+			}
+			act := m.Net.Activity()
+			if act == last {
+				if r := m.Eng.StallReport(); r != "" {
+					stalled = fmt.Sprintf("machine: no network progress for %v with %d/%d nodes finished at %v\n%s",
+						horizon, done, len(m.Nodes), m.Eng.Now(), r)
+					return
+				}
+			}
+			last = act
+			if m.Eng.Pending() > 0 {
+				m.Eng.After(horizon, tick)
+			}
+		}
+		m.Eng.After(horizon, tick)
+	}
+
+	m.Eng.RunWhile(func() bool { return done < len(m.Nodes) && stalled == "" })
+	if stalled != "" {
+		m.Eng.Drain()
+		panic(stalled)
+	}
+	if done < len(m.Nodes) && m.Eng.Pending() == 0 {
+		// The event queue drained with nodes still running: a lost message,
+		// ack, or bounce stranded them. Fail loudly with the quiescence
+		// diagnostic instead of silently returning a truncated run.
+		report := m.Eng.StallReport()
+		m.Eng.Drain()
+		panic(fmt.Sprintf("machine: simulation stalled with %d/%d nodes finished at %v\n%s",
+			done, len(m.Nodes), m.Eng.Now(), report))
+	}
 	m.Stats.ExecTime = m.Eng.Now()
 	m.Eng.Drain()
 	return m.Stats

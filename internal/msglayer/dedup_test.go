@@ -1,0 +1,41 @@
+package msglayer
+
+import "testing"
+
+func TestFragArgRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		idx, total int
+		seq        uint64
+	}{
+		{0, 1, 0}, {1, 3, 7}, {65535, 65535, 1 << 23}, {12, 100, 0xFFFFFF},
+	} {
+		a := fragArg(c.idx, c.total, c.seq)
+		if fragIdx(a) != c.idx || fragTotal(a) != c.total || fragSeq(a) != c.seq&0xFFFFFF {
+			t.Fatalf("round trip %+v -> idx=%d total=%d seq=%d",
+				c, fragIdx(a), fragTotal(a), fragSeq(a))
+		}
+	}
+}
+
+func TestMarkDoneRingEviction(t *testing.T) {
+	ep := &Endpoint{done: make(map[[2]uint64]struct{})}
+	for i := 0; i < doneWindow+16; i++ {
+		ep.markDone([2]uint64{3, uint64(i)})
+	}
+	if len(ep.done) != doneWindow {
+		t.Fatalf("done set holds %d entries, want exactly %d", len(ep.done), doneWindow)
+	}
+	// The oldest 16 were evicted; the newest survive.
+	if _, ok := ep.done[[2]uint64{3, 0}]; ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := ep.done[[2]uint64{3, 15}]; ok {
+		t.Fatal("entry 15 should have been evicted")
+	}
+	if _, ok := ep.done[[2]uint64{3, 16}]; !ok {
+		t.Fatal("entry 16 wrongly evicted")
+	}
+	if _, ok := ep.done[[2]uint64{3, doneWindow + 15}]; !ok {
+		t.Fatal("newest entry missing")
+	}
+}

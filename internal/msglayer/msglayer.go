@@ -84,7 +84,14 @@ type assembly struct {
 	m        *Message
 	received int
 	bytes    int
+	got      []bool // fragment indexes already integrated (duplicate suppression)
 }
+
+// doneWindow bounds the per-endpoint memory of completed (src, seq) pairs
+// kept for duplicate suppression. Sequence numbers are monotonic per
+// sender, so a window thousands deep comfortably outlasts any duplicate
+// the network can still deliver.
+const doneWindow = 1 << 13
 
 // Endpoint is one node's messaging-layer endpoint.
 type Endpoint struct {
@@ -95,6 +102,9 @@ type Endpoint struct {
 	handlers map[int]Handler
 	seq      uint64
 	partials map[[2]uint64]*assembly // key: (src, seq)
+	done     map[[2]uint64]struct{}  // recently completed (src, seq) pairs
+	doneQ    [][2]uint64             // eviction ring for done
+	doneHead int
 
 	// Delivered counts application messages dispatched to handlers.
 	Delivered int64
@@ -109,6 +119,7 @@ func New(pr *proc.Proc, ni nic.NI, netCfg netsim.Config, cfg Config) *Endpoint {
 		maxFrag:  netCfg.MaxNetMsg - netsim.HeaderBytes,
 		handlers: make(map[int]Handler),
 		partials: make(map[[2]uint64]*assembly),
+		done:     make(map[[2]uint64]struct{}),
 	}
 }
 
@@ -242,11 +253,30 @@ func (ep *Endpoint) Drain() {
 	}
 }
 
+// markDone remembers a completed (src, seq) pair so late duplicates of its
+// fragments — retransmissions whose ack was lost, or network-duplicated
+// copies — are suppressed rather than reassembled into a phantom message.
+func (ep *Endpoint) markDone(key [2]uint64) {
+	ep.done[key] = struct{}{}
+	if len(ep.doneQ) < doneWindow {
+		ep.doneQ = append(ep.doneQ, key)
+		return
+	}
+	delete(ep.done, ep.doneQ[ep.doneHead])
+	ep.doneQ[ep.doneHead] = key
+	ep.doneHead = (ep.doneHead + 1) % doneWindow
+}
+
 // accept integrates one network fragment, dispatching the handler when the
-// application message is complete.
+// application message is complete. Duplicate fragments (per-(src,seq)
+// sequence numbers plus per-assembly fragment bitmaps) are suppressed.
 func (ep *Endpoint) accept(nm *netsim.Message) {
 	key := [2]uint64{uint64(nm.Src), fragSeq(nm.Arg)}
 	total := fragTotal(nm.Arg)
+	if _, dup := ep.done[key]; dup {
+		ep.pr.Stats.DupSuppressed++
+		return
+	}
 	a := ep.partials[key]
 	if a == nil {
 		a = &assembly{m: &Message{
@@ -254,8 +284,15 @@ func (ep *Endpoint) accept(nm *netsim.Message) {
 			Dst:      ep.pr.ID,
 			Handler:  nm.Handler,
 			SendTime: nm.SendTime,
-		}}
+		}, got: make([]bool, total)}
 		ep.partials[key] = a
+	}
+	if idx := fragIdx(nm.Arg); idx < len(a.got) {
+		if a.got[idx] {
+			ep.pr.Stats.DupSuppressed++
+			return
+		}
+		a.got[idx] = true
 	}
 	if fragIdx(nm.Arg) == 0 {
 		a.m.Arg = uint64(nm.Channel)
@@ -279,6 +316,7 @@ func (ep *Endpoint) accept(nm *netsim.Message) {
 		return
 	}
 	delete(ep.partials, key)
+	ep.markDone(key)
 	a.m.PayloadLen = a.bytes
 	a.m.ArriveTime = ep.pr.P.Now()
 	ep.pr.Stats.MessagesReceived++

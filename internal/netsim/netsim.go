@@ -41,7 +41,17 @@ type Message struct {
 	// accounting); ArriveTime is set on acceptance at the destination.
 	SendTime, ArriveTime sim.Time
 
-	attempts int
+	// Seq is the per-sender reliable-delivery sequence number, assigned at
+	// first injection when the network runs with reliability enabled (zero
+	// otherwise).
+	Seq uint64
+	// Checksum covers header fields and payload (see SealChecksum); the
+	// reliability layer verifies it at the destination.
+	Checksum uint32
+
+	attempts int  // total injections (first send, bounce retries, retransmits)
+	retx     int  // timer-driven retransmissions only (bounded by MaxAttempts)
+	corrupt  bool // corrupted in flight; ChecksumOK reports false
 }
 
 // NewMessage builds a message with the given payload bytes.
@@ -75,6 +85,9 @@ type Config struct {
 	// MaxNetMsg is the maximum single network message size (Table 3:
 	// 256 bytes). The messaging layer fragments larger sends.
 	MaxNetMsg int
+	// Reliability configures the end-to-end reliable-delivery layer; the
+	// zero value keeps the paper's lossless protocol unchanged.
+	Reliability ReliabilityConfig
 }
 
 // DefaultConfig returns the Table 3 network.
@@ -96,6 +109,14 @@ type Network struct {
 
 	// Delivered counts accepted data messages network-wide.
 	Delivered int64
+	// activity counts protocol progress events (injections, accept/bounce
+	// decisions, buffer releases); a stall watchdog can sample it to tell a
+	// livelocked simulation (spinning software, no network progress) from a
+	// merely busy one.
+	activity int64
+	// Failures records sends abandoned by the reliability layer after
+	// exhausting their retransmission budget.
+	Failures []*DeliveryError
 }
 
 // New creates a network with n endpoints, each with bufs flow-control
@@ -108,8 +129,12 @@ func New(eng *sim.Engine, cfg Config, n, bufs int) *Network {
 			outFree: bufs, inFree: bufs, bufs: bufs,
 			outCond: sim.NewCond(eng),
 		}
+		if cfg.Reliability.Enabled {
+			ep.inflight = make(map[*Message]*inflightState)
+		}
 		nw.eps = append(nw.eps, ep)
 	}
+	eng.RegisterQuiescence(nw.QuiescenceReport)
 	return nw
 }
 
@@ -122,11 +147,18 @@ func (nw *Network) Size() int { return len(nw.eps) }
 // Config returns the network configuration.
 func (nw *Network) Config() Config { return nw.cfg }
 
+// Activity returns a monotonic count of protocol progress events. Two equal
+// samples a long interval apart mean the network made no progress between
+// them — with held buffers, a lost-message stall even if processors are
+// still spinning.
+func (nw *Network) Activity() int64 { return nw.activity }
+
 func (nw *Network) serialization(bytes int) sim.Time {
 	if nw.cfg.BytesPerNS <= 0 {
 		return 0
 	}
-	return sim.Time(bytes/nw.cfg.BytesPerNS) * sim.Nanosecond
+	// Ceiling division: a partial trailing word still costs a full cycle.
+	return sim.Time((bytes+nw.cfg.BytesPerNS-1)/nw.cfg.BytesPerNS) * sim.Nanosecond
 }
 
 // Endpoint is one NI's attachment to the network, implementing the
@@ -145,6 +177,11 @@ type Endpoint struct {
 	nextInjectAt sim.Time
 	nextEjectAt  sim.Time
 
+	// seq numbers this endpoint's reliable sends; inflight tracks them
+	// until acked, failed, or the network is torn down.
+	seq      uint64
+	inflight map[*Message]*inflightState
+
 	// OnAccept is invoked when an arriving message is accepted into an
 	// incoming flow-control buffer. The NI must eventually call ReleaseIn
 	// exactly once per accepted message.
@@ -158,6 +195,14 @@ type Endpoint struct {
 	// "processor involved in buffering" column of Table 2). When nil, the
 	// endpoint retries in hardware after a backoff (NI-managed buffering).
 	OnBounce func(m *Message)
+	// OnDeliveryError, if non-nil, is invoked when the reliability layer
+	// abandons a send after MaxAttempts; the outgoing buffer has already
+	// been freed. When nil the failure is still recorded in the network's
+	// Failures list and the node's DeliveryFailures counter.
+	OnDeliveryError func(err *DeliveryError)
+	// Fault, if non-nil, injects faults into this endpoint's traffic at the
+	// inject and eject points. Nil is the lossless network.
+	Fault FaultPlane
 	// Stats receives flow-control counters; may be nil.
 	Stats *stats.Node
 }
@@ -201,7 +246,14 @@ func (ep *Endpoint) AcquireOut(p *sim.Process) {
 func (ep *Endpoint) WaitOut(p *sim.Process) { ep.outCond.WaitAs(p, stats.Buffering) }
 
 // releaseOut returns an outgoing buffer (ack received or send aborted).
+// Surplus credits are ignored: under fault injection without the
+// reliability layer, a duplicated message is acknowledged twice, and a
+// credit-counting NI discards the spurious second credit.
 func (ep *Endpoint) releaseOut() {
+	if ep.outFree >= ep.bufs {
+		return
+	}
+	ep.net.activity++
 	ep.outFree++
 	ep.outCond.Broadcast()
 	if ep.OnOutFree != nil {
@@ -222,7 +274,15 @@ func (ep *Endpoint) Inject(m *Message) {
 	if m.Size() > ep.net.cfg.MaxNetMsg {
 		panic(fmt.Sprintf("netsim: message size %d exceeds network maximum %d", m.Size(), ep.net.cfg.MaxNetMsg))
 	}
+	if ep.net.cfg.Reliability.Enabled {
+		if m.Seq == 0 {
+			ep.seq++
+			m.Seq = ep.seq
+		}
+		m.SealChecksum()
+	}
 	m.attempts++
+	ep.net.activity++
 	eng := ep.net.eng
 	start := eng.Now()
 	if ep.nextInjectAt > start {
@@ -230,8 +290,50 @@ func (ep *Endpoint) Inject(m *Message) {
 	}
 	injectEnd := start + ep.net.serialization(m.Size())
 	ep.nextInjectAt = injectEnd
+	if ep.net.cfg.Reliability.Enabled {
+		ep.armTimer(m)
+	}
 	dst := ep.net.eps[m.Dst]
-	eng.At(injectEnd+ep.net.cfg.Latency, func() { dst.arrive(m) })
+	arriveAt := injectEnd + ep.net.cfg.Latency
+	if ep.Fault != nil {
+		v := ep.Fault.Inject(eng.Now(), m)
+		switch {
+		case v.Drop:
+			// Link bandwidth was consumed; the message never arrives.
+			if ep.Stats != nil {
+				ep.Stats.FaultDrops++
+			}
+			return
+		case v.ForceBounce:
+			if ep.Stats != nil {
+				ep.Stats.ForcedBounces++
+			}
+			eng.At(arriveAt+ep.net.serialization(m.Size()), func() { ep.bounced(m) })
+			return
+		}
+		if v.Delay > 0 {
+			if ep.Stats != nil {
+				ep.Stats.FaultDelays++
+			}
+			arriveAt += v.Delay
+		}
+		arr := m
+		if v.Corrupt {
+			if ep.Stats != nil {
+				ep.Stats.FaultCorruptions++
+			}
+			arr = m.corruptedCopy(uint64(arriveAt))
+		}
+		eng.At(arriveAt, func() { dst.arrive(arr) })
+		if v.Duplicate {
+			if ep.Stats != nil {
+				ep.Stats.FaultDuplicates++
+			}
+			eng.At(arriveAt+ep.net.serialization(m.Size()), func() { dst.arrive(arr) })
+		}
+		return
+	}
+	eng.At(arriveAt, func() { dst.arrive(m) })
 }
 
 // InjectWait acquires an outgoing buffer (blocking p) and injects m.
@@ -241,8 +343,29 @@ func (ep *Endpoint) InjectWait(p *sim.Process, m *Message) {
 }
 
 // arrive handles a data message reaching this endpoint: serialize ejection,
-// then accept or bounce.
+// then accept or bounce. The eject point is the receiver-side fault hook.
 func (ep *Endpoint) arrive(m *Message) {
+	eng := ep.net.eng
+	if ep.Fault != nil {
+		v := ep.Fault.Eject(eng.Now(), m)
+		if v.Drop {
+			if ep.Stats != nil {
+				ep.Stats.FaultDrops++
+			}
+			return
+		}
+		if v.Delay > 0 {
+			if ep.Stats != nil {
+				ep.Stats.FaultDelays++
+			}
+			eng.After(v.Delay, func() { ep.eject(m) })
+			return
+		}
+	}
+	ep.eject(m)
+}
+
+func (ep *Endpoint) eject(m *Message) {
 	eng := ep.net.eng
 	start := eng.Now()
 	if ep.nextEjectAt > start {
@@ -253,15 +376,43 @@ func (ep *Endpoint) arrive(m *Message) {
 	eng.At(done, func() { ep.decide(m) })
 }
 
+// dropControl asks this endpoint's fault plane whether the ack/bounce it
+// is about to emit for m is destroyed in flight.
+func (ep *Endpoint) dropControl(kind ControlKind, m *Message) bool {
+	if ep.Fault == nil || !ep.Fault.DropControl(ep.net.eng.Now(), kind, m) {
+		return false
+	}
+	if ep.Stats != nil {
+		ep.Stats.CtlDrops++
+	}
+	return true
+}
+
 func (ep *Endpoint) decide(m *Message) {
+	ep.net.activity++
 	eng := ep.net.eng
 	src := ep.net.eps[m.Src]
+	reliable := ep.net.cfg.Reliability.Enabled
+	if reliable && !m.ChecksumOK() {
+		// Corruption detected: discard silently; the sender's
+		// retransmission timer recovers the message.
+		if ep.Stats != nil {
+			ep.Stats.CorruptDropped++
+		}
+		return
+	}
 	if ep.inFree > 0 {
 		ep.inFree--
 		m.ArriveTime = eng.Now()
 		ep.net.Delivered++
 		// Acknowledgment returns on the (uncongested) control network.
-		eng.After(ep.net.cfg.Latency, src.releaseOut)
+		if !ep.dropControl(AckControl, m) {
+			if reliable {
+				eng.After(ep.net.cfg.Latency, func() { src.acked(m) })
+			} else {
+				eng.After(ep.net.cfg.Latency, src.releaseOut)
+			}
+		}
 		if ep.OnAccept == nil {
 			panic(fmt.Sprintf("netsim: endpoint %d has no OnAccept", ep.id))
 		}
@@ -269,10 +420,28 @@ func (ep *Endpoint) decide(m *Message) {
 		return
 	}
 	// Bounce: return to sender on the guaranteed second network.
+	if ep.dropControl(BounceControl, m) {
+		return
+	}
 	eng.After(ep.net.cfg.Latency+ep.net.serialization(m.Size()), func() { src.bounced(m) })
 }
 
 func (ep *Endpoint) bounced(m *Message) {
+	if ep.net.cfg.Reliability.Enabled {
+		st := ep.inflight[m]
+		if st == nil {
+			// Already acked (a duplicated copy bounced after the original
+			// was accepted) or abandoned: the send is settled, drop it.
+			return
+		}
+		// A bounce is positive evidence the message was not lost — the
+		// receiver returned it intact. Suspend the retransmission timer
+		// (the retry path re-arms it at re-injection) and reset the
+		// retransmission budget so flow-control contention never counts
+		// toward MaxAttempts.
+		st.gen++
+		m.retx = 0
+	}
 	if ep.Stats != nil {
 		ep.Stats.Bounces++
 	}

@@ -1,0 +1,278 @@
+// Fault plane and reliable delivery. The paper's network (§5.1.2) is
+// lossless: a message is either accepted or bounced on a guaranteed second
+// channel, and the ack/bounce always arrives. This file makes loss a
+// first-class condition — an injectable FaultPlane at the inject/eject
+// points — and layers end-to-end reliability on top of the return-to-sender
+// protocol: a checksum over header+payload, sender-side retransmission
+// timers with exponential backoff (generalizing the bounce-retry path),
+// and a bounded attempt count that surfaces a structured DeliveryError
+// instead of hanging the simulation.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nisim/internal/sim"
+)
+
+// FaultVerdict is a fault plane's decision about one message transit.
+// The zero value is "no fault". Drop and ForceBounce are exclusive of the
+// remaining fields (a destroyed or returned message is neither corrupted,
+// duplicated, nor delayed).
+type FaultVerdict struct {
+	// Drop destroys the message in flight: it consumes link bandwidth but
+	// never arrives.
+	Drop bool
+	// Corrupt delivers a bit-flipped copy; the original (the sender's
+	// retransmission buffer) is untouched.
+	Corrupt bool
+	// Duplicate delivers the message twice, the copies back to back.
+	Duplicate bool
+	// Delay adds extra delivery latency (jitter) on top of the network's
+	// configured latency.
+	Delay sim.Time
+	// ForceBounce returns the message to its sender as if the receiver had
+	// no free incoming buffer, regardless of actual buffer state.
+	ForceBounce bool
+}
+
+// ControlKind distinguishes the control messages of the return-to-sender
+// protocol for fault purposes.
+type ControlKind int
+
+const (
+	// AckControl is the acknowledgment freeing the sender's outgoing buffer.
+	AckControl ControlKind = iota
+	// BounceControl is the returned message on the second network.
+	BounceControl
+)
+
+// FaultPlane injects faults at an endpoint's inject and eject points.
+// A nil plane is the lossless network: behavior is bit-identical to a
+// build without fault hooks. Implementations must be deterministic given
+// the engine's deterministic event order (see internal/faults).
+type FaultPlane interface {
+	// Inject is consulted when src injects m toward its destination.
+	Inject(now sim.Time, m *Message) FaultVerdict
+	// Eject is consulted when m reaches its destination, before ejection.
+	// Only Drop and Delay are honored at the eject point.
+	Eject(now sim.Time, m *Message) FaultVerdict
+	// DropControl is consulted when the receiver emits an ack or bounce for
+	// m; true destroys the control message.
+	DropControl(now sim.Time, kind ControlKind, m *Message) bool
+}
+
+// ReliabilityConfig configures the end-to-end reliable-delivery layer.
+// The zero value disables it, preserving the paper's lossless protocol.
+type ReliabilityConfig struct {
+	Enabled bool
+	// AckTimeout is the base retransmission timeout: attempt k re-injects
+	// after AckTimeout<<(k-1), capped at TimeoutCap. It must exceed the
+	// uncongested round trip or every send retransmits spuriously.
+	AckTimeout sim.Time
+	TimeoutCap sim.Time
+	// MaxAttempts bounds timer-driven retransmissions per message; <= 0
+	// means unlimited. Exceeding it abandons the send with a DeliveryError
+	// instead of hanging. Bounce retries do not count: a bounce is the
+	// receiver's explicit "try again" under flow-control contention, not
+	// evidence of loss, and contended messages legitimately bounce dozens
+	// of times (§5.1.2).
+	MaxAttempts int
+}
+
+// DefaultReliability returns a configuration tuned for the Table 3
+// network: the base timeout covers the worst uncongested round trip
+// (two 256-byte serializations plus two 40 ns latencies plus the ack)
+// with ample margin for ejection queueing.
+func DefaultReliability() ReliabilityConfig {
+	return ReliabilityConfig{
+		Enabled:     true,
+		AckTimeout:  4 * sim.Microsecond,
+		TimeoutCap:  128 * sim.Microsecond,
+		MaxAttempts: 32,
+	}
+}
+
+func (rc ReliabilityConfig) timeout(attempts int) sim.Time {
+	d := rc.AckTimeout
+	for i := 1; i < attempts && d < rc.TimeoutCap; i++ {
+		d <<= 1
+	}
+	if rc.TimeoutCap > 0 && d > rc.TimeoutCap {
+		d = rc.TimeoutCap
+	}
+	return d
+}
+
+// DeliveryError records a send abandoned by the reliability layer after
+// exhausting its retransmission budget.
+type DeliveryError struct {
+	Msg      *Message
+	Attempts int
+	// Time is when the send was abandoned.
+	Time sim.Time
+}
+
+func (e *DeliveryError) Error() string {
+	return fmt.Sprintf("netsim: %v undeliverable after %d attempts (abandoned at %v)",
+		e.Msg, e.Attempts, e.Time)
+}
+
+// inflightState tracks one unacknowledged reliable send. gen invalidates
+// stale retransmission timers: every injection bumps it, so a timer armed
+// for an earlier transmission of the same message is a no-op.
+type inflightState struct {
+	gen int
+}
+
+// checksum is an FNV-1a hash over the message header fields and payload
+// bytes. Synthetic payloads (Payload == nil) hash the length alone; the
+// corrupt flag models bit flips in bytes the simulation does not carry.
+func (m *Message) checksum() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint32(v&0xFF)) * prime32
+			v >>= 8
+		}
+	}
+	mix(uint64(m.Src))
+	mix(uint64(m.Dst))
+	mix(uint64(m.Handler))
+	mix(uint64(m.PayloadLen))
+	mix(uint64(m.Channel))
+	mix(m.Arg)
+	mix(m.Seq)
+	for _, b := range m.Payload {
+		h = (h ^ uint32(b)) * prime32
+	}
+	return h
+}
+
+// SealChecksum computes and stores the header+payload checksum. The
+// reliability layer seals every message at injection.
+func (m *Message) SealChecksum() { m.Checksum = m.checksum() }
+
+// ChecksumOK verifies the stored checksum against the message contents.
+// A message whose synthetic payload was corrupted in flight (no real bytes
+// to flip) fails via the corrupt flag.
+func (m *Message) ChecksumOK() bool { return !m.corrupt && m.Checksum == m.checksum() }
+
+// corruptedCopy returns a copy of m carrying a single flipped payload bit
+// (chosen by bitPos), leaving the original — the sender's retransmission
+// buffer — pristine. When the payload is synthetic the flip is modeled by
+// the corrupt flag alone.
+func (m *Message) corruptedCopy(bitPos uint64) *Message {
+	c := *m
+	c.corrupt = true
+	if len(m.Payload) > 0 {
+		p := append([]byte(nil), m.Payload...)
+		i := int(bitPos/8) % len(p)
+		p[i] ^= 1 << (bitPos % 8)
+		c.Payload = p
+	}
+	return &c
+}
+
+// SetFaultPlane installs plane on every endpoint (nil restores lossless
+// behavior). Per-endpoint planes can instead be set via Endpoint.Fault.
+func (nw *Network) SetFaultPlane(plane FaultPlane) {
+	for _, ep := range nw.eps {
+		ep.Fault = plane
+	}
+}
+
+// acked handles the acknowledgment for a reliable send: it cancels the
+// retransmission timer and frees the outgoing buffer. Duplicate acks (the
+// receiver acks every accepted copy of a retransmitted message) are
+// ignored — the buffer was already freed.
+func (ep *Endpoint) acked(m *Message) {
+	if _, ok := ep.inflight[m]; !ok {
+		return
+	}
+	delete(ep.inflight, m)
+	ep.releaseOut()
+}
+
+// armTimer (re)arms the retransmission timer for m after an injection.
+func (ep *Endpoint) armTimer(m *Message) {
+	st := ep.inflight[m]
+	if st == nil {
+		st = &inflightState{}
+		ep.inflight[m] = st
+	}
+	st.gen++
+	gen := st.gen
+	d := ep.net.cfg.Reliability.timeout(m.retx + 1)
+	ep.net.eng.After(d, func() { ep.ackTimeout(m, gen) })
+}
+
+// ackTimeout fires when a reliable send has gone unacknowledged for its
+// timeout: it either retransmits or, past MaxAttempts, abandons the send
+// with a structured DeliveryError — freeing the outgoing buffer so the
+// simulation quiesces instead of hanging.
+func (ep *Endpoint) ackTimeout(m *Message, gen int) {
+	st := ep.inflight[m]
+	if st == nil || st.gen != gen {
+		return // acked, failed, or superseded by a newer transmission
+	}
+	rc := ep.net.cfg.Reliability
+	if rc.MaxAttempts > 0 && m.retx >= rc.MaxAttempts {
+		delete(ep.inflight, m)
+		if ep.Stats != nil {
+			ep.Stats.DeliveryFailures++
+		}
+		err := &DeliveryError{Msg: m, Attempts: m.attempts, Time: ep.net.eng.Now()}
+		ep.net.Failures = append(ep.net.Failures, err)
+		ep.releaseOut()
+		if ep.OnDeliveryError != nil {
+			ep.OnDeliveryError(err)
+		}
+		return
+	}
+	m.retx++
+	if ep.Stats != nil {
+		ep.Stats.Retransmits++
+	}
+	ep.Inject(m)
+}
+
+// QuiescenceReport implements the engine's quiescence check for the
+// network: it names every endpoint still holding flow-control buffers or
+// tracking unacknowledged sends. Empty means the network is quiescent.
+// netsim registers it with the engine at New; it is also useful directly
+// after Engine.Run when a workload appears to have finished early.
+func (nw *Network) QuiescenceReport() string {
+	var b strings.Builder
+	for _, ep := range nw.eps {
+		outHeld := ep.bufs - ep.outFree
+		inHeld := ep.bufs - ep.inFree
+		if outHeld == 0 && inHeld == 0 && len(ep.inflight) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  endpoint %d: outFree %d/%d (%d unacked sends), inFree %d/%d (%d undrained arrivals)",
+			ep.id, ep.outFree, ep.bufs, outHeld, ep.inFree, ep.bufs, inHeld)
+		if len(ep.inflight) > 0 {
+			msgs := make([]*Message, 0, len(ep.inflight))
+			for m := range ep.inflight {
+				msgs = append(msgs, m)
+			}
+			sort.Slice(msgs, func(i, j int) bool { return msgs[i].Seq < msgs[j].Seq })
+			fmt.Fprintf(&b, ", awaiting retransmit/ack:")
+			for _, m := range msgs {
+				fmt.Fprintf(&b, " %v(seq=%d,attempts=%d)", m, m.Seq, m.attempts)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	return "netsim: network not quiescent — a message, ack, or bounce was lost:\n" + b.String()
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"nisim/internal/stats"
 )
 
 // Table accumulates rows of cells and renders them with aligned columns.
@@ -115,3 +117,27 @@ func Bar(v float64, width int) string {
 
 // Percent formats a fraction as a percentage.
 func Percent(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// ReliabilitySummary renders a node record's fault-injection and
+// reliable-delivery counters as a compact one-line summary, omitting zero
+// counters. It returns "" when no faults were injected and no recovery
+// machinery fired — the lossless case prints nothing.
+func ReliabilitySummary(n *stats.Node) string {
+	var parts []string
+	add := func(label string, v int64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", label, v))
+		}
+	}
+	add("drops", n.FaultDrops)
+	add("corruptions", n.FaultCorruptions)
+	add("duplicates", n.FaultDuplicates)
+	add("delays", n.FaultDelays)
+	add("forced-bounces", n.ForcedBounces)
+	add("ctl-drops", n.CtlDrops)
+	add("retransmits", n.Retransmits)
+	add("corrupt-dropped", n.CorruptDropped)
+	add("dup-suppressed", n.DupSuppressed)
+	add("delivery-failures", n.DeliveryFailures)
+	return strings.Join(parts, " ")
+}

@@ -11,6 +11,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"strings"
 )
 
 // Time is a simulated timestamp or duration in picoseconds.
@@ -76,6 +77,13 @@ type Engine struct {
 	procs   map[*Process]struct{}
 	stopped bool
 	stepped uint64 // number of events executed
+
+	quiescence []func() string
+
+	// OnStall, if non-nil, receives the stall report when Run drains the
+	// event queue while a registered quiescence check still reports held
+	// state (a lost message, ack, or bounce has stranded some component).
+	OnStall func(report string)
 }
 
 // NewEngine returns an engine positioned at time zero with an empty queue.
@@ -123,10 +131,43 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue is empty or Stop is called.
+// Run executes events until the queue is empty or Stop is called. If the
+// queue drains naturally while a quiescence check reports held state, the
+// stall report is delivered to OnStall (when set): an event-driven
+// simulation that runs out of events with work still outstanding has lost
+// a message, not finished.
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+	if !e.stopped && e.OnStall != nil {
+		if r := e.StallReport(); r != "" {
+			e.OnStall(r)
+		}
+	}
+}
+
+// RegisterQuiescence adds a quiescence check: a function that returns a
+// non-empty diagnostic when its component still holds unfinished work
+// (unreleased buffers, in-flight messages), and "" when quiescent. Checks
+// run when the event queue drains (see Run and StallReport).
+func (e *Engine) RegisterQuiescence(fn func() string) {
+	e.quiescence = append(e.quiescence, fn)
+}
+
+// StallReport runs every registered quiescence check and concatenates the
+// non-empty diagnostics. An empty result means the simulation is quiescent:
+// the drained event queue represents genuine completion.
+func (e *Engine) StallReport() string {
+	var b strings.Builder
+	for _, fn := range e.quiescence {
+		if r := fn(); r != "" {
+			b.WriteString(r)
+			if !strings.HasSuffix(r, "\n") {
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
 }
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStallReportConcatenatesCheckers(t *testing.T) {
+	e := NewEngine()
+	e.RegisterQuiescence(func() string { return "widget-a stuck" })
+	e.RegisterQuiescence(func() string { return "" }) // quiescent subsystem
+	e.RegisterQuiescence(func() string { return "widget-b stuck" })
+	r := e.StallReport()
+	if !strings.Contains(r, "widget-a stuck") || !strings.Contains(r, "widget-b stuck") {
+		t.Fatalf("report missing checker output: %q", r)
+	}
+}
+
+func TestOnStallFiresWhenQueueDrainsWithHeldState(t *testing.T) {
+	e := NewEngine()
+	held := true
+	e.RegisterQuiescence(func() string {
+		if held {
+			return "resource held"
+		}
+		return ""
+	})
+	var got string
+	e.OnStall = func(r string) { got = r }
+	// A process parks on a condition nobody ever signals: the event queue
+	// drains with the process still live.
+	e.Spawn("waiter", func(p *Process) { NewCond(e).Wait(p) })
+	e.Run()
+	if !strings.Contains(got, "resource held") {
+		t.Fatalf("OnStall got %q, want the checker's report", got)
+	}
+}
+
+func TestOnStallSilentWhenQuiescent(t *testing.T) {
+	e := NewEngine()
+	e.RegisterQuiescence(func() string { return "" })
+	called := false
+	e.OnStall = func(string) { called = true }
+	e.At(10*Nanosecond, func() {})
+	e.Run()
+	if called {
+		t.Fatal("OnStall fired on a cleanly quiescent run")
+	}
+}

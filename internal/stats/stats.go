@@ -71,6 +71,20 @@ type Node struct {
 	Retries     int64 // re-injections after a bounce
 	SendBlocked int64 // sends that had to wait for an outgoing buffer
 
+	// Fault-injection counters (what the fault plane did to this node's
+	// traffic) and reliable-delivery counters (what the reliability layer
+	// did about it).
+	FaultDrops       int64 // data messages destroyed in flight
+	FaultCorruptions int64 // messages corrupted in flight
+	FaultDuplicates  int64 // messages duplicated in flight
+	FaultDelays      int64 // messages given extra delivery jitter
+	ForcedBounces    int64 // spurious returns forced by the fault plane
+	CtlDrops         int64 // ack/bounce control messages destroyed
+	Retransmits      int64 // timeout-driven re-injections (reliable delivery)
+	CorruptDropped   int64 // arrivals discarded on checksum mismatch
+	DupSuppressed    int64 // duplicate fragments discarded by the messaging layer
+	DeliveryFailures int64 // sends abandoned after the retransmit limit
+
 	// NI-specific counters.
 	NICacheHits   int64 // processor receive fills supplied by the NI cache
 	NICacheMisses int64 // receive fills that fell through to main memory
@@ -147,6 +161,16 @@ func (m *Machine) Total() *Node {
 		t.Bounces += n.Bounces
 		t.Retries += n.Retries
 		t.SendBlocked += n.SendBlocked
+		t.FaultDrops += n.FaultDrops
+		t.FaultCorruptions += n.FaultCorruptions
+		t.FaultDuplicates += n.FaultDuplicates
+		t.FaultDelays += n.FaultDelays
+		t.ForcedBounces += n.ForcedBounces
+		t.CtlDrops += n.CtlDrops
+		t.Retransmits += n.Retransmits
+		t.CorruptDropped += n.CorruptDropped
+		t.DupSuppressed += n.DupSuppressed
+		t.DeliveryFailures += n.DeliveryFailures
 		t.NICacheHits += n.NICacheHits
 		t.NICacheMisses += n.NICacheMisses
 		t.NIBypasses += n.NIBypasses
