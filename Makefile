@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test vet race bench ci
+.PHONY: build test vet lint race bench ci
 
 build:
 	$(GO) build ./...
 
 vet: build
 	$(GO) vet ./...
+
+# lint runs simlint, the determinism/unit-safety multichecker
+# (see DESIGN.md "Determinism invariants").
+lint: build
+	$(GO) run ./cmd/simlint ./...
 
 test:
 	$(GO) test ./...
@@ -17,9 +22,10 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'
 
-# ci is the full verification gate: compile everything, vet, and run the
-# test suite under the race detector.
+# ci is the full verification gate: compile everything, vet, enforce the
+# determinism invariants, and run the test suite under the race detector.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./cmd/simlint ./...
 	$(GO) test -race ./...

@@ -1,0 +1,203 @@
+// Simlint is the multichecker for the simulator's determinism and
+// unit-safety invariants. It loads every package under the module from
+// source (standard library included — no module downloads needed), runs the
+// four passes in internal/lint, and exits nonzero when any finding
+// survives its //lint:allow directives.
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -passes detrand,maporder ./internal/netsim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nisim/internal/lint"
+)
+
+func main() {
+	passNames := flag.String("passes", "", "comma-separated subset of passes to run (default: all)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	root, modPath, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	analyzers, err := selectPasses(*passNames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+
+	dirs, err := packageDirs(root, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+
+	world := lint.NewWorld(root, modPath)
+	var diags []lint.Diagnostic
+	for _, dir := range dirs {
+		path := importPath(root, modPath, dir)
+		pkg, err := world.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, lint.CheckDirectives(pkg, lint.All())...)
+		for _, a := range analyzers {
+			diags = append(diags, lint.Run(a, pkg)...)
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := world.Fset.Position(diags[i].Pos), world.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Pass < diags[j].Pass
+	})
+	for _, d := range diags {
+		pos := world.Fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Pass, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Printf("simlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod
+// and returns its directory and module path.
+func moduleRoot() (root, modPath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// selectPasses resolves -passes into analyzers, defaulting to the suite.
+func selectPasses(names string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown pass %q", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// packageDirs expands the command-line patterns into package directories:
+// either explicit directories or "dir/..." walks. Vendor, testdata, hidden,
+// and underscore-prefixed directories are skipped, as the go tool does.
+func packageDirs(root string, args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if abs, err := filepath.Abs(dir); err == nil && !seen[abs] && hasGoFiles(abs) {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, arg := range args {
+		base, recursive := strings.CutSuffix(arg, "/...")
+		if base == "." || base == "" {
+			base = root
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPath maps a package directory to its import path under the module.
+func importPath(root, modPath, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}

@@ -126,7 +126,7 @@ func (in *Injector) Inject(now sim.Time, m *netsim.Message) netsim.FaultVerdict 
 		v.Corrupt = pCorrupt < in.cfg.Corrupt
 		v.Duplicate = pDup < in.cfg.Duplicate
 		if pDelay < in.cfg.Delay && in.cfg.MaxDelay > 0 {
-			v.Delay = 1 + sim.Time(mag*float64(in.cfg.MaxDelay-1))
+			v.Delay = sim.Picosecond + sim.Time(mag*float64(in.cfg.MaxDelay-sim.Picosecond))
 		}
 	}
 	return v

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive. The full form is
+//
+//	//lint:allow <pass> <reason>
+//
+// placed on the finding's line or the line directly above it. The reason is
+// mandatory: a directive without one suppresses nothing and is reported by
+// CheckDirectives.
+const allowPrefix = "lint:allow"
+
+// allowSite is one well-formed directive: pass name plus the source line it
+// annotates.
+type allowSite struct {
+	file string
+	line int
+	pass string
+}
+
+// allowSites extracts the well-formed allow directives of a package.
+func allowSites(pkg *Package) []allowSite {
+	var sites []allowSite
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pass, reason, ok := parseAllow(c.Text)
+				if !ok || pass == "" || reason == "" {
+					continue
+				}
+				pos := pkg.World.Fset.Position(c.Pos())
+				sites = append(sites, allowSite{file: pos.Filename, line: pos.Line, pass: pass})
+			}
+		}
+	}
+	return sites
+}
+
+// parseAllow splits an //lint:allow comment into pass and reason. ok is
+// false for comments that are not allow directives at all.
+func parseAllow(text string) (pass, reason string, ok bool) {
+	body := strings.TrimPrefix(text, "//")
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, allowPrefix) {
+		return "", "", false
+	}
+	fields := strings.Fields(strings.TrimPrefix(body, allowPrefix))
+	if len(fields) == 0 {
+		return "", "", true
+	}
+	if len(fields) == 1 {
+		return fields[0], "", true
+	}
+	return fields[0], strings.Join(fields[1:], " "), true
+}
+
+// filterAllowed drops diagnostics annotated with a matching directive on
+// the same line or the line directly above.
+func filterAllowed(pass string, diags []Diagnostic, pkg *Package) []Diagnostic {
+	sites := allowSites(pkg)
+	if len(sites) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.World.Fset.Position(d.Pos)
+		if !allowedAt(sites, pass, pos) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func allowedAt(sites []allowSite, pass string, pos token.Position) bool {
+	for _, s := range sites {
+		if s.pass == pass && s.file == pos.Filename && (s.line == pos.Line || s.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckDirectives reports malformed allow directives (missing pass or
+// reason) and directives naming an unknown pass. Run by the driver so a
+// suppression that silently suppresses nothing cannot linger.
+func CheckDirectives(pkg *Package, known []*Analyzer) []Diagnostic {
+	names := make(map[string]bool, len(known))
+	for _, a := range known {
+		names[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pass, reason, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				switch {
+				case pass == "" || reason == "":
+					diags = append(diags, Diagnostic{
+						Pos:     c.Pos(),
+						Pass:    "allow",
+						Message: "malformed directive: want //lint:allow <pass> <reason>",
+					})
+				case !names[pass]:
+					diags = append(diags, Diagnostic{
+						Pos:     c.Pos(),
+						Pass:    "allow",
+						Message: "directive names unknown pass " + pass,
+					})
+				}
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"nisim/internal/lint"
+	"nisim/internal/lint/analysistest"
+)
+
+// TestAllowDirectives proves the escape hatch end to end: directives with a
+// reason suppress findings on their own line or the next, while reasonless
+// or mistargeted directives leave the finding in place (the // want
+// comments in the fixture).
+func TestAllowDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.DetRand, "allow")
+}
+
+// TestCheckDirectives proves that broken suppressions are themselves
+// findings: a directive without a reason and a directive naming an unknown
+// pass must each be reported.
+func TestCheckDirectives(t *testing.T) {
+	world := lint.NewWorld("testdata/src", "")
+	pkg, err := world.Load("allow")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := lint.CheckDirectives(pkg, lint.All())
+	if len(diags) != 2 {
+		t.Fatalf("got %d directive diagnostics, want 2: %+v", len(diags), diags)
+	}
+	var malformed, unknown bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "malformed directive"):
+			malformed = true
+		case strings.Contains(d.Message, "unknown pass nosuchpass"):
+			unknown = true
+		}
+	}
+	if !malformed || !unknown {
+		t.Errorf("missing expected diagnostics (malformed=%v unknown=%v): %+v", malformed, unknown, diags)
+	}
+}

@@ -1,0 +1,110 @@
+// Package analysistest runs lint analyzers against testdata fixture
+// packages, checking reported diagnostics against expectations embedded in
+// the fixtures, in the style of golang.org/x/tools/go/analysis/analysistest
+// (self-contained here because the linter depends only on the standard
+// library).
+//
+// A fixture line that should trigger a finding carries a trailing comment:
+//
+//	rand.Intn(4) // want `global math/rand`
+//
+// The backquoted string is a regular expression matched against the
+// diagnostic message; several expectations may follow one want. Lines
+// without a want comment must produce no diagnostics. //lint:allow
+// directives are honored, so fixtures can also prove the escape hatch.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"nisim/internal/lint"
+)
+
+// Run loads each fixture package from testdata (GOPATH-style: the package
+// path names a directory under testdata/src) and checks analyzer a's
+// diagnostics against the // want expectations in its sources.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	world := lint.NewWorld(testdata+"/src", "")
+	for _, path := range paths {
+		pkg, err := world.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		check(t, a, pkg)
+	}
+}
+
+// expectation is one // want regexp at a file line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:`[^`]*`\\s*)+)$")
+var wantPartRE = regexp.MustCompile("`([^`]*)`")
+
+func check(t *testing.T, a *lint.Analyzer, pkg *lint.Package) {
+	t.Helper()
+	expects := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.World.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, part := range wantPartRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(part[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, part[1], err)
+					}
+					expects[key] = append(expects[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range lint.Run(a, pkg) {
+		pos := pkg.World.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, e := range expects[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", trimPos(pos.String()), d.Message)
+		}
+	}
+	keys := make([]string, 0, len(expects))
+	for key := range expects {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, e := range expects[key] {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", trimPos(key), e.re)
+			}
+		}
+	}
+}
+
+// trimPos shortens absolute fixture paths to their testdata-relative tail
+// for readable failure messages.
+func trimPos(s string) string {
+	if i := strings.Index(s, "testdata/"); i >= 0 {
+		return s[i:]
+	}
+	return s
+}

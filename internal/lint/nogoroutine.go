@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NoGoroutine keeps model code single-threaded. The event loop owns all
+// concurrency: simulated software runs as cooperative processes
+// (sim.Engine.Spawn) with strict control handoff, which is what makes runs
+// deterministic. A stray goroutine, channel, or sync primitive in model
+// code reintroduces scheduler nondeterminism — and data races — that the
+// engine was built to exclude. Only internal/sim (the process runner) may
+// use go statements, channels, select, and the sync package.
+var NoGoroutine = &Analyzer{
+	Name: "nogoroutine",
+	Doc: "model code must not spawn goroutines or use channels/select/sync; " +
+		"concurrency belongs to the sim kernel's process API",
+	Skip: isSimPkgPath,
+	Run:  runNoGoroutine,
+}
+
+func runNoGoroutine(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				if path == "sync" || path == "sync/atomic" {
+					pass.Reportf(imp.Pos(),
+						"import of %s outside the sim kernel; the event loop is single-threaded by design", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"goroutine outside the sim kernel; spawn simulated software with sim.Engine.Spawn")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send outside the sim kernel")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select outside the sim kernel")
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					pass.Reportf(n.Pos(), "channel receive outside the sim kernel")
+				}
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type outside the sim kernel")
+				return false
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over channel outside the sim kernel")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+					if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+						pass.Reportf(n.Pos(), "channel close outside the sim kernel")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

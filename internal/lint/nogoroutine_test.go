@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nisim/internal/lint"
+	"nisim/internal/lint/analysistest"
+)
+
+func TestNoGoroutine(t *testing.T) {
+	// The second fixture stands in for the sim kernel itself: it is full of
+	// goroutines and channels and must produce zero findings because the
+	// pass skips the kernel package.
+	analysistest.Run(t, "testdata", lint.NoGoroutine, "nogoroutine", "internal/sim")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nisim/internal/lint"
+	"nisim/internal/lint/analysistest"
+)
+
+func TestSimTime(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SimTime, "simtime")
+}

@@ -1,0 +1,29 @@
+// Package allow exercises the //lint:allow escape hatch: a directive with
+// a reason on the finding's line (or the line above) suppresses it; a
+// directive without a reason, or naming an unknown pass, suppresses
+// nothing and is itself reported by CheckDirectives.
+package allow
+
+import "time"
+
+// Suppressed by a directive on the preceding line:
+//
+//lint:allow detrand harness-only timing, never reaches simulated state
+var bootTime = time.Now()
+
+var startTime = time.Now() //lint:allow detrand harness-only timing on the same line
+
+// A directive without a reason suppresses nothing:
+//
+//lint:allow detrand
+var badTime = time.Now() // want `wall clock`
+
+// A directive for a different pass does not suppress detrand findings:
+//
+//lint:allow maporder suppressing the wrong pass
+var wrongPass = time.Now() // want `wall clock`
+
+// CheckDirectives flags directives naming passes that do not exist:
+//
+//lint:allow nosuchpass stale suppression
+var fineValue = 7

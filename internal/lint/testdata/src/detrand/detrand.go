@@ -1,0 +1,39 @@
+// Package detrand exercises the detrand pass: wall-clock reads and the
+// global math/rand source are forbidden in simulation code, while the
+// seeded per-node construction is the sanctioned pattern.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall clock`
+}
+
+func sinceBoot(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall clock`
+}
+
+func globalSource() int {
+	rand.Seed(99)        // want `global math/rand`
+	return rand.Intn(16) // want `global math/rand`
+}
+
+func unseeded(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `not a direct rand.NewSource`
+}
+
+// seededPerNode is the sanctioned pattern: an explicit per-node seed, as
+// internal/workload derives per-application, per-node streams.
+func seededPerNode(node int) int {
+	r := rand.New(rand.NewSource(42 + int64(node)*7919))
+	return r.Intn(16)
+}
+
+// pureTime uses time only for its unit constants, which is fine: no wall
+// clock is observed.
+func pureTime() time.Duration {
+	return 3 * time.Second
+}

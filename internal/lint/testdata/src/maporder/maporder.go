@@ -1,0 +1,84 @@
+// Package maporder exercises the maporder pass: map-iteration order must
+// not leak into event scheduling, slice order, float accumulation, or
+// output. Order-independent loop bodies and the collect-then-sort idiom
+// are accepted.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"sim"
+)
+
+func schedulesDirect(e *sim.Engine, delays map[int]int) {
+	for k, v := range delays {
+		e.After(sim.Time(v)*sim.Nanosecond, func() { _ = k }) // want `reaches the event queue`
+	}
+}
+
+func helper(e *sim.Engine) { e.After(sim.Nanosecond, nil) }
+
+func wake(e *sim.Engine) { helper(e) }
+
+func schedulesTransitive(e *sim.Engine, pending map[string]bool) {
+	for name := range pending {
+		_ = name
+		wake(e) // want `reaches the event queue`
+	}
+}
+
+func appendsUnsorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k) // want `append to names`
+	}
+	return names
+}
+
+func accumulatesFloat(weights map[int]float64) float64 {
+	var sum float64
+	for _, w := range weights {
+		sum += w // want `floating-point accumulation`
+	}
+	return sum
+}
+
+func printsEntries(m map[int]string) {
+	for k, v := range m {
+		fmt.Printf("%d=%s\n", k, v) // want `output written in map-iteration order`
+	}
+}
+
+// collectThenSort is the sanctioned idiom: gather the keys, sort them, and
+// only then act in a deterministic order.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// countsEntries accumulates integers, which is associative and therefore
+// order-independent: accepted.
+func countsEntries(m map[string]int) int {
+	var total int
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localScratch appends only to a slice scoped inside the loop body, so no
+// ordering can escape: accepted.
+func localScratch(m map[int][]byte) int {
+	n := 0
+	for _, bs := range m {
+		var local []int
+		local = append(local, len(bs))
+		n += local[0]
+	}
+	return n
+}

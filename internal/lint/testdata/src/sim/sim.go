@@ -1,0 +1,41 @@
+// Package sim is a miniature stand-in for the simulation kernel, giving
+// fixtures a Time type with unit constants and an Engine with the
+// scheduling API the analyzers recognize.
+package sim
+
+// Time is a simulated timestamp or duration in picoseconds.
+type Time int64
+
+// Duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+)
+
+// Engine is a stub event loop.
+type Engine struct{ now Time }
+
+// NewEngine returns a stub engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn at absolute time t.
+func (e *Engine) At(t Time, fn func()) {}
+
+// After schedules fn d after now.
+func (e *Engine) After(d Time, fn func()) {}
+
+// Spawn starts a cooperative process.
+func (e *Engine) Spawn(name string, body func(p *Process)) *Process { return &Process{} }
+
+// Process is a stub cooperative process.
+type Process struct{}
+
+// Sleep blocks the process for d.
+func (p *Process) Sleep(d Time) {}
+
+// Unpark wakes a parked process.
+func (p *Process) Unpark() {}

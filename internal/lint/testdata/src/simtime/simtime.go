@@ -1,0 +1,35 @@
+// Package simtime exercises the simtime pass: durations must be composed
+// from sim unit constants, not bare numbers or raw integer conversions.
+package simtime
+
+import "sim"
+
+const tick = 5 * sim.Nanosecond
+
+// Cfg carries two durations.
+type Cfg struct {
+	Latency sim.Time
+	Budget  sim.Time
+}
+
+func schedule(e *sim.Engine, n int64) {
+	e.After(100, nil)                        // want `bare constant 100`
+	e.After(0, nil)                          // zero needs no unit
+	e.After(2*sim.Nanosecond, nil)           // composed from a unit constant
+	e.After(tick, nil)                       // named constant carries the unit
+	e.After(sim.Time(n), nil)                // want `raw integer→sim.Time conversion`
+	e.After(sim.Time(n)*sim.Nanosecond, nil) // scalar scaling of a unit
+}
+
+func configs() []Cfg {
+	return []Cfg{
+		{Latency: 40 * sim.Nanosecond, Budget: tick},
+		{Latency: 500, Budget: 0}, // want `bare constant 500`
+	}
+}
+
+// scale divides by a dimensionless count: the conversion sits inside
+// arithmetic against a unit-carrying operand, which is accepted.
+func scale(total sim.Time, rounds int) sim.Time {
+	return total / sim.Time(rounds)
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, typechecked package with its syntax retained so
+// analyzers can do cross-package call-graph queries.
+type Package struct {
+	World *World
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A World loads and typechecks packages from source, standard library
+// included, sharing one FileSet and one type universe. Two resolution modes
+// exist:
+//
+//   - module mode (modulePath != ""): import paths under modulePath resolve
+//     to directories under root, everything else is standard library;
+//   - fixture mode (modulePath == ""): GOPATH-style, any import path whose
+//     directory exists under root resolves there (used by analysistest,
+//     whose testdata/src trees stand in for a GOPATH).
+//
+// Standard-library imports are typechecked from $GOROOT/src via the
+// go/importer source importer, so no compiled export data — and no module
+// downloads — are required.
+type World struct {
+	Fset       *token.FileSet
+	Root       string
+	ModulePath string
+
+	std       types.ImporterFrom
+	pkgs      map[string]*Package
+	loading   map[string]bool
+	decls     map[*types.Func]*funcSource
+	schedMemo map[*types.Func]schedState
+}
+
+// schedState memoizes (*World).schedules; schedVisiting breaks recursion
+// cycles (a cycle that never reaches the scheduler does not schedule).
+type schedState int8
+
+const (
+	schedUnknown schedState = iota
+	schedVisiting
+	schedYes
+	schedNo
+)
+
+// funcSource pairs a function declaration with the package whose type
+// information resolves the identifiers in its body.
+type funcSource struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// NewWorld returns an empty world rooted at root. modulePath is the module's
+// import-path prefix, or "" for fixture (GOPATH-style) resolution.
+func NewWorld(root, modulePath string) *World {
+	fset := token.NewFileSet()
+	return &World{
+		Fset:       fset,
+		Root:       root,
+		ModulePath: modulePath,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		decls:      make(map[*types.Func]*funcSource),
+		schedMemo:  make(map[*types.Func]schedState),
+	}
+}
+
+// local reports whether path resolves inside this world's root, returning
+// the directory when it does.
+func (w *World) local(path string) (string, bool) {
+	if w.ModulePath != "" {
+		if path == w.ModulePath {
+			return w.Root, true
+		}
+		if rest, ok := strings.CutPrefix(path, w.ModulePath+"/"); ok {
+			return filepath.Join(w.Root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	dir := filepath.Join(w.Root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir, true
+	}
+	return "", false
+}
+
+// Load parses and typechecks the package with the given import path (and,
+// recursively, its in-world dependencies). Loading is memoized; type errors
+// are hard failures so that analyzers only ever see well-typed packages.
+func (w *World) Load(path string) (*Package, error) {
+	if p, ok := w.pkgs[path]; ok {
+		return p, nil
+	}
+	if w.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	dir, ok := w.local(path)
+	if !ok {
+		return nil, fmt.Errorf("lint: %q does not resolve under %s", path, w.Root)
+	}
+	w.loading[path] = true
+	defer delete(w.loading, path)
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %v", dir, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(w.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*worldImporter)(w),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tpkg, _ := conf.Check(path, w.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: typechecking %s: %v (and %d more)", path, typeErrs[0], len(typeErrs)-1)
+	}
+
+	p := &Package{World: w, Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	w.pkgs[path] = p
+	w.indexFuncs(p)
+	return p, nil
+}
+
+// indexFuncs records every function and method body in p so call-graph
+// queries can cross package boundaries.
+func (w *World) indexFuncs(p *Package) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				w.decls[fn] = &funcSource{decl: fd, pkg: p}
+			}
+		}
+	}
+}
+
+// FuncSource returns the body and owning package of fn, when fn was loaded
+// into this world (standard-library and interface methods return nil).
+func (w *World) FuncSource(fn *types.Func) (*ast.FuncDecl, *Package) {
+	if fs, ok := w.decls[fn]; ok {
+		return fs.decl, fs.pkg
+	}
+	return nil, nil
+}
+
+// worldImporter adapts a World to types.Importer for the typechecker.
+type worldImporter World
+
+func (wi *worldImporter) Import(path string) (*types.Package, error) {
+	w := (*World)(wi)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := w.local(path); ok {
+		p, err := w.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return w.std.ImportFrom(path, w.Root, 0)
+}

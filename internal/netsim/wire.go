@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format for a Message, used when a run's traffic is captured or
+// replayed outside the simulator. Little-endian, fixed header followed by
+// optional payload bytes:
+//
+//	offset  size  field
+//	0       1     version (wireVersion)
+//	1       1     flags (bit 0: payload bytes follow)
+//	2       4     src
+//	6       4     dst
+//	10      4     handler
+//	14      4     channel
+//	18      4     payload length in bytes
+//	22      8     arg
+//	30      8     seq
+//	38      4     checksum
+//	42      n     payload (present only with flagPayload; n = payload length)
+//
+// Synthetic messages (Payload == nil, PayloadLen alone defining the size)
+// encode the length without bytes, exactly mirroring the in-memory model.
+const (
+	wireVersion     = 1
+	wireHeaderBytes = 42
+	flagPayload     = 1 << 0
+)
+
+// AppendWire appends m's wire encoding to dst and returns the extended
+// slice. Fields that cannot survive the wire's 32-bit representation —
+// the integer-truncation class of bug fixed in the PR 1 serialization-time
+// ceiling — are a hard error, never a silent wraparound.
+func (m *Message) AppendWire(dst []byte) ([]byte, error) {
+	for _, f := range [...]struct {
+		name string
+		v    int
+	}{
+		{"Src", m.Src}, {"Dst", m.Dst}, {"Handler", m.Handler},
+		{"Channel", m.Channel}, {"PayloadLen", m.PayloadLen},
+	} {
+		if f.v < 0 || f.v > math.MaxInt32 {
+			return nil, fmt.Errorf("netsim: %s %d does not fit the wire format", f.name, f.v)
+		}
+	}
+	if m.Payload != nil && len(m.Payload) != m.PayloadLen {
+		return nil, fmt.Errorf("netsim: PayloadLen %d disagrees with %d payload bytes", m.PayloadLen, len(m.Payload))
+	}
+	var flags byte
+	if m.Payload != nil {
+		flags |= flagPayload
+	}
+	dst = append(dst, wireVersion, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Src))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Dst))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Handler))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Channel))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.PayloadLen))
+	dst = binary.LittleEndian.AppendUint64(dst, m.Arg)
+	dst = binary.LittleEndian.AppendUint64(dst, m.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, m.Checksum)
+	dst = append(dst, m.Payload...)
+	return dst, nil
+}
+
+// ParseWire decodes one wire-encoded message. The whole buffer must be
+// consumed: trailing bytes are an error, as is a payload length that does
+// not match the bytes present.
+func ParseWire(b []byte) (*Message, error) {
+	if len(b) < wireHeaderBytes {
+		return nil, fmt.Errorf("netsim: wire message truncated: %d bytes, header needs %d", len(b), wireHeaderBytes)
+	}
+	if b[0] != wireVersion {
+		return nil, fmt.Errorf("netsim: unknown wire version %d", b[0])
+	}
+	flags := b[1]
+	if flags&^byte(flagPayload) != 0 {
+		return nil, fmt.Errorf("netsim: unknown wire flags %#x", flags)
+	}
+	m := &Message{
+		Src:        int(int32(binary.LittleEndian.Uint32(b[2:]))),
+		Dst:        int(int32(binary.LittleEndian.Uint32(b[6:]))),
+		Handler:    int(int32(binary.LittleEndian.Uint32(b[10:]))),
+		Channel:    int(int32(binary.LittleEndian.Uint32(b[14:]))),
+		PayloadLen: int(int32(binary.LittleEndian.Uint32(b[18:]))),
+		Arg:        binary.LittleEndian.Uint64(b[22:]),
+		Seq:        binary.LittleEndian.Uint64(b[30:]),
+		Checksum:   binary.LittleEndian.Uint32(b[38:]),
+	}
+	for _, f := range [...]struct {
+		name string
+		v    int
+	}{
+		{"Src", m.Src}, {"Dst", m.Dst}, {"Handler", m.Handler},
+		{"Channel", m.Channel}, {"PayloadLen", m.PayloadLen},
+	} {
+		if f.v < 0 {
+			return nil, fmt.Errorf("netsim: negative %s %d on the wire", f.name, f.v)
+		}
+	}
+	rest := b[wireHeaderBytes:]
+	if flags&flagPayload != 0 {
+		if len(rest) != m.PayloadLen {
+			return nil, fmt.Errorf("netsim: payload length %d disagrees with %d bytes on the wire", m.PayloadLen, len(rest))
+		}
+		// Copy so the message does not alias the caller's buffer.
+		m.Payload = append([]byte(nil), rest...)
+	} else if len(rest) != 0 {
+		return nil, fmt.Errorf("netsim: %d trailing bytes after synthetic message", len(rest))
+	}
+	return m, nil
+}

@@ -1,0 +1,130 @@
+package netsim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// Seed corpus for the round-trip fuzzer. The payload sizes mirror the
+// integer-truncation case fixed in PR 1: serialization time used integer
+// division, so partial-word payloads (1 byte, 249 bytes) under-billed the
+// wire. The codec must carry those exact lengths faithfully.
+func fuzzSeeds(f *testing.F) {
+	f.Add(0, 1, 0, 0, []byte(nil), uint64(0), uint64(0))
+	f.Add(3, 7, 2, 1, []byte{0xff}, uint64(42), uint64(1))            // 1-byte partial word
+	f.Add(1, 0, 4, 0, bytes.Repeat([]byte{0xa5}, 20), uint64(0), uint64(9)) // spsolve payload
+	f.Add(5, 6, 1, 2, bytes.Repeat([]byte{0x5a}, 248), uint64(7), uint64(100))
+	f.Add(6, 5, 1, 2, bytes.Repeat([]byte{0x5a}, 249), uint64(7), uint64(101)) // 249: partial word
+}
+
+func FuzzWireRoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src, dst, handler, channel int, payload []byte, arg, seq uint64) {
+		m := &Message{
+			Src: src, Dst: dst, Handler: handler, Channel: channel,
+			PayloadLen: len(payload), Payload: payload,
+			Arg: arg, Seq: seq,
+		}
+		if len(payload) == 0 {
+			m.Payload = nil
+		}
+		m.SealChecksum()
+
+		wire, err := m.AppendWire(nil)
+		inRange := func(v int) bool { return v >= 0 && v <= math.MaxInt32 }
+		if !inRange(src) || !inRange(dst) || !inRange(handler) || !inRange(channel) {
+			if err == nil {
+				t.Fatalf("AppendWire accepted out-of-range field: src=%d dst=%d handler=%d channel=%d", src, dst, handler, channel)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("AppendWire: %v", err)
+		}
+
+		got, err := ParseWire(wire)
+		if err != nil {
+			t.Fatalf("ParseWire: %v", err)
+		}
+		if got.Src != m.Src || got.Dst != m.Dst || got.Handler != m.Handler ||
+			got.Channel != m.Channel || got.PayloadLen != m.PayloadLen ||
+			got.Arg != m.Arg || got.Seq != m.Seq || got.Checksum != m.Checksum {
+			t.Fatalf("round trip changed fields:\n got %+v\nwant %+v", got, m)
+		}
+		if !bytes.Equal(got.Payload, m.Payload) {
+			t.Fatalf("round trip changed payload: got %x want %x", got.Payload, m.Payload)
+		}
+		if (got.Payload == nil) != (m.Payload == nil) {
+			t.Fatalf("round trip changed payload presence: got nil=%v want nil=%v", got.Payload == nil, m.Payload == nil)
+		}
+		if !got.ChecksumOK() {
+			t.Fatalf("checksum does not verify after round trip: %+v", got)
+		}
+
+		// Any single corrupted payload byte must break the checksum: the
+		// parse still succeeds (the header is intact) but ChecksumOK fails.
+		if len(m.Payload) > 0 {
+			i := int(seq) % len(m.Payload)
+			corrupt := append([]byte(nil), wire...)
+			corrupt[wireHeaderBytes+i] ^= 0x01
+			cm, err := ParseWire(corrupt)
+			if err != nil {
+				t.Fatalf("ParseWire(corrupted payload): %v", err)
+			}
+			if cm.ChecksumOK() {
+				t.Fatalf("checksum verified despite corrupted payload byte %d", i)
+			}
+		}
+	})
+}
+
+func TestWireRejectsMalformed(t *testing.T) {
+	m := NewMessage(1, 2, 3, []byte{9, 8, 7})
+	m.SealChecksum()
+	wire, err := m.AppendWire(nil)
+	if err != nil {
+		t.Fatalf("AppendWire: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"short header", wire[:wireHeaderBytes-1]},
+		{"bad version", append([]byte{99}, wire[1:]...)},
+		{"unknown flags", append([]byte{wire[0], 0x80}, wire[2:]...)},
+		{"truncated payload", wire[:len(wire)-1]},
+		{"trailing bytes", append(append([]byte(nil), wire...), 0)},
+	}
+	for _, tc := range cases {
+		if _, err := ParseWire(tc.b); err == nil {
+			t.Errorf("%s: ParseWire accepted malformed input", tc.name)
+		}
+	}
+
+	// Synthetic message (no payload bytes) followed by junk.
+	syn := NewSized(1, 2, 3, 64)
+	sw, err := syn.AppendWire(nil)
+	if err != nil {
+		t.Fatalf("AppendWire(synthetic): %v", err)
+	}
+	if _, err := ParseWire(append(sw, 1, 2, 3)); err == nil {
+		t.Error("ParseWire accepted trailing bytes after synthetic message")
+	}
+	got, err := ParseWire(sw)
+	if err != nil {
+		t.Fatalf("ParseWire(synthetic): %v", err)
+	}
+	if got.Payload != nil || got.PayloadLen != 64 {
+		t.Errorf("synthetic round trip: got PayloadLen=%d Payload=%v, want 64, nil", got.PayloadLen, got.Payload)
+	}
+
+	// Length disagreement between header and in-memory payload.
+	bad := NewMessage(1, 2, 3, []byte{1, 2, 3})
+	bad.PayloadLen = 2
+	if _, err := bad.AppendWire(nil); err == nil {
+		t.Error("AppendWire accepted PayloadLen disagreeing with payload bytes")
+	}
+}

@@ -2,6 +2,7 @@ package nic
 
 import (
 	"fmt"
+	"sort"
 
 	"nisim/internal/mainmem"
 	"nisim/internal/membus"
@@ -503,19 +504,27 @@ func (c *cni) consume(pr *proc.Proc) *netsim.Message {
 // happens only when a flush forces a head update, which is why an
 // overloaded receive cache stays full of dead messages and keeps bypassing.
 func (c *cni) reclaimDead() {
+	// Collect and sort the dead blocks before acting: under the
+	// DisableDeadSuppress ablation each one issues a bus writeback, and
+	// map-iteration order must not pick the bus schedule.
+	dead := make([]int64, 0, len(c.liveRecv))
 	for li := range c.liveRecv {
 		if li < c.recvRing.head {
-			delete(c.liveRecv, li)
-			c.cacheLiveR--
-			if c.env.Cfg.DisableDeadSuppress {
-				// Ablation: without dead-message suppression each reclaimed
-				// block is written back to its main-memory home.
-				c.env.Bus.Issue(&membus.Transaction{
-					Kind:      membus.Writeback,
-					Addr:      c.recvRing.addr(li),
-					Requester: c,
-				})
-			}
+			dead = append(dead, li)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, li := range dead {
+		delete(c.liveRecv, li)
+		c.cacheLiveR--
+		if c.env.Cfg.DisableDeadSuppress {
+			// Ablation: without dead-message suppression each reclaimed
+			// block is written back to its main-memory home.
+			c.env.Bus.Issue(&membus.Transaction{
+				Kind:      membus.Writeback,
+				Addr:      c.recvRing.addr(li),
+				Requester: c,
+			})
 		}
 	}
 }

@@ -59,8 +59,7 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 			}
 			fmt.Fprintf(&b, "%-*s", widths[i], c)
 		}
-		b.WriteByte('\n')
-		n, err := io.WriteString(w, strings.TrimRight(b.String(), " ")+"")
+		n, err := io.WriteString(w, strings.TrimRight(b.String(), " ")+"\n")
 		total += int64(n)
 		return err
 	}

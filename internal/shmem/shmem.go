@@ -21,6 +21,7 @@ package shmem
 
 import (
 	"fmt"
+	"sort"
 
 	"nisim/internal/machine"
 	"nisim/internal/membus"
@@ -324,6 +325,9 @@ func (ep *endpoint) homeServe(gblock int64, d *directory, from int, write bool) 
 				targets = append(targets, s)
 			}
 		}
+		// Invalidations go out in node order, not map order: the send
+		// sequence schedules network events and must be reproducible.
+		sort.Ints(targets)
 		if len(targets) > 0 {
 			d.busy = true
 			d.pending = append([]pendingReq{{node: from, write: true}}, d.pending...)

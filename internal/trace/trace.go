@@ -7,6 +7,8 @@ package trace
 import (
 	"fmt"
 	"io"
+
+	//lint:allow nogoroutine mutex only guards interleaved test harnesses, never simulation state
 	"sync"
 
 	"nisim/internal/sim"
