@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench ci
+.PHONY: build test vet lint race bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'
+
+# bench-json regenerates BENCH_results.json: the whole evaluation grid run
+# through the sweep orchestrator as one machine-readable report, with a
+# serial baseline for the canonical-JSON determinism check and the
+# recorded parallel speedup (see EXPERIMENTS.md "Running the evaluation").
+bench-json: build
+	$(GO) run ./cmd/benchdump -quick -baseline -timeout 300s
 
 # ci is the full verification gate: compile everything, vet, enforce the
 # determinism invariants, and run the test suite under the race detector.

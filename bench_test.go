@@ -1,6 +1,8 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation
-// section. Each benchmark runs the corresponding experiment (at reduced
-// iteration scale, to keep `go test -bench=.` tractable) and reports the
+// section. The grids come from the same sweep-job definitions the cmd
+// drivers and cmd/benchdump submit (internal/micro, internal/macro), so a
+// benchmark cell and a driver cell are the same simulation; each benchmark
+// runs its cells serially under the testing harness and reports the
 // paper's metric through b.ReportMetric:
 //
 //	BenchmarkTable5Latency    round-trip microseconds per NI and payload
@@ -14,158 +16,130 @@
 // Absolute numbers depend on this reproduction's synthetic workloads; the
 // comparisons (who wins, by what factor, where the crossovers fall) are the
 // reproduction targets, recorded against the paper in EXPERIMENTS.md.
+// `make bench-json` (cmd/benchdump) emits the same grids as one
+// machine-readable report instead.
 package nisim
 
 import (
 	"fmt"
 	"testing"
 
-	"nisim/internal/machine"
 	"nisim/internal/macro"
 	"nisim/internal/micro"
-	"nisim/internal/netsim"
 	"nisim/internal/nic"
 	"nisim/internal/sim"
-	"nisim/internal/stats"
+	"nisim/internal/sweep"
 	"nisim/internal/workload"
 )
 
 // benchScale keeps macrobenchmark runs short under `go test -bench`.
 var benchScale = workload.Params{Iters: 0.3}
 
-func bufName(b int) string {
-	if b >= netsim.Infinite {
-		return "inf"
-	}
-	return fmt.Sprintf("%d", b)
-}
-
 func BenchmarkTable5Latency(b *testing.B) {
-	for _, kind := range nic.PaperSeven() {
-		for _, payload := range micro.LatencyPayloads {
-			kind, payload := kind, payload
-			b.Run(fmt.Sprintf("%s/%dB", kind.ShortName(), payload), func(b *testing.B) {
-				var rtt sim.Time
-				for i := 0; i < b.N; i++ {
-					rtt = micro.RoundTrip(kind, 8, payload, 550, 30)
-				}
-				b.ReportMetric(rtt.Microseconds(), "us/rtt")
-			})
+	spec := micro.StandardSpec(true)
+	for _, job := range spec.Jobs() {
+		job := job
+		if job.Config["metric"] != "latency" {
+			continue
 		}
-	}
-}
-
-func BenchmarkTable5Bandwidth(b *testing.B) {
-	kinds := append(nic.PaperSeven(), nic.CNI32QmThrottle)
-	for _, kind := range kinds {
-		for _, payload := range micro.BandwidthPayloads {
-			kind, payload := kind, payload
-			b.Run(fmt.Sprintf("%s/%dB", kind.ShortName(), payload), func(b *testing.B) {
-				var mb float64
-				count := 150
-				if payload >= 4096 {
-					count = 40
-				}
-				for i := 0; i < b.N; i++ {
-					mb = micro.Bandwidth(kind, 8, payload, count)
-				}
-				b.ReportMetric(mb, "MB/s")
-			})
-		}
-	}
-}
-
-func BenchmarkFigure1(b *testing.B) {
-	for _, app := range workload.Apps() {
-		app := app
-		b.Run(string(app), func(b *testing.B) {
-			var transfer, buffering float64
+		b.Run(fmt.Sprintf("%s/%sB", job.Config["ni"], job.Config["payload"]), func(b *testing.B) {
+			var out sweep.Outcome
 			for i := 0; i < b.N; i++ {
-				one := macro.Exec(nic.CM5, 1, app, benchScale)
-				inf := macro.Exec(nic.CM5, netsim.Infinite, app, benchScale)
-				t1 := float64(one.ExecTime)
-				buffering = (t1 - float64(inf.ExecTime)) / t1
-				if buffering < 0 {
-					buffering = 0
-				}
-				var tt float64
-				for _, n := range inf.Nodes {
-					tt += float64(n.TimeIn[stats.Transfer])
-				}
-				transfer = tt / (t1 * float64(len(inf.Nodes)))
+				out = job.Run()
 			}
-			b.ReportMetric(100*transfer, "%transfer")
-			b.ReportMetric(100*buffering, "%buffering")
+			b.ReportMetric(out.Metrics["rtt_us"], "us/rtt")
 		})
 	}
 }
 
-func benchNormalized(b *testing.B, kind nic.Kind, bufs int, app workload.App) {
-	var norm float64
-	for i := 0; i < b.N; i++ {
-		base := macro.Exec(nic.AP3000, 8, app, benchScale).ExecTime
-		st := macro.Exec(kind, bufs, app, benchScale)
-		norm = float64(st.ExecTime) / float64(base)
+func BenchmarkTable5Bandwidth(b *testing.B) {
+	spec := micro.StandardSpec(true)
+	for _, job := range spec.Jobs() {
+		job := job
+		if job.Config["metric"] != "bandwidth" {
+			continue
+		}
+		b.Run(fmt.Sprintf("%s/%sB", job.Config["ni"], job.Config["payload"]), func(b *testing.B) {
+			var out sweep.Outcome
+			for i := 0; i < b.N; i++ {
+				out = job.Run()
+			}
+			b.ReportMetric(out.Metrics["bw_mbps"], "MB/s")
+		})
 	}
-	b.ReportMetric(norm, "x-vs-ap3000@8")
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	jobs := macro.Figure1Jobs(benchScale)
+	for i := 0; i+1 < len(jobs); i += 2 {
+		pair := jobs[i : i+2]
+		b.Run(pair[0].Config["app"], func(b *testing.B) {
+			var row macro.Figure1Row
+			for i := 0; i < b.N; i++ {
+				row = macro.Figure1Rows(sweep.RunSerial(pair))[0]
+			}
+			b.ReportMetric(100*row.TransferFraction, "%transfer")
+			b.ReportMetric(100*row.BufferingFraction, "%buffering")
+		})
+	}
+}
+
+// benchNormGrid runs each of a NormGrid's cells as a subbenchmark: per
+// iteration, the application's baseline plus the cell, reporting the ratio.
+func benchNormGrid(b *testing.B, g macro.NormGrid, name func(c macro.Cell) string, unit string) {
+	jobs := g.Jobs()
+	// One baseline + len(Kinds)*len(Bufs) cells per application, in Jobs order.
+	perApp := 1 + len(g.Kinds)*len(g.Bufs)
+	for a := range g.Apps {
+		base := jobs[a*perApp]
+		for j := 1; j < perApp; j++ {
+			pair := []sweep.Job{base, jobs[a*perApp+j]}
+			b.Run(nameOfCell(g, a, j-1, name), func(b *testing.B) {
+				var norm float64
+				for i := 0; i < b.N; i++ {
+					results := sweep.RunSerial(pair)
+					norm = results[1].Metrics["exec_us"] / results[0].Metrics["exec_us"]
+				}
+				b.ReportMetric(norm, unit)
+			})
+		}
+	}
+}
+
+func nameOfCell(g macro.NormGrid, appIdx, cellIdx int, name func(c macro.Cell) string) string {
+	kind := g.Kinds[cellIdx/len(g.Bufs)]
+	bufs := g.Bufs[cellIdx%len(g.Bufs)]
+	return name(macro.Cell{Kind: kind, Bufs: bufs, App: g.Apps[appIdx]})
 }
 
 func BenchmarkFigure3a(b *testing.B) {
-	for _, kind := range []nic.Kind{nic.CM5, nic.UDMA, nic.AP3000} {
-		for _, bufs := range macro.BufferLevels {
-			for _, app := range workload.Apps() {
-				kind, bufs, app := kind, bufs, app
-				b.Run(fmt.Sprintf("%s/bufs=%s/%s", kind.ShortName(), bufName(bufs), app), func(b *testing.B) {
-					benchNormalized(b, kind, bufs, app)
-				})
-			}
-		}
-	}
+	benchNormGrid(b, macro.Fig3aGrid(benchScale), func(c macro.Cell) string {
+		return fmt.Sprintf("%s/bufs=%s/%s", c.Kind.ShortName(), macro.BufName(c.Bufs), c.App)
+	}, "x-vs-ap3000@8")
 }
 
 func BenchmarkFigure3b(b *testing.B) {
-	for _, kind := range []nic.Kind{nic.MemoryChannel, nic.StarTJR, nic.CNI512Q, nic.CNI32Qm} {
-		for _, app := range workload.Apps() {
-			kind, app := kind, app
-			b.Run(fmt.Sprintf("%s/%s", kind.ShortName(), app), func(b *testing.B) {
-				benchNormalized(b, kind, 8, app)
-			})
-		}
-	}
+	benchNormGrid(b, macro.Fig3bGrid(benchScale), func(c macro.Cell) string {
+		return fmt.Sprintf("%s/%s", c.Kind.ShortName(), c.App)
+	}, "x-vs-ap3000@8")
 }
 
 func BenchmarkFigure4(b *testing.B) {
-	for _, bufs := range macro.BufferLevels {
-		for _, app := range workload.Apps() {
-			bufs, app := bufs, app
-			b.Run(fmt.Sprintf("bufs=%s/%s", bufName(bufs), app), func(b *testing.B) {
-				var norm float64
-				for i := 0; i < b.N; i++ {
-					base := macro.Exec(nic.CNI32Qm, 8, app, benchScale).ExecTime
-					st := macro.Exec(nic.CM5SingleCycle, bufs, app, benchScale)
-					norm = float64(st.ExecTime) / float64(base)
-				}
-				b.ReportMetric(norm, "x-vs-cni32qm")
-			})
-		}
-	}
+	benchNormGrid(b, macro.Fig4Grid(benchScale), func(c macro.Cell) string {
+		return fmt.Sprintf("bufs=%s/%s", macro.BufName(c.Bufs), c.App)
+	}, "x-vs-cni32qm")
 }
 
 func BenchmarkTable4(b *testing.B) {
-	for _, app := range workload.Apps() {
-		app := app
-		b.Run(string(app), func(b *testing.B) {
-			var mean float64
-			var msgs int64
+	for _, job := range macro.Table4Jobs(benchScale) {
+		job := job
+		b.Run(job.Config["app"], func(b *testing.B) {
+			var out sweep.Outcome
 			for i := 0; i < b.N; i++ {
-				cfg := machine.DefaultConfig(nic.CNI32Qm, 8)
-				st := workload.Run(cfg, app, benchScale)
-				sizes := st.Total().Sizes()
-				mean = sizes.Mean()
-				msgs = sizes.Total()
+				out = job.Run()
 			}
-			b.ReportMetric(mean, "B/msg")
-			b.ReportMetric(float64(msgs), "msgs")
+			b.ReportMetric(out.Metrics["hist_mean_bytes"], "B/msg")
+			b.ReportMetric(out.Metrics["hist_msgs"], "msgs")
 		})
 	}
 }
@@ -201,10 +175,11 @@ func BenchmarkPingPong(b *testing.B) {
 // BenchmarkAblations reports the design-choice ablation deltas (DESIGN.md):
 // what each mechanism of the winning designs buys.
 func BenchmarkAblations(b *testing.B) {
+	mech := macro.AblateMechanismJobs(benchScale)
 	b.Run("prefetch", func(b *testing.B) {
 		var rows []macro.Ablation
 		for i := 0; i < b.N; i++ {
-			rows = macro.AblatePrefetch()
+			rows = macro.AblationRows(sweep.RunSerial(mech[:2]))
 		}
 		for _, a := range rows {
 			b.ReportMetric(100*a.Delta(), "%cost-"+a.Name[:7])
@@ -213,14 +188,16 @@ func BenchmarkAblations(b *testing.B) {
 	b.Run("dead-suppress", func(b *testing.B) {
 		var rows []macro.Ablation
 		for i := 0; i < b.N; i++ {
-			rows = macro.AblateDeadSuppress(benchScale)
+			rows = macro.AblationRows(sweep.RunSerial(mech[len(mech)-2:]))
 		}
 		b.ReportMetric(100*rows[0].Delta(), "%cost")
 	})
 	b.Run("iobus", func(b *testing.B) {
+		bridges := []sim.Time{0, 250 * sim.Nanosecond}
+		jobs := macro.IOBusJobs(bridges)
 		var pts []macro.IOBusPoint
 		for i := 0; i < b.N; i++ {
-			pts = macro.AblateIOBus([]sim.Time{0, 250 * sim.Nanosecond})
+			pts = macro.IOBusPoints(bridges, sweep.RunSerial(jobs))
 		}
 		b.ReportMetric(pts[1].RttUS/pts[0].RttUS, "x-slowdown")
 	})
@@ -228,16 +205,22 @@ func BenchmarkAblations(b *testing.B) {
 
 // BenchmarkLogP reports the measured LogP decomposition per NI.
 func BenchmarkLogP(b *testing.B) {
-	for _, kind := range []nic.Kind{nic.CM5, nic.AP3000, nic.CNI32Qm} {
-		kind := kind
-		b.Run(kind.ShortName(), func(b *testing.B) {
-			var lp micro.LogP
+	picked := map[string]bool{
+		nic.CM5.ShortName(): true, nic.AP3000.ShortName(): true, nic.CNI32Qm.ShortName(): true,
+	}
+	for _, job := range micro.LogPJobs(64) {
+		job := job
+		if !picked[job.Config["ni"]] {
+			continue
+		}
+		b.Run(job.Config["ni"], func(b *testing.B) {
+			var out sweep.Outcome
 			for i := 0; i < b.N; i++ {
-				lp = micro.LogPOf(kind, 64)
+				out = job.Run()
 			}
-			b.ReportMetric(lp.Os.Nanoseconds(), "o_send-ns")
-			b.ReportMetric(lp.Or.Nanoseconds(), "o_recv-ns")
-			b.ReportMetric(lp.G.Nanoseconds(), "gap-ns")
+			b.ReportMetric(out.Metrics["o_send_ns"], "o_send-ns")
+			b.ReportMetric(out.Metrics["o_recv_ns"], "o_recv-ns")
+			b.ReportMetric(out.Metrics["gap_ns"], "gap-ns")
 		})
 	}
 }

@@ -2,7 +2,9 @@
 // mechanism of a winning NI design at a time (send prefetch, receive-cache
 // bypass, dead-message suppression), sweeps the CNI cache size and the UDMA
 // fallback threshold, and moves the fifo NIs behind an I/O-bus bridge to
-// reproduce the paper's motivation for memory-bus attachment.
+// reproduce the paper's motivation for memory-bus attachment. The studies
+// are independent simulations and fan out across CPUs; see -jobs,
+// -timeout, and -json.
 package main
 
 import (
@@ -13,20 +15,40 @@ import (
 	"nisim/internal/macro"
 	"nisim/internal/report"
 	"nisim/internal/sim"
+	"nisim/internal/sweep"
 	"nisim/internal/workload"
 )
 
 func main() {
 	scale := flag.Float64("scale", 0.5, "iteration scale factor for app-based ablations")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
 	flag.Parse()
 	p := workload.Params{Iters: *scale}
 
+	blocks := []int{4, 8, 16, 32, 64, 128}
+	thresholds := []int{0, 32, 96, 248}
+	bridges := []sim.Time{0, 250 * sim.Nanosecond, 1000 * sim.Nanosecond}
+
+	mech := macro.AblateMechanismJobs(p)
+	cache := macro.CacheSizeJobs(blocks, p)
+	udma := macro.UdmaThresholdJobs(thresholds, p)
+	iobus := macro.IOBusJobs(bridges)
+	var jobs []sweep.Job
+	jobs = append(jobs, mech...)
+	jobs = append(jobs, cache...)
+	jobs = append(jobs, udma...)
+	jobs = append(jobs, iobus...)
+	results, rep := opts.Sweep("ablate", 0, jobs)
+	section := func(n int) []sweep.Result {
+		out := results[:n]
+		results = results[n:]
+		return out
+	}
+
 	fmt.Println("Ablation 1: mechanism on/off")
 	t := report.NewTable("mechanism", "metric", "enabled", "disabled", "cost of disabling")
-	rows := macro.AblatePrefetch()
-	rows = append(rows, macro.AblateBypass(p)...)
-	rows = append(rows, macro.AblateDeadSuppress(p)...)
-	for _, a := range rows {
+	for _, a := range macro.AblationRows(section(len(mech))) {
 		t.Row(a.Name, a.Metric,
 			fmt.Sprintf("%.2f", a.Enabled),
 			fmt.Sprintf("%.2f", a.Disabled),
@@ -38,7 +60,7 @@ func main() {
 
 	fmt.Println("\nAblation 2: CNI_32Qm NI cache capacity")
 	t2 := report.NewTable("blocks", "64B rtt (us)", "4096B bw (MB/s)", "em3d exec (us)")
-	for _, pt := range macro.AblateCacheSize([]int{4, 8, 16, 32, 64, 128}, p) {
+	for _, pt := range macro.CacheSizePoints(blocks, section(len(cache))) {
 		t2.Row(fmt.Sprintf("%d", pt.Blocks),
 			fmt.Sprintf("%.2f", pt.RttUS),
 			fmt.Sprintf("%.0f", pt.BwMBps),
@@ -50,7 +72,7 @@ func main() {
 
 	fmt.Println("\nAblation 3: UDMA fallback threshold (dsmc execution time)")
 	t3 := report.NewTable("threshold (B)", "dsmc exec (us)")
-	for _, pt := range macro.AblateUdmaThreshold([]int{0, 32, 96, 248}, p) {
+	for _, pt := range macro.ThresholdPoints(thresholds, section(len(udma))) {
 		t3.Row(fmt.Sprintf("%d", pt.Bytes), fmt.Sprintf("%.0f", pt.DsmcUS))
 	}
 	if _, err := t3.WriteTo(os.Stdout); err != nil {
@@ -59,11 +81,15 @@ func main() {
 
 	fmt.Println("\nAblation 4: NI placement — I/O-bus bridge latency")
 	t4 := report.NewTable("NI", "bridge", "64B rtt (us)", "256B bw (MB/s)")
-	for _, pt := range macro.AblateIOBus([]sim.Time{0, 250 * sim.Nanosecond, 1000 * sim.Nanosecond}) {
+	for _, pt := range macro.IOBusPoints(bridges, section(len(iobus))) {
 		t4.Row(pt.Kind.ShortName(), pt.Bridge.String(),
 			fmt.Sprintf("%.2f", pt.RttUS), fmt.Sprintf("%.0f", pt.BwMBps))
 	}
 	if _, err := t4.WriteTo(os.Stdout); err != nil {
 		panic(err)
+	}
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,99 @@
+// Command benchdump runs the whole evaluation grid — every cell the cmd
+// drivers and the Go benchmarks draw from the shared grid definitions —
+// through the sweep orchestrator and writes one machine-readable report
+// (BENCH_results.json by default; see EXPERIMENTS.md for the schema and
+// the mapping back to the paper's tables and figures).
+//
+// With -baseline it runs the grid a second time serially (jobs=1), checks
+// that the two reports' canonical (timing-stripped) JSON is byte-identical
+// — the determinism invariant — and records the parallel speedup in the
+// timing sidecar.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"nisim/internal/macro"
+	"nisim/internal/micro"
+	"nisim/internal/sim"
+	"nisim/internal/sweep"
+	"nisim/internal/workload"
+)
+
+// grid assembles the full evaluation sweep from the shared definitions.
+func grid(quick bool) []sweep.Job {
+	p := workload.Params{Iters: 1}
+	if quick {
+		p.Iters = 0.2
+	}
+	var jobs []sweep.Job
+	jobs = append(jobs, micro.StandardSpec(quick).Jobs()...)
+	jobs = append(jobs, micro.LogPJobs(64)...)
+	jobs = append(jobs, macro.Figure1Jobs(p)...)
+	jobs = append(jobs, macro.Fig3aGrid(p).Jobs()...)
+	jobs = append(jobs, macro.Fig3bGrid(p).Jobs()...)
+	jobs = append(jobs, macro.Fig4Grid(p).Jobs()...)
+	jobs = append(jobs, macro.Table4Jobs(p)...)
+	jobs = append(jobs, macro.ScaleJobs(workload.Dsmc, []int{4, 8, 16, 32}, p)...)
+	jobs = append(jobs, macro.AblateMechanismJobs(p)...)
+	jobs = append(jobs, macro.CacheSizeJobs([]int{4, 8, 16, 32, 64, 128}, p)...)
+	jobs = append(jobs, macro.UdmaThresholdJobs([]int{0, 32, 96, 248}, p)...)
+	jobs = append(jobs, macro.IOBusJobs([]sim.Time{0, 250 * sim.Nanosecond, 1000 * sim.Nanosecond})...)
+	return jobs
+}
+
+func main() {
+	quick := flag.Bool("quick", true, "reduced iteration counts (the CI configuration)")
+	baseline := flag.Bool("baseline", false,
+		"also run the grid serially, verify canonical-JSON identity, and record the speedup")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
+	flag.Parse()
+	if opts.JSON == "" {
+		opts.JSON = "BENCH_results.json"
+	}
+
+	jobs := grid(*quick)
+	results, rep := opts.Sweep("benchdump", 0, jobs)
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" || r.TimedOut {
+			failed++
+			fmt.Fprintf(os.Stderr, "benchdump: %s: timed_out=%v err=%q\n", r.ID, r.TimedOut, r.Err)
+		}
+	}
+
+	if *baseline {
+		serialOpts := opts
+		serialOpts.Jobs = 1
+		_, serialRep := serialOpts.Sweep("benchdump", 0, jobs)
+		par, err1 := rep.Canonical().MarshalIndentJSON()
+		ser, err2 := serialRep.Canonical().MarshalIndentJSON()
+		if err1 != nil || err2 != nil || !bytes.Equal(par, ser) {
+			fmt.Fprintln(os.Stderr, "benchdump: parallel and serial canonical reports differ — determinism violation")
+			os.Exit(1)
+		}
+		rep.Baseline = serialRep.Timing
+		if rep.Timing.WallMS > 0 {
+			rep.Timing.Speedup = serialRep.Timing.WallMS / rep.Timing.WallMS
+		}
+	}
+
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdump: %d cells, %.0f ms wall (jobs=%d, cpus=%d)",
+		len(results), rep.Timing.WallMS, rep.Timing.Jobs, rep.Timing.NumCPU)
+	if rep.Timing.Speedup > 0 {
+		fmt.Printf(", %.2fx vs serial", rep.Timing.Speedup)
+	}
+	fmt.Printf(" -> %s\n", opts.JSON)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdump: %d of %d cells failed\n", failed, len(results))
+		os.Exit(1)
+	}
+}

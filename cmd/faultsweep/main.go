@@ -6,7 +6,9 @@
 // fault plane injecting drops, corruption, duplication, jitter, forced
 // bounces, and ack loss. It reports goodput and mean delivered latency
 // against the lossless baseline, plus the reliability counters showing how
-// the recovery machinery worked for it.
+// the recovery machinery worked for it. The (NI, loss rate) cells are
+// independent simulations and fan out across CPUs; see -jobs, -timeout,
+// and -json.
 //
 // With -unreliable the reliability layer is disabled instead, and the run
 // demonstrates the quiescence watchdog: the first lost message strands the
@@ -28,6 +30,7 @@ import (
 	"nisim/internal/report"
 	"nisim/internal/sim"
 	"nisim/internal/stats"
+	"nisim/internal/sweep"
 )
 
 const hData = 1
@@ -113,6 +116,41 @@ func parseRates(s string) []float64 {
 	return rates
 }
 
+// sweepJobs returns the (NI, loss rate) grid as sweep jobs, rates inner,
+// in the table's row order.
+func sweepJobs(rates []float64, seed uint64, payload, count int) []sweep.Job {
+	var jobs []sweep.Job
+	for _, kind := range nic.PaperSeven() {
+		for _, rate := range rates {
+			kind, rate := kind, rate
+			jobs = append(jobs, sweep.Job{
+				ID: fmt.Sprintf("faultsweep/%s/loss=%g", kind.ShortName(), rate),
+				Config: map[string]string{
+					"experiment": "faultsweep", "ni": kind.ShortName(),
+					"loss": fmt.Sprint(rate), "payload": fmt.Sprint(payload),
+					"msgs": fmt.Sprint(count),
+				},
+				Run: func() sweep.Outcome {
+					p := run(kind, rate, seed, payload, count, true)
+					summary := report.ReliabilitySummary(p.total)
+					if summary == "" {
+						summary = "-"
+					}
+					return sweep.Outcome{
+						Metrics: map[string]float64{
+							"goodput_mbps": p.goodput,
+							"mean_lat_us":  p.meanLat.Microseconds(),
+							"mean_lat_ps":  float64(p.meanLat),
+						},
+						Info: map[string]string{"recovery": summary},
+					}
+				},
+			})
+		}
+	}
+	return jobs
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "fewer messages per run")
 	rateFlag := flag.String("rates", "0,0.02,0.05,0.10", "comma-separated loss rates to sweep")
@@ -120,6 +158,8 @@ func main() {
 	msgs := flag.Int("msgs", 300, "messages per run")
 	seed := flag.Uint64("seed", 1, "fault-injection seed")
 	unreliable := flag.Bool("unreliable", false, "disable the reliability layer (demonstrates the quiescence watchdog)")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
 	flag.Parse()
 
 	rates := parseRates(*rateFlag)
@@ -133,36 +173,39 @@ func main() {
 		return
 	}
 
+	results, rep := opts.Sweep("faultsweep", *seed, sweepJobs(rates, *seed, *payload, count))
 	fmt.Printf("Fault sweep: %d msgs x %dB node0->node1, reliability on, seed %d\n", count, *payload, *seed)
 	fmt.Println("(loss = drop rate; corruption/duplication/ack-loss/jitter scale with it)")
 	fmt.Println()
 	tbl := report.NewTable("NI", "loss", "MB/s", "vs lossless", "lat(us)", "xlat", "recovery counters")
+	idx := 0
 	for _, kind := range nic.PaperSeven() {
-		var base point
+		var base map[string]float64
 		for i, rate := range rates {
-			p := run(kind, rate, *seed, *payload, count, true)
+			r := results[idx]
+			idx++
 			if i == 0 {
-				base = p
+				base = r.Metrics
 			}
 			rel := 1.0
-			if base.goodput > 0 {
-				rel = p.goodput / base.goodput
+			if base["goodput_mbps"] > 0 {
+				rel = r.Metrics["goodput_mbps"] / base["goodput_mbps"]
 			}
 			xlat := 1.0
-			if base.meanLat > 0 {
-				xlat = float64(p.meanLat) / float64(base.meanLat)
-			}
-			summary := report.ReliabilitySummary(p.total)
-			if summary == "" {
-				summary = "-"
+			if base["mean_lat_ps"] > 0 {
+				xlat = r.Metrics["mean_lat_ps"] / base["mean_lat_ps"]
 			}
 			tbl.Row(kind.ShortName(), fmt.Sprintf("%.0f%%", 100*rate),
-				fmt.Sprintf("%.1f", p.goodput), report.Bar(rel, 20),
-				fmt.Sprintf("%.2f", p.meanLat.Microseconds()),
-				fmt.Sprintf("%.2f", xlat), summary)
+				fmt.Sprintf("%.1f", r.Metrics["goodput_mbps"]), report.Bar(rel, 20),
+				fmt.Sprintf("%.2f", r.Metrics["mean_lat_us"]),
+				fmt.Sprintf("%.2f", xlat), r.Info["recovery"])
 		}
 	}
 	fmt.Print(tbl.String())
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsweep:", err)
+		os.Exit(1)
+	}
 }
 
 // demoWatchdog runs the first nonzero loss rate with reliability disabled:

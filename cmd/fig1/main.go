@@ -1,25 +1,36 @@
 // Command fig1 regenerates the paper's Figure 1: the fraction of execution
 // time spent on NI data transfer and buffering for the seven
-// macrobenchmarks on a CM-5-like NI with one flow-control buffer.
+// macrobenchmarks on a CM-5-like NI with one flow-control buffer. The
+// per-application runs are independent simulations and fan out across
+// CPUs; see -jobs, -timeout, and -json.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"nisim/internal/macro"
+	"nisim/internal/sweep"
 	"nisim/internal/workload"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1, "iteration scale factor")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
 	flag.Parse()
 
+	results, rep := opts.Sweep("fig1", 0, macro.Figure1Jobs(workload.Params{Iters: *scale}))
 	fmt.Println("Figure 1: share of execution time (CM-5-like NI, flow control buffers = 1)")
 	fmt.Printf("%-14s %10s %10s %10s\n", "app", "transfer", "buffering", "rest")
-	for _, r := range macro.Figure1(workload.Params{Iters: *scale}) {
+	for _, r := range macro.Figure1Rows(results) {
 		fmt.Printf("%-14s %9.1f%% %9.1f%% %9.1f%%\n",
 			r.App, 100*r.TransferFraction, 100*r.BufferingFraction,
 			100*(1-r.TransferFraction-r.BufferingFraction))
+	}
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "fig1:", err)
+		os.Exit(1)
 	}
 }

@@ -1,37 +1,41 @@
 // Command fig3 regenerates the paper's Figure 3: (a) the three fifo-based
 // NIs at flow-control buffer levels 1/2/8/infinity and (b) the four
 // coherent NIs at 8 buffers, all normalized to the AP3000-like NI with 8
-// buffers.
+// buffers. The grid's cells are independent simulations and fan out across
+// CPUs; see -jobs, -timeout, and -json.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"nisim/internal/macro"
-	"nisim/internal/netsim"
+	"nisim/internal/sweep"
 	"nisim/internal/workload"
 )
 
-func bufName(b int) string {
-	if b >= netsim.Infinite {
-		return "inf"
-	}
-	return fmt.Sprintf("%d", b)
-}
-
 func main() {
 	scale := flag.Float64("scale", 1, "iteration scale factor")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
 	flag.Parse()
 	p := workload.Params{Iters: *scale}
 
+	ga, gb := macro.Fig3aGrid(p), macro.Fig3bGrid(p)
+	jobsA := ga.Jobs()
+	results, rep := opts.Sweep("fig3", 0, append(jobsA, gb.Jobs()...))
+
 	fmt.Println("Figure 3a: fifo NIs, execution time normalized to AP3000-like @ 8 buffers")
-	cells := macro.Figure3a(p)
-	printGrid(cells)
+	printGrid(ga.Cells(results[:len(jobsA)]))
 
 	fmt.Println()
 	fmt.Println("Figure 3b: coherent NIs @ 8 buffers, normalized to AP3000-like @ 8 buffers")
-	printGrid(macro.Figure3b(p))
+	printGrid(gb.Cells(results[len(jobsA):]))
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "fig3:", err)
+		os.Exit(1)
+	}
 }
 
 func printGrid(cells []macro.Cell) {
@@ -56,7 +60,7 @@ func printGrid(cells []macro.Cell) {
 	}
 	fmt.Println()
 	for _, k := range order {
-		fmt.Printf("%-18s %5s", k.kind, bufName(k.bufs))
+		fmt.Printf("%-18s %5s", k.kind, macro.BufName(k.bufs))
 		for _, a := range workload.Apps() {
 			fmt.Printf(" %12.2f", rows[k][a])
 		}

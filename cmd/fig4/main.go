@@ -1,6 +1,8 @@
 // Command fig4 regenerates the paper's Figure 4: a single-cycle
 // (processor-register-mapped) NI_2w at several flow-control buffer levels,
-// normalized to CNI_32Q_m on the memory bus.
+// normalized to CNI_32Qm on the memory bus. The grid's cells are
+// independent simulations and fan out across CPUs; see -jobs, -timeout,
+// and -json.
 package main
 
 import (
@@ -11,17 +13,21 @@ import (
 	"nisim/internal/macro"
 	"nisim/internal/netsim"
 	"nisim/internal/report"
+	"nisim/internal/sweep"
 	"nisim/internal/workload"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1, "iteration scale factor")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
 	flag.Parse()
 
+	g := macro.Fig4Grid(workload.Params{Iters: *scale})
+	results, rep := opts.Sweep("fig4", 0, g.Jobs())
 	fmt.Println("Figure 4: single-cycle NI_2w vs CNI_32Qm (execution time, normalized to CNI_32Qm)")
-	cells := macro.Figure4(workload.Params{Iters: *scale})
 	byApp := map[workload.App]map[int]float64{}
-	for _, c := range cells {
+	for _, c := range g.Cells(results) {
 		if byApp[c.App] == nil {
 			byApp[c.App] = map[int]float64{}
 		}
@@ -38,5 +44,9 @@ func main() {
 	}
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		panic(err)
+	}
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "fig4:", err)
+		os.Exit(1)
 	}
 }

@@ -2,7 +2,9 @@
 // model §6.1 discusses and declines to use, because its latency and
 // overhead terms capture different things for different NIs. The table
 // makes that visible: processor-managed NIs carry their data transfer in
-// the overhead columns (o_s, o_r); NI-managed designs carry it in L.
+// the overhead columns (o_s, o_r); NI-managed designs carry it in L. The
+// per-NI measurements are independent simulations and fan out across CPUs;
+// see -jobs, -timeout, and -json.
 package main
 
 import (
@@ -13,21 +15,25 @@ import (
 	"nisim/internal/micro"
 	"nisim/internal/nic"
 	"nisim/internal/report"
+	"nisim/internal/sweep"
 )
 
 func main() {
 	payload := flag.Int("payload", 64, "message payload in bytes")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
 	flag.Parse()
 
+	results, rep := opts.Sweep("logp", 0, micro.LogPJobs(*payload))
 	fmt.Printf("LogP-style characterization, %dB payload (ns per message)\n", *payload)
 	t := report.NewTable("NI", "L", "o_send", "o_recv", "g (gap)")
-	for _, k := range nic.PaperSeven() {
-		lp := micro.LogPOf(k, *payload)
+	for i, k := range nic.PaperSeven() {
+		m := results[i].Metrics
 		t.Row(k.ShortName(),
-			fmt.Sprintf("%.0f", lp.L.Nanoseconds()),
-			fmt.Sprintf("%.0f", lp.Os.Nanoseconds()),
-			fmt.Sprintf("%.0f", lp.Or.Nanoseconds()),
-			fmt.Sprintf("%.0f", lp.G.Nanoseconds()))
+			fmt.Sprintf("%.0f", m["L_ns"]),
+			fmt.Sprintf("%.0f", m["o_send_ns"]),
+			fmt.Sprintf("%.0f", m["o_recv_ns"]),
+			fmt.Sprintf("%.0f", m["gap_ns"]))
 	}
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		panic(err)
@@ -36,4 +42,8 @@ func main() {
 	fmt.Println("o_send/o_recv; for NI-managed designs it sits in L — the components do")
 	fmt.Println("not measure the same thing across NIs, which is why the paper uses")
 	fmt.Println("round-trip latency and bandwidth instead.")
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "logp:", err)
+		os.Exit(1)
+	}
 }

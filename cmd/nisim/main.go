@@ -1,6 +1,8 @@
 // Command nisim runs a single simulation: pick an NI design, an
 // application (or microbenchmark), and a flow-control buffer count, and get
-// the execution time, processor-time breakdown, and NI event counts.
+// the execution time, processor-time breakdown, and NI event counts. The
+// run goes through the sweep orchestrator so -timeout can bound it; -json
+// here emits the single-run result, not a sweep report.
 //
 //	nisim -ni cni32qm -app em3d -bufs 8
 //	nisim -ni ap3000 -rtt 64
@@ -10,25 +12,29 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nisim"
+	"nisim/internal/sweep"
 )
 
 func main() {
 	var (
-		ni     = flag.String("ni", "cni32qm", "NI design (see -list)")
-		app    = flag.String("app", "em3d", "macrobenchmark to run (see -list)")
-		bufs   = flag.Int("bufs", 8, "flow-control buffers per direction (-1 = infinite)")
-		nodes  = flag.Int("nodes", 16, "machine size")
-		scale  = flag.Float64("scale", 1, "iteration scale factor")
-		rtt    = flag.Int("rtt", 0, "instead: round-trip microbenchmark with this payload (bytes)")
-		bw     = flag.Int("bw", 0, "instead: bandwidth microbenchmark with this payload (bytes)")
-		list   = flag.Bool("list", false, "list NIs and applications")
-		tracef = flag.String("trace", "", "write a bus-transaction trace to this file")
-		asJSON = flag.Bool("json", false, "emit the result as JSON")
+		ni      = flag.String("ni", "cni32qm", "NI design (see -list)")
+		app     = flag.String("app", "em3d", "macrobenchmark to run (see -list)")
+		bufs    = flag.Int("bufs", 8, "flow-control buffers per direction (-1 = infinite)")
+		nodes   = flag.Int("nodes", 16, "machine size")
+		scale   = flag.Float64("scale", 1, "iteration scale factor")
+		rtt     = flag.Int("rtt", 0, "instead: round-trip microbenchmark with this payload (bytes)")
+		bw      = flag.Int("bw", 0, "instead: bandwidth microbenchmark with this payload (bytes)")
+		list    = flag.Bool("list", false, "list NIs and applications")
+		tracef  = flag.String("trace", "", "write a bus-transaction trace to this file")
+		asJSON  = flag.Bool("json", false, "emit the result as JSON")
+		timeout = flag.Duration("timeout", 0, "abort the run after this much wall time (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -47,11 +53,19 @@ func main() {
 	kind := nisim.NIKind(*ni)
 	switch {
 	case *rtt > 0:
-		us, err := nisim.RoundTripMicros(kind, *bufs, *rtt)
+		var us float64
+		var err error
+		timed(*timeout, fmt.Sprintf("nisim/rtt/%s/%dB", kind, *rtt), func() {
+			us, err = nisim.RoundTripMicros(kind, *bufs, *rtt)
+		})
 		die(err)
 		fmt.Printf("%s: %dB payload round trip = %.2f us\n", kind, *rtt, us)
 	case *bw > 0:
-		mb, err := nisim.BandwidthMBps(kind, *bufs, *bw)
+		var mb float64
+		var err error
+		timed(*timeout, fmt.Sprintf("nisim/bw/%s/%dB", kind, *bw), func() {
+			mb, err = nisim.BandwidthMBps(kind, *bufs, *bw)
+		})
 		die(err)
 		fmt.Printf("%s: %dB payload bandwidth = %.0f MB/s\n", kind, *bw, mb)
 	default:
@@ -62,7 +76,11 @@ func main() {
 			defer f.Close()
 			cfg.TraceTo = f
 		}
-		res, err := nisim.RunAppScaled(cfg, *app, *scale)
+		var res nisim.Result
+		var err error
+		timed(*timeout, fmt.Sprintf("nisim/%s/%s", kind, *app), func() {
+			res, err = nisim.RunAppScaled(cfg, *app, *scale)
+		})
 		die(err)
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
@@ -81,6 +99,19 @@ func main() {
 			fmt.Printf("  NI cache: %d hits, %d misses, %d bypasses, %d prefetches\n",
 				res.Counters.NICacheHits, res.Counters.NICacheMisses, res.Counters.NIBypasses, res.Counters.Prefetches)
 		}
+	}
+}
+
+// timed runs fn as a one-job sweep so the orchestrator's per-run timeout
+// and panic containment apply to single runs too.
+func timed(timeout time.Duration, id string, fn func()) {
+	r := sweep.Run(sweep.Config{Jobs: 1, Timeout: timeout},
+		[]sweep.Job{{ID: id, Run: func() sweep.Outcome { fn(); return sweep.Outcome{} }}})[0]
+	if r.TimedOut {
+		die(fmt.Errorf("%s: run exceeded -timeout %s", id, timeout))
+	}
+	if r.Err != "" {
+		die(errors.New(r.Err))
 	}
 }
 

@@ -2,7 +2,8 @@
 // control allocates buffers independently of the node count (§5.1.2's
 // scalability argument), so per-node execution time should stay roughly
 // flat as the machine grows. Runs one application across machine sizes for
-// a fifo NI and a coherent NI.
+// a fifo NI and a coherent NI; the grid's cells are independent
+// simulations and fan out across CPUs (see -jobs, -timeout, and -json).
 package main
 
 import (
@@ -10,15 +11,17 @@ import (
 	"fmt"
 	"os"
 
-	"nisim/internal/machine"
-	"nisim/internal/nic"
+	"nisim/internal/macro"
 	"nisim/internal/report"
+	"nisim/internal/sweep"
 	"nisim/internal/workload"
 )
 
 func main() {
 	app := flag.String("app", "dsmc", "application")
 	scale := flag.Float64("scale", 0.5, "iteration scale")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
 	flag.Parse()
 	a, err := workload.ByName(*app)
 	if err != nil {
@@ -26,19 +29,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	sizes := []int{4, 8, 16, 32}
+	results, rep := opts.Sweep("scale", 0, macro.ScaleJobs(a, sizes, workload.Params{Iters: *scale}))
 	fmt.Printf("machine-size scaling, %s, flow control buffers = 8\n", *app)
 	t := report.NewTable("nodes", "cm5 exec (us)", "cni32qm exec (us)")
-	for _, nodes := range []int{4, 8, 16, 32} {
+	i := 0
+	for _, nodes := range sizes {
 		row := []string{fmt.Sprintf("%d", nodes)}
-		for _, kind := range []nic.Kind{nic.CM5, nic.CNI32Qm} {
-			cfg := machine.DefaultConfig(kind, 8)
-			cfg.Nodes = nodes
-			st := workload.Run(cfg, a, workload.Params{Iters: *scale})
-			row = append(row, fmt.Sprintf("%.0f", st.ExecTime.Microseconds()))
+		for range 2 { // the two NI kinds, in ScaleJobs order
+			row = append(row, fmt.Sprintf("%.0f", results[i].Metrics["exec_us"]))
+			i++
 		}
 		t.Row(row...)
 	}
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		panic(err)
+	}
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "scale:", err)
+		os.Exit(1)
 	}
 }

@@ -1,23 +1,48 @@
 // Command table1 prints the paper's Table 1: the (small) amount of
 // buffering commercial network switches provide — the reason NIs cannot
-// lean on the network for buffering.
+// lean on the network for buffering. The rows are catalog lookups, not
+// simulations, but they still go through the orchestrator so -json emits
+// the same machine-readable report every driver produces.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"nisim/internal/netsim"
 	"nisim/internal/report"
+	"nisim/internal/sweep"
 )
 
 func main() {
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
+	flag.Parse()
+
+	var jobs []sweep.Job
+	for _, row := range netsim.SwitchBufferTable() {
+		row := row
+		jobs = append(jobs, sweep.Job{
+			ID:     "table1/" + row.Name,
+			Config: map[string]string{"experiment": "table1", "switch": row.Name},
+			Run: func() sweep.Outcome {
+				return sweep.Outcome{Info: map[string]string{"buffering": row.Buffering}}
+			},
+		})
+	}
+	results, rep := opts.Sweep("table1", 0, jobs)
+
 	fmt.Println("Table 1: buffering between an input and output port in commercial switches")
 	t := report.NewTable("switch/router", "maximum buffering")
-	for _, row := range netsim.SwitchBufferTable() {
-		t.Row(row.Name, row.Buffering)
+	for _, r := range results {
+		t.Row(r.Config["switch"], r.Info["buffering"])
 	}
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		panic(err)
+	}
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
 	}
 }

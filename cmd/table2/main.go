@@ -1,33 +1,63 @@
 // Command table2 prints the paper's Table 2: the classification of the
 // seven NIs by their data transfer and buffering parameters, as encoded in
-// the NI catalog.
+// the NI catalog. The rows are catalog lookups, not simulations, but they
+// still go through the orchestrator so -json emits the same
+// machine-readable report every driver produces.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"nisim/internal/nic"
 	"nisim/internal/report"
+	"nisim/internal/sweep"
 )
 
 func main() {
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
+	flag.Parse()
+
+	var jobs []sweep.Job
+	for _, e := range nic.Catalog() {
+		e := e
+		jobs = append(jobs, sweep.Job{
+			ID:     "table2/" + e.Notation,
+			Config: map[string]string{"experiment": "table2", "ni": e.Notation},
+			Run: func() sweep.Outcome {
+				inv := "No"
+				if e.ProcInvolve {
+					inv = "Yes"
+				}
+				return sweep.Outcome{Info: map[string]string{
+					"description": e.Description,
+					"send_size":   e.SendSize, "send_mgr": e.SendManager, "send_source": e.SendSource,
+					"recv_size": e.RecvSize, "recv_mgr": e.RecvManager, "recv_dest": e.RecvDest,
+					"buf_location": e.BufLocation, "proc_involved": inv,
+				}}
+			},
+		})
+	}
+	results, rep := opts.Sweep("table2", 0, jobs)
+
 	t := report.NewTable("NI", "Description",
 		"Send size", "Send mgr", "Send source",
 		"Recv size", "Recv mgr", "Recv dest",
 		"Buf location", "Proc involved?")
-	for _, e := range nic.Catalog() {
-		inv := "No"
-		if e.ProcInvolve {
-			inv = "Yes"
-		}
-		t.Row(e.Notation, e.Description,
-			e.SendSize, e.SendManager, e.SendSource,
-			e.RecvSize, e.RecvManager, e.RecvDest,
-			e.BufLocation, inv)
+	for _, r := range results {
+		t.Row(r.Config["ni"], r.Info["description"],
+			r.Info["send_size"], r.Info["send_mgr"], r.Info["send_source"],
+			r.Info["recv_size"], r.Info["recv_mgr"], r.Info["recv_dest"],
+			r.Info["buf_location"], r.Info["proc_involved"])
 	}
 	fmt.Println("Table 2: classification of the seven memory bus NIs")
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		panic(err)
+	}
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "table2:", err)
+		os.Exit(1)
 	}
 }

@@ -1,5 +1,7 @@
 // Command table4 regenerates the paper's Table 4: for each macrobenchmark,
-// the measured message-size distribution of a standard 16-node run.
+// the measured message-size distribution of a standard 16-node run. The
+// per-application runs are independent simulations and fan out across
+// CPUs; see -jobs, -timeout, and -json.
 package main
 
 import (
@@ -7,28 +9,32 @@ import (
 	"fmt"
 	"os"
 
-	"nisim/internal/machine"
-	"nisim/internal/nic"
+	"nisim/internal/macro"
 	"nisim/internal/report"
+	"nisim/internal/sweep"
 	"nisim/internal/workload"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1, "iteration scale factor")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
 	flag.Parse()
 
+	results, rep := opts.Sweep("table4", 0, macro.Table4Jobs(workload.Params{Iters: *scale}))
 	fmt.Println("Table 4: measured message-size distributions (16 nodes)")
 	t := report.NewTable("benchmark", "messages", "avg size", "peaks (size:share)")
-	for _, app := range workload.Apps() {
-		cfg := machine.DefaultConfig(nic.CNI32Qm, 8)
-		st := workload.Run(cfg, app, workload.Params{Iters: *scale})
-		sizes := st.Total().Sizes()
-		t.Row(string(app),
-			fmt.Sprintf("%d", sizes.Total()),
-			fmt.Sprintf("%.0fB", sizes.Mean()),
-			sizes.String())
+	for _, r := range results {
+		t.Row(r.Config["app"],
+			fmt.Sprintf("%.0f", r.Metrics["hist_msgs"]),
+			fmt.Sprintf("%.0fB", r.Metrics["hist_mean_bytes"]),
+			r.Info["peaks"])
 	}
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		panic(err)
+	}
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "table4:", err)
+		os.Exit(1)
 	}
 }

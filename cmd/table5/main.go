@@ -1,31 +1,29 @@
 // Command table5 regenerates the paper's Table 5: process-to-process
 // round-trip latency and bandwidth for the seven NIs (plus the throttled
-// CNI_32Q_m), flow-control buffers = 8.
+// CNI_32Q_m), flow-control buffers = 8. The grid's cells are independent
+// simulations and fan out across CPUs; see -jobs, -timeout, and -json.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"nisim/internal/micro"
+	"nisim/internal/sweep"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "fewer iterations")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
 	flag.Parse()
 
-	rows := micro.Table5(*quick)
-	fmt.Println("Table 5: round-trip latency (us) and bandwidth (MB/s), flow control buffers = 8")
-	fmt.Printf("%-28s %7s %7s %7s | %5s %5s %5s %5s\n", "NI", "8B", "64B", "256B", "8B", "64B", "256B", "4096B")
-	for _, r := range rows {
-		lat := func(p int) string {
-			if v, ok := r.LatencyUS[p]; ok && v > 0 {
-				return fmt.Sprintf("%7.2f", v)
-			}
-			return fmt.Sprintf("%7s", "n/a")
-		}
-		fmt.Printf("%-28s %s %s %s | %5.0f %5.0f %5.0f %5.0f\n",
-			r.Kind, lat(8), lat(64), lat(256),
-			r.BandwidthMB[8], r.BandwidthMB[64], r.BandwidthMB[256], r.BandwidthMB[4096])
+	spec := micro.StandardSpec(*quick)
+	results, rep := opts.Sweep("table5", 0, spec.Jobs())
+	fmt.Print(micro.FormatTable5(spec.Rows(results)))
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "table5:", err)
+		os.Exit(1)
 	}
 }

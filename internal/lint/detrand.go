@@ -16,6 +16,11 @@ import (
 //     used by internal/workload: rand.New(rand.NewSource(<derived seed>)).
 //     Anything else (a source smuggled in through a variable, a v2
 //     generator without an explicit seed) is flagged as unseeded.
+//
+// The sweep orchestrator (internal/sweep) is exempt from the wall-clock
+// ban only: it measures host wall time and enforces per-run timeouts by
+// design, and simulated time never flows through it. Its randomness bans
+// still apply.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc: "forbid wall-clock time and global/unseeded math/rand in simulation code; " +
@@ -67,6 +72,13 @@ func runDetRand(pass *Pass) {
 			}
 			switch path := fn.Pkg().Path(); {
 			case path == "time" && wallClockFuncs[fn.Name()]:
+				// The sweep orchestrator is host-side tooling: measuring
+				// wall-clock time (job timings, per-run timeouts) is its
+				// subject matter, not a determinism leak — simulated time
+				// never flows through it. Its randomness bans still apply.
+				if isOrchPkgPath(pass.Pkg.Path()) {
+					return true
+				}
 				pass.Reportf(call.Pos(),
 					"time.%s reads the wall clock; simulated time must come from the engine (sim.Engine.Now)", fn.Name())
 			case isRandPkg(path) && globalRandFuncs[fn.Name()]:

@@ -8,5 +8,8 @@ import (
 )
 
 func TestDetRand(t *testing.T) {
-	analysistest.Run(t, "testdata", lint.DetRand, "detrand")
+	// The second fixture stands in for the sweep orchestrator: wall-clock
+	// reads are waived there (host timing is its subject matter), the
+	// randomness bans are not.
+	analysistest.Run(t, "testdata", lint.DetRand, "detrand", "internal/sweep")
 }

@@ -113,6 +113,18 @@ func isSimPkgPath(path string) bool {
 	return path == "sim" || path == "internal/sim" || strings.HasSuffix(path, "/internal/sim")
 }
 
+// isOrchPkgPath reports whether path is the experiment-orchestration
+// package (internal/sweep), the one sanctioned concurrency point outside
+// the sim kernel. Unlike the kernel it is not blanket-exempt: nogoroutine
+// runs a restricted variant there (goroutines may not reach the
+// simulator), and detrand keeps its randomness bans while waiving the
+// wall-clock ban (host wall time is the orchestrator's subject matter).
+// The bare paths "sweep" and "internal/sweep" are accepted so analysistest
+// fixtures can stand in for the orchestrator.
+func isOrchPkgPath(path string) bool {
+	return path == "sweep" || path == "internal/sweep" || strings.HasSuffix(path, "/internal/sweep")
+}
+
 // simTimeType reports whether t is the simulation kernel's Time type.
 func isSimTime(t types.Type) bool {
 	named, ok := types.Unalias(t).(*types.Named)

@@ -13,15 +13,28 @@ import (
 // code reintroduces scheduler nondeterminism — and data races — that the
 // engine was built to exclude. Only internal/sim (the process runner) may
 // use go statements, channels, select, and the sync package.
+//
+// The experiment orchestrator (internal/sweep) is the one other sanctioned
+// concurrency point, under a weaker contract checked by runOrchestration:
+// goroutines, channels, and sync are its business (fanning whole
+// simulations out across workers), but no goroutine there may statically
+// reach the simulator — each simulation must arrive as an opaque closure
+// and stay single-threaded inside its worker. See DESIGN.md "Experiment
+// orchestration".
 var NoGoroutine = &Analyzer{
 	Name: "nogoroutine",
 	Doc: "model code must not spawn goroutines or use channels/select/sync; " +
-		"concurrency belongs to the sim kernel's process API",
+		"concurrency belongs to the sim kernel's process API and, for fanning out " +
+		"whole simulations, the sweep orchestrator",
 	Skip: isSimPkgPath,
 	Run:  runNoGoroutine,
 }
 
 func runNoGoroutine(pass *Pass) {
+	if isOrchPkgPath(pass.Pkg.Path()) {
+		runOrchestration(pass)
+		return
+	}
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
 			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
@@ -62,5 +75,48 @@ func runNoGoroutine(pass *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// runOrchestration enforces the orchestrator's restricted contract:
+// concurrency primitives are allowed, but a goroutine spawned here must
+// not reach the simulation. Each go statement's statically resolvable
+// calls — the spawned call itself, or every call inside a spawned function
+// literal — are checked against the sim package and the transitive
+// schedules() call graph; dynamic calls (the opaque job closures the
+// orchestrator exists to run) end the chain, which is exactly the
+// share-nothing shape the contract demands.
+func runOrchestration(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						checkOrchCall(pass, call)
+					}
+					return true
+				})
+				return true
+			}
+			checkOrchCall(pass, g.Call)
+			return true
+		})
+	}
+}
+
+// checkOrchCall reports a call (made from an orchestrator goroutine) that
+// resolves to the sim kernel or transitively reaches its scheduling API.
+func checkOrchCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	if isSimPkg(fn.Pkg()) || pass.World.schedules(fn) {
+		pass.Reportf(call.Pos(),
+			"orchestrator goroutine reaches the simulation through %s; simulations must enter the sweep only as opaque job closures", fn.Name())
 	}
 }

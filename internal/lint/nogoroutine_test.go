@@ -10,6 +10,9 @@ import (
 func TestNoGoroutine(t *testing.T) {
 	// The second fixture stands in for the sim kernel itself: it is full of
 	// goroutines and channels and must produce zero findings because the
-	// pass skips the kernel package.
-	analysistest.Run(t, "testdata", lint.NoGoroutine, "nogoroutine", "internal/sim")
+	// pass skips the kernel package. The third stands in for the sweep
+	// orchestrator, exercising the restricted mode: its worker-pool
+	// goroutines are accepted, but goroutines that reach the simulator are
+	// still rejected.
+	analysistest.Run(t, "testdata", lint.NoGoroutine, "nogoroutine", "internal/sim", "sweep")
 }

@@ -1,0 +1,18 @@
+// Package sweep stands in for the orchestrator in detrand's fixture set:
+// reading the host wall clock is its subject matter (job timings, per-run
+// timeouts) and is accepted, while the global math/rand source stays
+// banned — nothing host-random may leak into results.
+package sweep
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wall() time.Time { return time.Now() } // accepted: orchestration measures host time
+
+func elapsedMS(start time.Time) float64 { return float64(time.Since(start)) / 1e6 } // accepted
+
+func jitter() int {
+	return rand.Intn(4) // want `global math/rand`
+}

@@ -39,63 +39,91 @@ func (a Ablation) Delta() float64 {
 // latency (µs) with and without it, for both prefetching CNIs.
 func AblatePrefetch() []Ablation {
 	var out []Ablation
-	for _, kind := range []nic.Kind{nic.CNI512Q, nic.CNI32Qm} {
-		on := machine.DefaultConfig(kind, 8)
-		off := on
-		off.NI.DisableCNIPrefetch = true
-		out = append(out, Ablation{
-			Name:     kind.ShortName() + " send prefetch",
-			Metric:   "256B rtt us",
-			Enabled:  micro.RoundTripCfg(on, 256, 550, 50).Microseconds(),
-			Disabled: micro.RoundTripCfg(off, 256, 550, 50).Microseconds(),
-		})
+	for _, kind := range prefetchKinds {
+		out = append(out, prefetchRow(kind))
 	}
 	return out
+}
+
+var prefetchKinds = []nic.Kind{nic.CNI512Q, nic.CNI32Qm}
+
+func prefetchRow(kind nic.Kind) Ablation {
+	on := machine.DefaultConfig(kind, 8)
+	off := on
+	off.NI.DisableCNIPrefetch = true
+	return Ablation{
+		Name:     kind.ShortName() + " send prefetch",
+		Metric:   "256B rtt us",
+		Enabled:  micro.RoundTripCfg(on, 256, 550, 50).Microseconds(),
+		Disabled: micro.RoundTripCfg(off, 256, 550, 50).Microseconds(),
+	}
 }
 
 // AblateBypass measures the CNI_32Q_m receive-cache bypass: large-message
 // bandwidth (MB/s, inverted so Delta>0 means bypass helps) and em3d
 // execution time with and without it.
 func AblateBypass(p workload.Params) []Ablation {
-	on := machine.DefaultConfig(nic.CNI32Qm, 8)
-	off := on
+	return []Ablation{bypassExecRow(p), bypassBwRow()}
+}
+
+func bypassConfigs() (on, off machine.Config) {
+	on = machine.DefaultConfig(nic.CNI32Qm, 8)
+	off = on
 	off.NI.DisableCNIBypass = true
-	return []Ablation{
-		{
-			Name:     "cni32qm recv-cache bypass",
-			Metric:   "em3d exec us",
-			Enabled:  ExecCfg(on, workload.Em3d, p).Microseconds(),
-			Disabled: ExecCfg(off, workload.Em3d, p).Microseconds(),
-		},
-		{
-			Name:   "cni32qm recv-cache bypass",
-			Metric: "4096B inv-bw us/KB",
-			// Invert MB/s so that "disabled is worse" reads as Delta > 0.
-			Enabled:  1000 / micro.BandwidthCfg(on, 4096, 60),
-			Disabled: 1000 / micro.BandwidthCfg(off, 4096, 60),
-		},
+	return on, off
+}
+
+func bypassExecRow(p workload.Params) Ablation {
+	on, off := bypassConfigs()
+	return Ablation{
+		Name:     "cni32qm recv-cache bypass",
+		Metric:   "em3d exec us",
+		Enabled:  ExecCfg(on, workload.Em3d, p).Microseconds(),
+		Disabled: ExecCfg(off, workload.Em3d, p).Microseconds(),
+	}
+}
+
+func bypassBwRow() Ablation {
+	on, off := bypassConfigs()
+	return Ablation{
+		Name:   "cni32qm recv-cache bypass",
+		Metric: "4096B inv-bw us/KB",
+		// Invert MB/s so that "disabled is worse" reads as Delta > 0.
+		Enabled:  1000 / micro.BandwidthCfg(on, 4096, 60),
+		Disabled: 1000 / micro.BandwidthCfg(off, 4096, 60),
 	}
 }
 
 // AblateDeadSuppress measures dead-message suppression: without it, every
 // consumed block is written back to memory on reclamation.
 func AblateDeadSuppress(p workload.Params) []Ablation {
-	on := machine.DefaultConfig(nic.CNI32Qm, 8)
-	off := on
+	return []Ablation{deadSuppressExecRow(p), deadSuppressBwRow()}
+}
+
+func deadSuppressConfigs() (on, off machine.Config) {
+	on = machine.DefaultConfig(nic.CNI32Qm, 8)
+	off = on
 	off.NI.DisableDeadSuppress = true
-	return []Ablation{
-		{
-			Name:     "cni32qm dead-message suppression",
-			Metric:   "spsolve exec us",
-			Enabled:  ExecCfg(on, workload.Spsolve, p).Microseconds(),
-			Disabled: ExecCfg(off, workload.Spsolve, p).Microseconds(),
-		},
-		{
-			Name:     "cni32qm dead-message suppression",
-			Metric:   "4096B inv-bw us/KB",
-			Enabled:  1000 / micro.BandwidthCfg(on, 4096, 60),
-			Disabled: 1000 / micro.BandwidthCfg(off, 4096, 60),
-		},
+	return on, off
+}
+
+func deadSuppressExecRow(p workload.Params) Ablation {
+	on, off := deadSuppressConfigs()
+	return Ablation{
+		Name:     "cni32qm dead-message suppression",
+		Metric:   "spsolve exec us",
+		Enabled:  ExecCfg(on, workload.Spsolve, p).Microseconds(),
+		Disabled: ExecCfg(off, workload.Spsolve, p).Microseconds(),
+	}
+}
+
+func deadSuppressBwRow() Ablation {
+	on, off := deadSuppressConfigs()
+	return Ablation{
+		Name:     "cni32qm dead-message suppression",
+		Metric:   "4096B inv-bw us/KB",
+		Enabled:  1000 / micro.BandwidthCfg(on, 4096, 60),
+		Disabled: 1000 / micro.BandwidthCfg(off, 4096, 60),
 	}
 }
 
@@ -112,16 +140,20 @@ type CacheSizePoint struct {
 func AblateCacheSize(blocks []int, p workload.Params) []CacheSizePoint {
 	var out []CacheSizePoint
 	for _, b := range blocks {
-		cfg := machine.DefaultConfig(nic.CNI32Qm, 8)
-		cfg.NI.CNICacheBlocks = b
-		out = append(out, CacheSizePoint{
-			Blocks: b,
-			RttUS:  micro.RoundTripCfg(cfg, 64, 550, 50).Microseconds(),
-			BwMBps: micro.BandwidthCfg(cfg, 4096, 60),
-			Em3dUS: ExecCfg(cfg, workload.Em3d, p).Microseconds(),
-		})
+		out = append(out, cacheSizePoint(b, p))
 	}
 	return out
+}
+
+func cacheSizePoint(b int, p workload.Params) CacheSizePoint {
+	cfg := machine.DefaultConfig(nic.CNI32Qm, 8)
+	cfg.NI.CNICacheBlocks = b
+	return CacheSizePoint{
+		Blocks: b,
+		RttUS:  micro.RoundTripCfg(cfg, 64, 550, 50).Microseconds(),
+		BwMBps: micro.BandwidthCfg(cfg, 4096, 60),
+		Em3dUS: ExecCfg(cfg, workload.Em3d, p).Microseconds(),
+	}
 }
 
 // ThresholdPoint is one UDMA fallback-threshold sample.
@@ -135,14 +167,18 @@ type ThresholdPoint struct {
 func AblateUdmaThreshold(thresholds []int, p workload.Params) []ThresholdPoint {
 	var out []ThresholdPoint
 	for _, th := range thresholds {
-		cfg := machine.DefaultConfig(nic.UDMA, 8)
-		cfg.NI.UDMAThresholdBytes = th
-		out = append(out, ThresholdPoint{
-			Bytes:  th,
-			DsmcUS: ExecCfg(cfg, workload.Dsmc, p).Microseconds(),
-		})
+		out = append(out, thresholdPoint(th, p))
 	}
 	return out
+}
+
+func thresholdPoint(th int, p workload.Params) ThresholdPoint {
+	cfg := machine.DefaultConfig(nic.UDMA, 8)
+	cfg.NI.UDMAThresholdBytes = th
+	return ThresholdPoint{
+		Bytes:  th,
+		DsmcUS: ExecCfg(cfg, workload.Dsmc, p).Microseconds(),
+	}
 }
 
 // IOBusPoint is one NI-placement sample: the same fifo NI behind an
@@ -159,17 +195,23 @@ type IOBusPoint struct {
 // that are a factor of two to ten worse").
 func AblateIOBus(bridges []sim.Time) []IOBusPoint {
 	var out []IOBusPoint
-	for _, kind := range []nic.Kind{nic.CM5, nic.AP3000} {
+	for _, kind := range ioBusKinds {
 		for _, br := range bridges {
-			cfg := machine.DefaultConfig(kind, 8)
-			cfg.NI.IOBridge = br
-			out = append(out, IOBusPoint{
-				Kind:   kind,
-				Bridge: br,
-				RttUS:  micro.RoundTripCfg(cfg, 64, 200, 40).Microseconds(),
-				BwMBps: micro.BandwidthCfg(cfg, 256, 80),
-			})
+			out = append(out, ioBusPoint(kind, br))
 		}
 	}
 	return out
+}
+
+var ioBusKinds = []nic.Kind{nic.CM5, nic.AP3000}
+
+func ioBusPoint(kind nic.Kind, br sim.Time) IOBusPoint {
+	cfg := machine.DefaultConfig(kind, 8)
+	cfg.NI.IOBridge = br
+	return IOBusPoint{
+		Kind:   kind,
+		Bridge: br,
+		RttUS:  micro.RoundTripCfg(cfg, 64, 200, 40).Microseconds(),
+		BwMBps: micro.BandwidthCfg(cfg, 256, 80),
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"nisim/internal/netsim"
 	"nisim/internal/nic"
 	"nisim/internal/stats"
+	"nisim/internal/sweep"
 	"nisim/internal/workload"
 )
 
@@ -34,31 +35,11 @@ type Figure1Row struct {
 // flow-control buffer (the figure's configuration) and once with infinite
 // buffering. The buffering component is the differential; the transfer
 // component is the measured transfer work under infinite buffering, as a
-// share of the one-buffer execution time.
+// share of the one-buffer execution time. This serial entry point runs the
+// Figure1Jobs grid one cell at a time; drivers that want parallelism
+// submit the same grid through the orchestrator themselves.
 func Figure1(p workload.Params) []Figure1Row {
-	var rows []Figure1Row
-	for _, app := range workload.Apps() {
-		one := Exec(nic.CM5, 1, app, p)
-		inf := Exec(nic.CM5, netsim.Infinite, app, p)
-		t1 := float64(one.ExecTime)
-		buffering := (t1 - float64(inf.ExecTime)) / t1
-		if buffering < 0 {
-			buffering = 0
-		}
-		// Transfer work measured in the bounce-free run, expressed relative
-		// to the one-buffer execution time.
-		var transferTime float64
-		for _, n := range inf.Nodes {
-			transferTime += float64(n.TimeIn[stats.Transfer])
-		}
-		transfer := transferTime / (t1 * float64(len(inf.Nodes)))
-		rows = append(rows, Figure1Row{
-			App:               app,
-			TransferFraction:  transfer,
-			BufferingFraction: buffering,
-		})
-	}
-	return rows
+	return Figure1Rows(sweep.RunSerial(Figure1Jobs(p)))
 }
 
 // BufferLevels are the flow-control buffer counts of Figure 3a and
@@ -78,9 +59,11 @@ type Cell struct {
 
 // Figure3a regenerates Figure 3a: the three fifo-based NIs at each
 // flow-control buffer level, normalized to the AP3000-like NI with eight
-// buffers.
+// buffers. Serial; parallel drivers submit Fig3aGrid through the
+// orchestrator instead.
 func Figure3a(p workload.Params) []Cell {
-	return sweep([]nic.Kind{nic.CM5, nic.UDMA, nic.AP3000}, BufferLevels, p)
+	g := Fig3aGrid(p)
+	return g.Cells(sweep.RunSerial(g.Jobs()))
 }
 
 // Figure3b regenerates Figure 3b: the four fully or partially coherent
@@ -88,42 +71,14 @@ func Figure3a(p workload.Params) []Cell {
 // with eight buffers. (These NIs buffer in main memory, so they are
 // insensitive to the flow-control buffer count.)
 func Figure3b(p workload.Params) []Cell {
-	return sweep([]nic.Kind{nic.MemoryChannel, nic.StarTJR, nic.CNI512Q, nic.CNI32Qm}, []int{8}, p)
-}
-
-func sweep(kinds []nic.Kind, bufLevels []int, p workload.Params) []Cell {
-	var cells []Cell
-	for _, app := range workload.Apps() {
-		base := Exec(nic.AP3000, 8, app, p).ExecTime
-		for _, k := range kinds {
-			for _, b := range bufLevels {
-				st := Exec(k, b, app, p)
-				cells = append(cells, Cell{
-					Kind: k, Bufs: b, App: app,
-					Normalized: float64(st.ExecTime) / float64(base),
-					ExecUS:     st.ExecTime.Microseconds(),
-				})
-			}
-		}
-	}
-	return cells
+	g := Fig3bGrid(p)
+	return g.Cells(sweep.RunSerial(g.Jobs()))
 }
 
 // Figure4 regenerates Figure 4: the single-cycle (register-mapped) NI_2w
 // at each flow-control buffer level, normalized to CNI_32Q_m on the memory
 // bus (whose main-memory buffering makes it independent of the level).
 func Figure4(p workload.Params) []Cell {
-	var cells []Cell
-	for _, app := range workload.Apps() {
-		base := Exec(nic.CNI32Qm, 8, app, p).ExecTime
-		for _, b := range append([]int{}, BufferLevels...) {
-			st := Exec(nic.CM5SingleCycle, b, app, p)
-			cells = append(cells, Cell{
-				Kind: nic.CM5SingleCycle, Bufs: b, App: app,
-				Normalized: float64(st.ExecTime) / float64(base),
-				ExecUS:     st.ExecTime.Microseconds(),
-			})
-		}
-	}
-	return cells
+	g := Fig4Grid(p)
+	return g.Cells(sweep.RunSerial(g.Jobs()))
 }

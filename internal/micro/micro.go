@@ -9,6 +9,7 @@ import (
 	"nisim/internal/netsim"
 	"nisim/internal/nic"
 	"nisim/internal/sim"
+	"nisim/internal/sweep"
 )
 
 const (
@@ -131,31 +132,10 @@ var (
 )
 
 // Table5 regenerates the full Table 5: seven NIs plus CNI_32Qm+Throttle
-// (bandwidth only, as in the paper), with flow-control buffers = 8.
+// (bandwidth only, as in the paper), with flow-control buffers = 8. It
+// runs the standard grid serially; drivers that want parallelism submit
+// StandardSpec's jobs through the orchestrator themselves.
 func Table5(quick bool) []Table5Row {
-	// Warmup must be long enough that the CNI queue rings wrap, so the
-	// compose path runs in its steady (cache-warm) state.
-	warmup, rounds, msgs := 600, 100, 400
-	if quick {
-		warmup, rounds, msgs = 550, 30, 150
-	}
-	kinds := append(nic.PaperSeven(), nic.CNI32QmThrottle)
-	var rows []Table5Row
-	for _, k := range kinds {
-		row := Table5Row{Kind: k, LatencyUS: map[int]float64{}, BandwidthMB: map[int]float64{}}
-		if k != nic.CNI32QmThrottle {
-			for _, p := range LatencyPayloads {
-				row.LatencyUS[p] = RoundTrip(k, 8, p, warmup, rounds).Microseconds()
-			}
-		}
-		for _, p := range BandwidthPayloads {
-			n := msgs
-			if p >= 4096 {
-				n = msgs / 4
-			}
-			row.BandwidthMB[p] = Bandwidth(k, 8, p, n)
-		}
-		rows = append(rows, row)
-	}
-	return rows
+	s := StandardSpec(quick)
+	return s.Rows(sweep.RunSerial(s.Jobs()))
 }

@@ -195,6 +195,51 @@ func (m *Machine) Fraction(category int) float64 {
 	return float64(in) / (float64(m.ExecTime) * float64(len(m.Nodes)))
 }
 
+// Metrics flattens the machine record into the flat name→value map the
+// sweep result schema (internal/sweep) carries: execution time, the
+// Figure 1 processor-time categories, and the machine-wide event counters.
+// Counter families that are zero for a configuration (NI cache counters on
+// fifo NIs, fault/reliability counters on lossless runs) are omitted, so
+// the common configurations serialize compactly.
+func (m *Machine) Metrics() map[string]float64 {
+	t := m.Total()
+	ms := map[string]float64{
+		"exec_us":            m.ExecTime.Microseconds(),
+		"nodes":              float64(len(m.Nodes)),
+		"transfer_frac":      m.Fraction(Transfer),
+		"buffering_frac":     m.Fraction(Buffering),
+		"transfer_total_us":  t.TimeIn[Transfer].Microseconds(),
+		"buffering_total_us": t.TimeIn[Buffering].Microseconds(),
+		"messages":           float64(t.MessagesSent),
+		"fragments":          float64(t.FragmentsSent),
+		"bytes_sent":         float64(t.BytesSent),
+		"bus_transactions":   float64(t.BusTransactions),
+		"bounces":            float64(t.Bounces),
+		"retries":            float64(t.Retries),
+		"mean_msg_bytes":     t.Sizes().Mean(),
+	}
+	nonzero := func(name string, v int64) {
+		if v != 0 {
+			ms[name] = float64(v)
+		}
+	}
+	nonzero("cache_to_cache", t.CacheToCache)
+	nonzero("mem_to_cache", t.MemToCache)
+	nonzero("uncached_accesses", t.UncachedAccesses)
+	nonzero("ni_cache_hits", t.NICacheHits)
+	nonzero("ni_cache_misses", t.NICacheMisses)
+	nonzero("ni_bypasses", t.NIBypasses)
+	nonzero("prefetches", t.Prefetches)
+	nonzero("fault_drops", t.FaultDrops)
+	nonzero("fault_corruptions", t.FaultCorruptions)
+	nonzero("fault_duplicates", t.FaultDuplicates)
+	nonzero("ctl_drops", t.CtlDrops)
+	nonzero("retransmits", t.Retransmits)
+	nonzero("dup_suppressed", t.DupSuppressed)
+	nonzero("delivery_failures", t.DeliveryFailures)
+	return ms
+}
+
 // Histogram counts occurrences of integer values (message sizes in bytes).
 type Histogram struct {
 	counts map[int]int64

@@ -1,0 +1,47 @@
+package sweep
+
+import (
+	"flag"
+	"time"
+)
+
+// Options is the flag surface every experiment driver shares: how wide to
+// fan out, how long one simulation may take, and where to write the
+// machine-readable report. Register it on the command's FlagSet, parse,
+// then pass Options.Config to Run and hand the rendered report to Emit.
+type Options struct {
+	Jobs    int
+	Timeout time.Duration
+	JSON    string
+}
+
+// Register installs the shared -jobs, -timeout, and -json flags.
+func (o *Options) Register(fs *flag.FlagSet) {
+	fs.IntVar(&o.Jobs, "jobs", 0, "parallel simulation workers (0 = one per CPU, 1 = serial)")
+	fs.DurationVar(&o.Timeout, "timeout", 0, "per-simulation wall-clock budget, e.g. 90s (0 = none)")
+	fs.StringVar(&o.JSON, "json", "", `also write machine-readable results to this file ("-" = stdout)`)
+}
+
+// Config converts the parsed flags into a sweep configuration.
+func (o *Options) Config() Config {
+	return Config{Jobs: o.Jobs, Timeout: o.Timeout}
+}
+
+// Sweep runs jobs under the parsed flags and wraps the results in a
+// report, timing the whole fan-out.
+func (o *Options) Sweep(experiment string, seed uint64, jobs []Job) ([]Result, *Report) {
+	cfg := o.Config()
+	start := time.Now()
+	results := Run(cfg, jobs)
+	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+	return results, NewReport(experiment, seed, cfg, results, wallMS)
+}
+
+// Emit writes the report when -json was given; without the flag it is a
+// no-op, keeping the text tables the default interface.
+func (o *Options) Emit(rep *Report) error {
+	if o.JSON == "" {
+		return nil
+	}
+	return rep.WriteFile(o.JSON)
+}

@@ -1,0 +1,50 @@
+package nisim
+
+import (
+	"bytes"
+	"testing"
+
+	"nisim/internal/micro"
+	"nisim/internal/nic"
+	"nisim/internal/sweep"
+)
+
+// TestParallelSweepIsDeterministic is the orchestrator's end-to-end
+// determinism regression: a reduced Table 5 grid swept with eight workers
+// must produce byte-identical text and canonical JSON to a serial (jobs=1)
+// sweep. Each simulation is single-threaded and share-nothing, results are
+// collected in submission order, and everything host-dependent lives in
+// the timing sidecar that Canonical strips — so any difference here means
+// a concurrency leak into the model. Under `make ci` this also runs with
+// the race detector watching the worker pool.
+func TestParallelSweepIsDeterministic(t *testing.T) {
+	spec := micro.Table5Spec{
+		Kinds:       []nic.Kind{nic.CM5, nic.CNI32Qm},
+		LatPayloads: []int{8, 64},
+		BwPayloads:  []int{8, 256},
+		Warmup:      50, Rounds: 10, Msgs: 40,
+	}
+
+	serial := sweep.Run(sweep.Config{Jobs: 1}, spec.Jobs())
+	parallel := sweep.Run(sweep.Config{Jobs: 8}, spec.Jobs())
+
+	serialText := micro.FormatTable5(spec.Rows(serial))
+	parallelText := micro.FormatTable5(spec.Rows(parallel))
+	if serialText != parallelText {
+		t.Errorf("parallel text table differs from serial:\nserial:\n%s\nparallel:\n%s", serialText, parallelText)
+	}
+
+	serialJSON, err := sweep.NewReport("table5", 0, sweep.Config{Jobs: 1}, serial, 1).
+		Canonical().MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelJSON, err := sweep.NewReport("table5", 0, sweep.Config{Jobs: 8}, parallel, 2).
+		Canonical().MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Errorf("parallel canonical JSON differs from serial:\nserial:\n%s\nparallel:\n%s", serialJSON, parallelJSON)
+	}
+}
