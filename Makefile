@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-json ci
+.PHONY: build test vet lint race bench bench-smoke bench-json ci
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,15 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$'
+	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/sim/
+
+# bench-smoke is the CI benchmark gate: the AllocsPerRun gates on the
+# scheduler and message-delivery hot paths, then every benchmark for one
+# iteration (an execute-smoke, not a measurement), with the output saved
+# to bench_smoke.txt for the CI artifact.
+bench-smoke: build
+	$(GO) test -run 'AllocFree' -count=1 ./internal/sim/ ./internal/netsim/
+	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/sim/ | tee bench_smoke.txt
 
 # bench-json regenerates BENCH_results.json: the whole evaluation grid run
 # through the sweep orchestrator as one machine-readable report, with a

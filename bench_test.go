@@ -161,6 +161,27 @@ func BenchmarkEngine(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkEngineTyped measures the same tick chain on the typed-event
+// path: shared handler, pooled records, no closure per event. Compare
+// against BenchmarkEngine for the refactor's per-event win.
+func BenchmarkEngineTyped(b *testing.B) {
+	e := sim.NewEngine()
+	type state struct{ n int }
+	s := &state{}
+	var tick sim.Handler
+	tick = func(recv any, _ uint64) {
+		st := recv.(*state)
+		st.n++
+		if st.n < b.N {
+			e.AfterEvent(sim.Nanosecond, tick, st, 0)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.AfterEvent(sim.Nanosecond, tick, s, 0)
+	e.Run()
+}
+
 // BenchmarkPingPong measures end-to-end simulator throughput on the full
 // stack: one complete simulated round trip per iteration.
 func BenchmarkPingPong(b *testing.B) {

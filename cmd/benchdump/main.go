@@ -18,6 +18,7 @@ import (
 
 	"nisim/internal/macro"
 	"nisim/internal/micro"
+	"nisim/internal/profiling"
 	"nisim/internal/sim"
 	"nisim/internal/sweep"
 	"nisim/internal/workload"
@@ -51,9 +52,16 @@ func main() {
 		"also run the grid serially, verify canonical-JSON identity, and record the speedup")
 	var opts sweep.Options
 	opts.Register(flag.CommandLine)
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 	if opts.JSON == "" {
 		opts.JSON = "BENCH_results.json"
+	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump:", err)
+		os.Exit(1)
 	}
 
 	jobs := grid(*quick)
@@ -81,6 +89,10 @@ func main() {
 			rep.Timing.Speedup = serialRep.Timing.WallMS / rep.Timing.WallMS
 		}
 	}
+
+	// Flush the profiles here so they cover the sweeps and are written even
+	// when a later check exits non-zero.
+	stopProf()
 
 	if err := opts.Emit(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdump:", err)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"nisim"
+	"nisim/internal/profiling"
 	"nisim/internal/sweep"
 )
 
@@ -36,7 +37,12 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the result as JSON")
 		timeout = flag.Duration("timeout", 0, "abort the run after this much wall time (0 = no limit)")
 	)
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	die(err)
+	defer stopProf()
 
 	if *list {
 		fmt.Println("NI designs: ")

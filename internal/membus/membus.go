@@ -114,6 +114,47 @@ type Transaction struct {
 	FromCache bool
 	// Shared is set by the bus when another snooper retains a copy.
 	Shared bool
+
+	// The bus threads its per-phase state through the transaction itself so
+	// the phases can run as shared typed-event handlers instead of freshly
+	// allocated closures (three per transaction on the old path).
+	bus          *Bus
+	home         Target
+	homeSupplies bool
+	waiter       *sim.Process
+	completed    bool
+}
+
+// complete finishes the transaction: the caller's Done hook runs first, then
+// any process blocked in IssueAndWait is released.
+func (t *Transaction) complete() {
+	t.completed = true
+	if t.Done != nil {
+		t.Done()
+	}
+	if t.waiter != nil {
+		t.waiter.Unpark()
+	}
+}
+
+// Typed-event handlers for the transaction phases (see Transaction).
+func txnAddressPhase(recv any, _ uint64) { t := recv.(*Transaction); t.bus.addressPhase(t) }
+func txnHomeAccess(recv any, _ uint64)   { t := recv.(*Transaction); t.home.HomeAccess(t) }
+func txnWriteDone(recv any, _ uint64)    { recv.(*Transaction).complete() }
+func txnReadDone(recv any, _ uint64) {
+	t := recv.(*Transaction)
+	b := t.bus
+	if b.node != nil {
+		if t.FromCache {
+			b.node.CacheToCache++
+		} else if t.Kind == GetS || t.Kind == GetX {
+			b.node.MemToCache++
+		}
+	}
+	if t.homeSupplies {
+		t.home.HomeAccess(t)
+	}
+	t.complete()
 }
 
 // SnoopReply is a snooper's response to observing a transaction's address
@@ -258,8 +299,10 @@ func (b *Bus) Issue(t *Transaction) {
 			b.node.BlockBufTransfers++
 		}
 	}
+	t.bus = b
+	t.completed = false
 	_, addrEnd := b.reserve(b.eng.Now(), b.timing.ArbAddrCycles)
-	b.eng.At(addrEnd, func() { b.addressPhase(t) })
+	b.eng.AtEvent(addrEnd, txnAddressPhase, t, 0)
 }
 
 // addressPhase runs at the end of the arbitration+address occupancy: snoop,
@@ -300,66 +343,43 @@ func (b *Bus) addressPhase(t *Transaction) {
 		b.Trace("%s %#x size=%d fromCache=%v", t.Kind, t.Addr, t.Size, fromCache)
 	}
 
+	t.home = home
 	switch t.Kind {
 	case Upgrade, Invalidate:
 		// No data phase and no home involvement: complete at the end of the
 		// address phase.
-		if t.Done != nil {
-			t.Done()
-		}
+		t.complete()
 	case Writeback, UncachedWrite, BlockWrite, WriteInvalidate:
 		// Write data follows the address phase immediately; the device
 		// absorbs it HomeLatency later, but the requester is released as
 		// soon as the bus accepts the data.
 		_, dataEnd := b.reserve(b.eng.Now(), b.timing.TurnCycles+b.dataBeats(t.Size))
 		lat := home.HomeLatency(t)
-		b.eng.At(dataEnd+lat, func() { home.HomeAccess(t) })
-		b.eng.At(dataEnd, func() {
-			if t.Done != nil {
-				t.Done()
-			}
-		})
+		b.eng.AtEvent(dataEnd+lat, txnHomeAccess, t, 0)
+		b.eng.AtEvent(dataEnd, txnWriteDone, t, 0)
 	default:
 		// Read-style: the owner cache, or failing that the home, drives the
 		// data after its access latency.
-		homeSupplies := !fromCache
-		if homeSupplies {
+		t.homeSupplies = !fromCache
+		if t.homeSupplies {
 			supplyLat = home.HomeLatency(t)
 		}
 		ready := b.eng.Now() + supplyLat
 		_, dataEnd := b.reserve(ready, b.timing.TurnCycles+b.dataBeats(t.Size))
-		b.eng.At(dataEnd, func() {
-			if b.node != nil {
-				if t.FromCache {
-					b.node.CacheToCache++
-				} else if t.Kind == GetS || t.Kind == GetX {
-					b.node.MemToCache++
-				}
-			}
-			if homeSupplies {
-				home.HomeAccess(t)
-			}
-			if t.Done != nil {
-				t.Done()
-			}
-		})
+		b.eng.AtEvent(dataEnd, txnReadDone, t, 0)
 	}
 }
 
 // IssueAndWait issues t and blocks the calling process until it completes.
-// The blocked time is charged to the process's current category.
+// The blocked time is charged to the process's current category. Unlike the
+// old implementation, no wrapper closure is allocated around t.Done: the
+// transaction records the waiting process and the completion handler
+// unparks it after the Done hook runs.
 func (b *Bus) IssueAndWait(p *sim.Process, t *Transaction) {
-	done := false
-	prev := t.Done
-	t.Done = func() {
-		done = true
-		if prev != nil {
-			prev()
-		}
-		p.Unpark()
-	}
+	t.waiter = p
 	b.Issue(t)
-	for !done {
+	for !t.completed {
 		p.Park()
 	}
+	t.waiter = nil
 }

@@ -84,7 +84,8 @@ type assembly struct {
 	m        *Message
 	received int
 	bytes    int
-	got      []bool // fragment indexes already integrated (duplicate suppression)
+	got      []bool    // fragment indexes already integrated (duplicate suppression)
+	next     *assembly // endpoint free-list link
 }
 
 // doneWindow bounds the per-endpoint memory of completed (src, seq) pairs
@@ -102,6 +103,7 @@ type Endpoint struct {
 	handlers map[int]Handler
 	seq      uint64
 	partials map[[2]uint64]*assembly // key: (src, seq)
+	freeAsm  *assembly               // recycled assembly records (see newAssembly)
 	done     map[[2]uint64]struct{}  // recently completed (src, seq) pairs
 	doneQ    [][2]uint64             // eviction ring for done
 	doneHead int
@@ -279,12 +281,13 @@ func (ep *Endpoint) accept(nm *netsim.Message) {
 	}
 	a := ep.partials[key]
 	if a == nil {
-		a = &assembly{m: &Message{
+		a = ep.newAssembly(total)
+		a.m = &Message{
 			Src:      nm.Src,
 			Dst:      ep.pr.ID,
 			Handler:  nm.Handler,
 			SendTime: nm.SendTime,
-		}, got: make([]bool, total)}
+		}
 		ep.partials[key] = a
 	}
 	if idx := fragIdx(nm.Arg); idx < len(a.got) {
@@ -317,16 +320,50 @@ func (ep *Endpoint) accept(nm *netsim.Message) {
 	}
 	delete(ep.partials, key)
 	ep.markDone(key)
-	a.m.PayloadLen = a.bytes
-	a.m.ArriveTime = ep.pr.P.Now()
+	m, bytes := a.m, a.bytes
+	ep.releaseAssembly(a)
+	m.PayloadLen = bytes
+	m.ArriveTime = ep.pr.P.Now()
 	ep.pr.Stats.MessagesReceived++
-	ep.pr.Stats.BytesReceived += int64(a.bytes + netsim.HeaderBytes)
+	ep.pr.Stats.BytesReceived += int64(bytes + netsim.HeaderBytes)
 
 	ep.pr.Work(stats.Transfer, ep.cfg.RecvCycles+ep.cfg.FragCycles*int64(total-1))
-	h := ep.handlers[a.m.Handler]
+	h := ep.handlers[m.Handler]
 	if h == nil {
-		panic(fmt.Sprintf("msglayer: node %d has no handler %d", ep.pr.ID, a.m.Handler))
+		panic(fmt.Sprintf("msglayer: node %d has no handler %d", ep.pr.ID, m.Handler))
 	}
 	ep.Delivered++
-	h(ep, a.m)
+	h(ep, m)
+}
+
+// newAssembly takes a reassembly record from the endpoint's free list,
+// resizing and clearing its fragment bitmap for total fragments. Only the
+// bookkeeping record and bitmap are recycled; the Message is always freshly
+// allocated because the handler it is delivered to owns it.
+func (ep *Endpoint) newAssembly(total int) *assembly {
+	a := ep.freeAsm
+	if a == nil {
+		a = &assembly{}
+	} else {
+		ep.freeAsm = a.next
+		a.next = nil
+		a.received, a.bytes = 0, 0
+	}
+	if cap(a.got) < total {
+		a.got = make([]bool, total)
+	} else {
+		a.got = a.got[:total]
+		for i := range a.got {
+			a.got[i] = false
+		}
+	}
+	return a
+}
+
+// releaseAssembly returns a completed record to the free list. The caller
+// must have detached a.m first.
+func (ep *Endpoint) releaseAssembly(a *assembly) {
+	a.m = nil
+	a.next = ep.freeAsm
+	ep.freeAsm = a
 }

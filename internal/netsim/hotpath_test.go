@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"testing"
+
+	"nisim/internal/sim"
+)
+
+// TestDeliveryPathAllocFree is the allocation gate for the lossless message
+// hot path: once warm, a complete inject→arrive→eject→decide→ack round
+// (the per-fragment work of every simulated send) must not allocate. It
+// locks in the typed-event refactor — regressing any hop back to a closure
+// fails this test.
+func TestDeliveryPathAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig(), 2, 1)
+	sender, recv := nw.Endpoint(0), nw.Endpoint(1)
+	recv.OnAccept = func(m *Message) { recv.ReleaseIn() }
+
+	m := NewSized(0, 1, 0, 8)
+	deliver := func() {
+		if !sender.TryAcquireOut() {
+			t.Fatal("outgoing buffer not free at round start")
+		}
+		sender.Inject(m)
+		eng.Run()
+	}
+	deliver() // warm the event pool
+
+	if allocs := testing.AllocsPerRun(200, deliver); allocs != 0 {
+		t.Fatalf("lossless delivery round allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestReliableDeliveryPathAllocFree gates the reliable path: sealing,
+// arming the retransmission timer, delivery, and the ack that stops the
+// timer must all ride pooled records once the inflight map is warm.
+func TestReliableDeliveryPathAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Reliability = DefaultReliability()
+	nw := New(eng, cfg, 2, 1)
+	sender, recv := nw.Endpoint(0), nw.Endpoint(1)
+	recv.OnAccept = func(m *Message) { recv.ReleaseIn() }
+
+	m := NewSized(0, 1, 0, 8)
+	deliver := func() {
+		if !sender.TryAcquireOut() {
+			t.Fatal("outgoing buffer not free at round start")
+		}
+		sender.Inject(m)
+		eng.Run()
+	}
+	deliver()
+
+	if allocs := testing.AllocsPerRun(200, deliver); allocs != 0 {
+		t.Fatalf("reliable delivery round allocates %.1f per run, want 0", allocs)
+	}
+}

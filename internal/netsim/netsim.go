@@ -52,6 +52,12 @@ type Message struct {
 	attempts int  // total injections (first send, bounce retries, retransmits)
 	retx     int  // timer-driven retransmissions only (bounded by MaxAttempts)
 	corrupt  bool // corrupted in flight; ChecksumOK reports false
+
+	// net is set at first injection so typed-event handlers can resolve the
+	// source and destination endpoints from the message alone.
+	net *Network
+	// scratch is the reusable corruption buffer (see corruptedCopy).
+	scratch []byte
 }
 
 // NewMessage builds a message with the given payload bytes.
@@ -130,7 +136,7 @@ func New(eng *sim.Engine, cfg Config, n, bufs int) *Network {
 			outCond: sim.NewCond(eng),
 		}
 		if cfg.Reliability.Enabled {
-			ep.inflight = make(map[*Message]*inflightState)
+			ep.inflight = make(map[*Message]sim.Timer)
 		}
 		nw.eps = append(nw.eps, ep)
 	}
@@ -152,6 +158,36 @@ func (nw *Network) Config() Config { return nw.cfg }
 // them — with held buffers, a lost-message stall even if processors are
 // still spinning.
 func (nw *Network) Activity() int64 { return nw.activity }
+
+// Typed-event handlers for the message hot path. Each is one shared
+// package-level function — scheduling it allocates nothing — with the
+// message (or endpoint) as the receiver; the message's net back-pointer
+// resolves the acting endpoint. They replace the per-hop closures that
+// previously allocated a fresh environment for every network transit.
+func msgArrive(recv any, _ uint64) { m := recv.(*Message); m.net.eps[m.Dst].arrive(m) }
+func msgEject(recv any, _ uint64)  { m := recv.(*Message); m.net.eps[m.Dst].eject(m) }
+func msgDecide(recv any, _ uint64) { m := recv.(*Message); m.net.eps[m.Dst].decide(m) }
+func msgAcked(recv any, _ uint64)  { m := recv.(*Message); m.net.eps[m.Src].acked(m) }
+func msgBounced(recv any, _ uint64) {
+	m := recv.(*Message)
+	m.net.eps[m.Src].bounced(m)
+}
+func msgRetryInject(recv any, _ uint64) {
+	m := recv.(*Message)
+	ep := m.net.eps[m.Src]
+	if ep.Stats != nil {
+		ep.Stats.Retries++
+	}
+	ep.Inject(m)
+}
+func msgAckTimeout(recv any, _ uint64) { m := recv.(*Message); m.net.eps[m.Src].ackTimeout(m) }
+func epReleaseOut(recv any, _ uint64)  { recv.(*Endpoint).releaseOut() }
+func epNotifyOutFree(recv any, _ uint64) {
+	ep := recv.(*Endpoint)
+	if ep.OnOutFree != nil {
+		ep.OnOutFree()
+	}
+}
 
 func (nw *Network) serialization(bytes int) sim.Time {
 	if nw.cfg.BytesPerNS <= 0 {
@@ -177,10 +213,12 @@ type Endpoint struct {
 	nextInjectAt sim.Time
 	nextEjectAt  sim.Time
 
-	// seq numbers this endpoint's reliable sends; inflight tracks them
-	// until acked, failed, or the network is torn down.
+	// seq numbers this endpoint's reliable sends; inflight maps each to its
+	// live retransmission timer until the send is acked, failed, or the
+	// network is torn down. A bounced send keeps its entry with a stopped
+	// timer until the retry re-arms it.
 	seq      uint64
-	inflight map[*Message]*inflightState
+	inflight map[*Message]sim.Timer
 
 	// OnAccept is invoked when an arriving message is accepted into an
 	// incoming flow-control buffer. The NI must eventually call ReleaseIn
@@ -257,7 +295,7 @@ func (ep *Endpoint) releaseOut() {
 	ep.outFree++
 	ep.outCond.Broadcast()
 	if ep.OnOutFree != nil {
-		ep.net.eng.After(0, ep.OnOutFree)
+		ep.net.eng.AfterEvent(0, epNotifyOutFree, ep, 0)
 	}
 }
 
@@ -281,6 +319,7 @@ func (ep *Endpoint) Inject(m *Message) {
 		}
 		m.SealChecksum()
 	}
+	m.net = ep.net
 	m.attempts++
 	ep.net.activity++
 	eng := ep.net.eng
@@ -293,7 +332,6 @@ func (ep *Endpoint) Inject(m *Message) {
 	if ep.net.cfg.Reliability.Enabled {
 		ep.armTimer(m)
 	}
-	dst := ep.net.eps[m.Dst]
 	arriveAt := injectEnd + ep.net.cfg.Latency
 	if ep.Fault != nil {
 		v := ep.Fault.Inject(eng.Now(), m)
@@ -308,7 +346,7 @@ func (ep *Endpoint) Inject(m *Message) {
 			if ep.Stats != nil {
 				ep.Stats.ForcedBounces++
 			}
-			eng.At(arriveAt+ep.net.serialization(m.Size()), func() { ep.bounced(m) })
+			eng.AtEvent(arriveAt+ep.net.serialization(m.Size()), msgBounced, m, 0)
 			return
 		}
 		if v.Delay > 0 {
@@ -324,16 +362,16 @@ func (ep *Endpoint) Inject(m *Message) {
 			}
 			arr = m.corruptedCopy(uint64(arriveAt))
 		}
-		eng.At(arriveAt, func() { dst.arrive(arr) })
+		eng.AtEvent(arriveAt, msgArrive, arr, 0)
 		if v.Duplicate {
 			if ep.Stats != nil {
 				ep.Stats.FaultDuplicates++
 			}
-			eng.At(arriveAt+ep.net.serialization(m.Size()), func() { dst.arrive(arr) })
+			eng.AtEvent(arriveAt+ep.net.serialization(m.Size()), msgArrive, arr, 0)
 		}
 		return
 	}
-	eng.At(arriveAt, func() { dst.arrive(m) })
+	eng.AtEvent(arriveAt, msgArrive, m, 0)
 }
 
 // InjectWait acquires an outgoing buffer (blocking p) and injects m.
@@ -358,7 +396,7 @@ func (ep *Endpoint) arrive(m *Message) {
 			if ep.Stats != nil {
 				ep.Stats.FaultDelays++
 			}
-			eng.After(v.Delay, func() { ep.eject(m) })
+			eng.AfterEvent(v.Delay, msgEject, m, 0)
 			return
 		}
 	}
@@ -373,7 +411,7 @@ func (ep *Endpoint) eject(m *Message) {
 	}
 	done := start + ep.net.serialization(m.Size())
 	ep.nextEjectAt = done
-	eng.At(done, func() { ep.decide(m) })
+	eng.AtEvent(done, msgDecide, m, 0)
 }
 
 // dropControl asks this endpoint's fault plane whether the ack/bounce it
@@ -408,9 +446,9 @@ func (ep *Endpoint) decide(m *Message) {
 		// Acknowledgment returns on the (uncongested) control network.
 		if !ep.dropControl(AckControl, m) {
 			if reliable {
-				eng.After(ep.net.cfg.Latency, func() { src.acked(m) })
+				eng.AfterEvent(ep.net.cfg.Latency, msgAcked, m, 0)
 			} else {
-				eng.After(ep.net.cfg.Latency, src.releaseOut)
+				eng.AfterEvent(ep.net.cfg.Latency, epReleaseOut, src, 0)
 			}
 		}
 		if ep.OnAccept == nil {
@@ -423,23 +461,23 @@ func (ep *Endpoint) decide(m *Message) {
 	if ep.dropControl(BounceControl, m) {
 		return
 	}
-	eng.After(ep.net.cfg.Latency+ep.net.serialization(m.Size()), func() { src.bounced(m) })
+	eng.AfterEvent(ep.net.cfg.Latency+ep.net.serialization(m.Size()), msgBounced, m, 0)
 }
 
 func (ep *Endpoint) bounced(m *Message) {
 	if ep.net.cfg.Reliability.Enabled {
-		st := ep.inflight[m]
-		if st == nil {
+		t, ok := ep.inflight[m]
+		if !ok {
 			// Already acked (a duplicated copy bounced after the original
 			// was accepted) or abandoned: the send is settled, drop it.
 			return
 		}
 		// A bounce is positive evidence the message was not lost — the
-		// receiver returned it intact. Suspend the retransmission timer
-		// (the retry path re-arms it at re-injection) and reset the
-		// retransmission budget so flow-control contention never counts
-		// toward MaxAttempts.
-		st.gen++
+		// receiver returned it intact. Stop the retransmission timer
+		// (the retry path re-arms it at re-injection, so the dead timer
+		// never churns the heap) and reset the retransmission budget so
+		// flow-control contention never counts toward MaxAttempts.
+		t.Stop()
 		m.retx = 0
 	}
 	if ep.Stats != nil {
@@ -453,12 +491,7 @@ func (ep *Endpoint) bounced(m *Message) {
 	if d > ep.net.cfg.RetryCap {
 		d = ep.net.cfg.RetryCap
 	}
-	ep.net.eng.After(d, func() {
-		if ep.Stats != nil {
-			ep.Stats.Retries++
-		}
-		ep.Inject(m)
-	})
+	ep.net.eng.AfterEvent(d, msgRetryInject, m, 0)
 }
 
 // ReleaseIn frees one incoming flow-control buffer; the NI calls it when it

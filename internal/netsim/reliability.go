@@ -120,13 +120,6 @@ func (e *DeliveryError) Error() string {
 		e.Msg, e.Attempts, e.Time)
 }
 
-// inflightState tracks one unacknowledged reliable send. gen invalidates
-// stale retransmission timers: every injection bumps it, so a timer armed
-// for an earlier transmission of the same message is a no-op.
-type inflightState struct {
-	gen int
-}
-
 // checksum is an FNV-1a hash over the message header fields and payload
 // bytes. Synthetic payloads (Payload == nil) hash the length alone; the
 // corrupt flag models bit flips in bytes the simulation does not carry.
@@ -168,11 +161,30 @@ func (m *Message) ChecksumOK() bool { return !m.corrupt && m.Checksum == m.check
 // (chosen by bitPos), leaving the original — the sender's retransmission
 // buffer — pristine. When the payload is synthetic the flip is modeled by
 // the corrupt flag alone.
+//
+// Under the reliability layer the payload buffer for the copy is allocated
+// once per message and reused across retransmission attempts, instead of a
+// fresh copy per corrupted attempt. Reuse is safe there because a corrupted
+// copy is always discarded at the destination's checksum gate (the corrupt
+// flag short-circuits ChecksumOK), so its payload bytes are never delivered
+// and two in-flight copies sharing the buffer cannot be observed. Without
+// the reliability layer corrupted copies ARE delivered, so that path keeps
+// a private allocation per copy.
 func (m *Message) corruptedCopy(bitPos uint64) *Message {
 	c := *m
 	c.corrupt = true
+	c.scratch = nil
 	if len(m.Payload) > 0 {
-		p := append([]byte(nil), m.Payload...)
+		var p []byte
+		if m.net != nil && m.net.cfg.Reliability.Enabled {
+			if cap(m.scratch) < len(m.Payload) {
+				m.scratch = make([]byte, len(m.Payload))
+			}
+			p = m.scratch[:len(m.Payload)]
+		} else {
+			p = make([]byte, len(m.Payload))
+		}
+		copy(p, m.Payload)
 		i := int(bitPos/8) % len(p)
 		p[i] ^= 1 << (bitPos % 8)
 		c.Payload = p
@@ -193,34 +205,37 @@ func (nw *Network) SetFaultPlane(plane FaultPlane) {
 // receiver acks every accepted copy of a retransmitted message) are
 // ignored — the buffer was already freed.
 func (ep *Endpoint) acked(m *Message) {
-	if _, ok := ep.inflight[m]; !ok {
+	t, ok := ep.inflight[m]
+	if !ok {
 		return
 	}
+	t.Stop()
 	delete(ep.inflight, m)
 	ep.releaseOut()
 }
 
-// armTimer (re)arms the retransmission timer for m after an injection.
+// armTimer (re)arms the retransmission timer for m after an injection. The
+// previous transmission's timer, if still pending, is cancelled outright —
+// stale timers no longer linger in the event heap as generation-guarded
+// no-ops.
 func (ep *Endpoint) armTimer(m *Message) {
-	st := ep.inflight[m]
-	if st == nil {
-		st = &inflightState{}
-		ep.inflight[m] = st
+	if t, ok := ep.inflight[m]; ok {
+		t.Stop()
 	}
-	st.gen++
-	gen := st.gen
 	d := ep.net.cfg.Reliability.timeout(m.retx + 1)
-	ep.net.eng.After(d, func() { ep.ackTimeout(m, gen) })
+	ep.inflight[m] = ep.net.eng.AfterTimer(d, msgAckTimeout, m, 0)
 }
 
 // ackTimeout fires when a reliable send has gone unacknowledged for its
 // timeout: it either retransmits or, past MaxAttempts, abandons the send
 // with a structured DeliveryError — freeing the outgoing buffer so the
-// simulation quiesces instead of hanging.
-func (ep *Endpoint) ackTimeout(m *Message, gen int) {
-	st := ep.inflight[m]
-	if st == nil || st.gen != gen {
-		return // acked, failed, or superseded by a newer transmission
+// simulation quiesces instead of hanging. Every settling path (ack, bounce,
+// abandon, re-injection) stops the pending timer, so a firing timer always
+// refers to a genuinely unacknowledged transmission; the inflight check is
+// belt-and-braces for custom OnBounce handlers that drop a send.
+func (ep *Endpoint) ackTimeout(m *Message) {
+	if _, ok := ep.inflight[m]; !ok {
+		return
 	}
 	rc := ep.net.cfg.Reliability
 	if rc.MaxAttempts > 0 && m.retx >= rc.MaxAttempts {

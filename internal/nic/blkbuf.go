@@ -61,7 +61,7 @@ func (b *blkbuf) push(pr *proc.Proc, m *netsim.Message) {
 
 // Poll implements NI.
 func (b *blkbuf) Poll(pr *proc.Proc) (*netsim.Message, bool) {
-	if len(b.recvQ) == 0 {
+	if b.recvQ.len() == 0 {
 		// Unsuccessful poll: monitoring cost attributable to buffering.
 		pr.UncachedRead(stats.Buffering, RegStatus, 8)
 		return nil, false

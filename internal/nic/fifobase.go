@@ -17,8 +17,8 @@ type fifoBase struct {
 	env      *Env
 	fifo     *mainmem.Memory // serialized NI SRAM behind the fifo window
 	regs     *regsTarget
-	recvQ    []*netsim.Message
-	bounced  []*netsim.Message // returned-to-sender messages awaiting re-push
+	recvQ    msgQueue
+	bounced  msgQueue // returned-to-sender messages awaiting re-push
 	recvCond *sim.Cond
 }
 
@@ -34,14 +34,14 @@ func newFifoBase(env *Env) *fifoBase {
 	env.EP.OnAccept = func(m *netsim.Message) {
 		// The message occupies its incoming flow-control buffer until the
 		// processor pops it; ReleaseIn happens at pop time.
-		f.recvQ = append(f.recvQ, m)
+		f.recvQ.push(m)
 		f.recvCond.Broadcast()
 	}
 	// Fifo NIs involve the processor in buffering (Table 2): a returned
 	// message sits in its still-allocated outgoing buffer until the
 	// software notices and re-pushes it.
 	env.EP.OnBounce = func(m *netsim.Message) {
-		f.bounced = append(f.bounced, m)
+		f.bounced.push(m)
 		f.recvCond.Broadcast()
 	}
 	return f
@@ -53,8 +53,7 @@ func newFifoBase(env *Env) *fifoBase {
 // prefer consuming incoming messages over retrying (consume-first avoids
 // livelock between mutually bouncing senders).
 func (f *fifoBase) retryOne(pr *proc.Proc, repush func(m *netsim.Message)) {
-	m := f.bounced[0]
-	f.bounced = f.bounced[1:]
+	m := f.bounced.pop()
 	f.env.Stats.Retries++
 	prev := pr.P.Category
 	pr.P.Category = stats.Buffering
@@ -64,23 +63,22 @@ func (f *fifoBase) retryOne(pr *proc.Proc, repush func(m *netsim.Message)) {
 }
 
 // hasBounced reports whether returned messages await software service.
-func (f *fifoBase) hasBounced() bool { return len(f.bounced) > 0 }
+func (f *fifoBase) hasBounced() bool { return f.bounced.len() > 0 }
 
 // pending reports whether a message is waiting.
-func (f *fifoBase) pending() bool { return len(f.recvQ) > 0 }
+func (f *fifoBase) pending() bool { return f.recvQ.len() > 0 }
 
 // head returns the message at the fifo head without popping it.
 func (f *fifoBase) head() *netsim.Message {
-	if len(f.recvQ) == 0 {
+	if f.recvQ.len() == 0 {
 		return nil
 	}
-	return f.recvQ[0]
+	return f.recvQ.peek()
 }
 
 // pop removes the head message and frees its flow-control buffer.
 func (f *fifoBase) pop() *netsim.Message {
-	m := f.recvQ[0]
-	f.recvQ = f.recvQ[1:]
+	m := f.recvQ.pop()
 	f.env.EP.ReleaseIn()
 	return m
 }
@@ -89,7 +87,7 @@ func (f *fifoBase) pop() *netsim.Message {
 // time is charged to the compute category (it is communication wait, not an
 // NI data-transfer or buffering cost).
 func (f *fifoBase) waitForMessage(pr *proc.Proc) {
-	for len(f.recvQ) == 0 {
+	for f.recvQ.len() == 0 {
 		f.recvCond.WaitAs(pr.P, stats.Compute)
 	}
 }
@@ -99,10 +97,10 @@ func (f *fifoBase) waitForMessage(pr *proc.Proc) {
 // priority over retries.
 func (f *fifoBase) waitForMessageServicing(pr *proc.Proc, repush func(m *netsim.Message)) {
 	for {
-		if len(f.recvQ) > 0 {
+		if f.recvQ.len() > 0 {
 			return
 		}
-		if len(f.bounced) > 0 {
+		if f.bounced.len() > 0 {
 			f.retryOne(pr, repush)
 			continue
 		}

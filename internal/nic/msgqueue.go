@@ -1,0 +1,31 @@
+package nic
+
+import "nisim/internal/netsim"
+
+// msgQueue is a FIFO of messages over a reusable backing array. The old
+// queues popped with q = q[1:], which strands consumed slots: append can
+// never reuse them, so a long run reallocates and leaks the array forward
+// indefinitely. Popping here advances a head index instead, and once the
+// queue drains the array rewinds to its start — the steady state of a
+// drain-as-fast-as-you-fill NI then never allocates.
+type msgQueue struct {
+	a    []*netsim.Message
+	head int
+}
+
+func (q *msgQueue) push(m *netsim.Message) { q.a = append(q.a, m) }
+
+func (q *msgQueue) len() int { return len(q.a) - q.head }
+
+func (q *msgQueue) peek() *netsim.Message { return q.a[q.head] }
+
+func (q *msgQueue) pop() *netsim.Message {
+	m := q.a[q.head]
+	q.a[q.head] = nil
+	q.head++
+	if q.head == len(q.a) {
+		q.a = q.a[:0]
+		q.head = 0
+	}
+	return m
+}

@@ -114,7 +114,7 @@ func (n *ni2w) push(pr *proc.Proc, m *netsim.Message) {
 // Poll implements NI: one status read, then — if a message waits — pop it
 // word by word.
 func (n *ni2w) Poll(pr *proc.Proc) (*netsim.Message, bool) {
-	if len(n.recvQ) == 0 {
+	if n.recvQ.len() == 0 {
 		// An unsuccessful poll is pure monitoring cost — the price of
 		// limited buffering (§3.2) — so it lands in the buffering category.
 		prev := pr.P.Category

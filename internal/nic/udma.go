@@ -137,7 +137,7 @@ func (u *udma) Send(pr *proc.Proc, m *netsim.Message) {
 
 // Poll implements NI.
 func (u *udma) Poll(pr *proc.Proc) (*netsim.Message, bool) {
-	if len(u.recvQ) == 0 {
+	if u.recvQ.len() == 0 {
 		// Unsuccessful poll: monitoring cost attributable to buffering.
 		pr.UncachedRead(stats.Buffering, RegStatus, 8)
 		return nil, false

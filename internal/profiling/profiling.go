@@ -1,0 +1,71 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile flags
+// into the command drivers, so a slow cell or a suspected allocation
+// regression can be profiled with the stock pprof toolchain:
+//
+//	nisim -ni cni32qm -app em3d -cpuprofile cpu.out
+//	benchdump -quick -memprofile mem.out
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile output paths. Register it on a FlagSet, then call
+// Start after parsing and invoke the returned stop function once the work
+// to be profiled has finished.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// Register installs -cpuprofile and -memprofile on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write an allocation profile to this file when the run finishes")
+}
+
+// Start begins CPU profiling when -cpuprofile was given. The returned stop
+// function finishes the CPU profile and writes the allocation profile (when
+// -memprofile was given); it is safe to call when neither flag was set.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuOut *os.File
+	if f.CPU != "" {
+		cpuOut, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			cpuOut.Close()
+		}
+		if f.Mem == "" {
+			return
+		}
+		memOut, err := os.Create(f.Mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+			return
+		}
+		defer memOut.Close()
+		runtime.GC() // report live objects, not garbage awaiting collection
+		if err := pprof.Lookup("allocs").WriteTo(memOut, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+		}
+	}, nil
+}

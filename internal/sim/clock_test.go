@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+func TestAlignExactBoundary(t *testing.T) {
+	c := MHz(250) // 4 ns period
+	if got := c.Align(0); got != 0 {
+		t.Fatalf("Align(0) = %v, want 0", got)
+	}
+	for _, mult := range []Time{1, 2, 3, 1000} {
+		at := mult * c.Period
+		if got := c.Align(at); got != at {
+			t.Fatalf("Align(%v) = %v, want unchanged (exact boundary)", at, got)
+		}
+	}
+	// One picosecond past a boundary rounds up to the next one.
+	at := 2 * c.Period
+	if got := c.Align(at + Picosecond); got != at+c.Period {
+		t.Fatalf("Align(%v) = %v, want %v", at+Picosecond, got, at+c.Period)
+	}
+	// One picosecond before a boundary also lands on it.
+	if got := c.Align(at - Picosecond); got != at {
+		t.Fatalf("Align(%v) = %v, want %v", at-Picosecond, got, at)
+	}
+}
+
+func TestAlignDegenerateClock(t *testing.T) {
+	at := 7 * Nanosecond
+	for _, c := range []Clock{{Period: 0}, {Period: -Nanosecond}} {
+		if got := c.Align(at); got != at {
+			t.Fatalf("Align with Period=%v changed %v to %v, want identity", c.Period, at, got)
+		}
+	}
+}
+
+func TestCyclesInEdges(t *testing.T) {
+	c := MHz(250) // 4 ns period
+	if got := c.CyclesIn(0); got != 0 {
+		t.Fatalf("CyclesIn(0) = %d, want 0", got)
+	}
+	if got := c.CyclesIn(c.Period); got != 1 {
+		t.Fatalf("CyclesIn(one period) = %d, want 1", got)
+	}
+	if got := c.CyclesIn(3 * c.Period); got != 3 {
+		t.Fatalf("CyclesIn(3 periods) = %d, want 3", got)
+	}
+	// A partial cycle rounds up.
+	if got := c.CyclesIn(3*c.Period + Picosecond); got != 4 {
+		t.Fatalf("CyclesIn(3 periods + 1ps) = %d, want 4", got)
+	}
+	if got := c.CyclesIn(Picosecond); got != 1 {
+		t.Fatalf("CyclesIn(1ps) = %d, want 1", got)
+	}
+}
+
+func TestCyclesInNegativeDuration(t *testing.T) {
+	c := MHz(250)
+	// Negative durations never yield positive cycle counts.
+	for _, d := range []Time{-Picosecond, -c.Period, -10 * Nanosecond, -Second} {
+		if got := c.CyclesIn(d); got > 0 {
+			t.Fatalf("CyclesIn(%v) = %d, want <= 0", d, got)
+		}
+	}
+}
+
+func TestCyclesInDegenerateClock(t *testing.T) {
+	for _, c := range []Clock{{Period: 0}, {Period: -Nanosecond}} {
+		if got := c.CyclesIn(10 * Nanosecond); got != 0 {
+			t.Fatalf("CyclesIn with Period=%v = %d, want 0", c.Period, got)
+		}
+	}
+}
+
+func TestCyclesZeroAndNegativeCounts(t *testing.T) {
+	c := GHz(1)
+	if got := c.Cycles(0); got != 0 {
+		t.Fatalf("Cycles(0) = %v, want 0", got)
+	}
+	if got := c.Cycles(5); got != 5*Nanosecond {
+		t.Fatalf("Cycles(5) = %v, want 5ns", got)
+	}
+}

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 )
@@ -45,28 +44,6 @@ func (t Time) String() string {
 	}
 }
 
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-
 // Engine is a discrete-event simulator. It is not safe for concurrent use;
 // the cooperative-process machinery guarantees that at most one goroutine
 // touches the engine at any instant.
@@ -74,6 +51,8 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	pq      eventHeap
+	pool    *event // free list of recycled event records
+	pooled  int
 	procs   map[*Process]struct{}
 	stopped bool
 	stepped uint64 // number of events executed
@@ -98,36 +77,89 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Events() uint64 { return e.stepped }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return e.pq.len() }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// a discrete-event simulation must never travel backwards.
-func (e *Engine) At(t Time, fn func()) {
+// schedule allocates a pooled record, stamps it with (t, next seq), and
+// enqueues it. Scheduling in the past panics: a discrete-event simulation
+// must never travel backwards.
+func (e *Engine) schedule(t Time) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+	ev := e.alloc()
 	e.seq++
-	e.pq.pushEvent(event{at: t, seq: e.seq, fn: fn})
+	ev.at, ev.seq = t, e.seq
+	e.pq.push(ev)
+	return ev
+}
+
+func checkDelay(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+}
+
+// At schedules fn to run at absolute time t. Each call allocates a closure
+// environment at the caller; hot paths should prefer AtEvent.
+func (e *Engine) At(t Time, fn func()) {
+	e.schedule(t).fn = fn
 }
 
 // After schedules fn to run d picoseconds from now.
 func (e *Engine) After(d Time, fn func()) {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
-	}
+	checkDelay(d)
 	e.At(e.now+d, fn)
+}
+
+// AtEvent schedules the typed event h(recv, arg) at absolute time t. The
+// call is allocation-free when recv is a pointer: the handler is shared,
+// the receiver is stored as a pointer in an interface word, and the event
+// record comes from the engine's free list.
+func (e *Engine) AtEvent(t Time, h Handler, recv any, arg uint64) {
+	ev := e.schedule(t)
+	ev.h, ev.recv, ev.arg = h, recv, arg
+}
+
+// AfterEvent schedules the typed event h(recv, arg) d picoseconds from now.
+func (e *Engine) AfterEvent(d Time, h Handler, recv any, arg uint64) {
+	checkDelay(d)
+	e.AtEvent(e.now+d, h, recv, arg)
+}
+
+// AtTimer schedules the typed event h(recv, arg) at absolute time t and
+// returns a Timer that can cancel it before it fires.
+func (e *Engine) AtTimer(t Time, h Handler, recv any, arg uint64) Timer {
+	ev := e.schedule(t)
+	ev.h, ev.recv, ev.arg = h, recv, arg
+	return Timer{eng: e, ev: ev, gen: ev.gen}
+}
+
+// AfterTimer schedules the typed event h(recv, arg) d picoseconds from now
+// and returns a Timer that can cancel it before it fires.
+func (e *Engine) AfterTimer(d Time, h Handler, recv any, arg uint64) Timer {
+	checkDelay(d)
+	return e.AtTimer(e.now+d, h, recv, arg)
 }
 
 // Step executes the next pending event, advancing time. It returns false if
 // the queue is empty or the engine has been stopped.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.pq) == 0 {
+	if e.stopped || e.pq.len() == 0 {
 		return false
 	}
-	ev := e.pq.popEvent()
+	ev := e.pq.pop()
 	e.now = ev.at
 	e.stepped++
-	ev.fn()
+	// Capture the callback, then recycle the record before dispatching: the
+	// generation bump invalidates any Timer still pointing here, and the
+	// record is immediately reusable by whatever the handler schedules.
+	fn, h, recv, arg := ev.fn, ev.h, ev.recv, ev.arg
+	e.release(ev)
+	if h != nil {
+		h(recv, arg)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -172,7 +204,7 @@ func (e *Engine) StallReport() string {
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
 func (e *Engine) RunUntil(t Time) {
-	for !e.stopped && len(e.pq) > 0 && e.pq.peek().at <= t {
+	for !e.stopped && e.pq.len() > 0 && e.pq.a[0].at <= t {
 		e.Step()
 	}
 	if !e.stopped && e.now < t {

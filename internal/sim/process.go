@@ -53,9 +53,15 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 		delete(e.procs, p)
 		p.back <- struct{}{}
 	}()
-	e.After(0, p.resume)
+	e.AfterEvent(0, procResume, p, 0)
 	return p
 }
+
+// procResume is the shared typed-event handler that resumes a process. Every
+// unpark, yield, and sleep wakeup in the simulation dispatches through this
+// one function; using a method value (p.resume) instead would allocate a
+// fresh closure per scheduling.
+func procResume(recv any, _ uint64) { recv.(*Process).resume() }
 
 // resume transfers control to the process and waits until it yields back.
 // Must be called from engine context (an event callback).
@@ -114,7 +120,7 @@ func (p *Process) Sleep(d Time) {
 		return
 	}
 	start := p.eng.now
-	p.eng.After(d, p.resume)
+	p.eng.AfterEvent(d, procResume, p, 0)
 	p.suspend()
 	p.account(start)
 }
@@ -131,7 +137,7 @@ func (p *Process) SleepAs(category int, d Time) {
 // Yield reschedules the process at the current time, after all events
 // already scheduled for this instant.
 func (p *Process) Yield() {
-	p.eng.After(0, p.resume)
+	p.eng.AfterEvent(0, procResume, p, 0)
 	p.suspend()
 }
 
@@ -157,7 +163,7 @@ func (p *Process) Unpark() {
 	if p.done {
 		return
 	}
-	p.eng.After(0, p.resume)
+	p.eng.AfterEvent(0, procResume, p, 0)
 }
 
 func (p *Process) account(start Time) {

@@ -1,0 +1,252 @@
+package sim
+
+import "testing"
+
+func TestTimerStopRemovesEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.AfterTimer(10*Nanosecond, func(any, uint64) { fired = true }, nil, 0)
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer should report true")
+	}
+	if tm.Active() {
+		t.Fatal("timer should be inactive after Stop")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Stop+Run, want 0", e.Pending())
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := e.AfterTimer(Nanosecond, func(any, uint64) { fired++ }, nil, 0)
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if tm.Active() {
+		t.Fatal("timer reports active after firing")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+}
+
+func TestZeroTimerInert(t *testing.T) {
+	var tm Timer
+	if tm.Active() {
+		t.Fatal("zero Timer reports active")
+	}
+	if tm.Stop() {
+		t.Fatal("zero Timer Stop reports true")
+	}
+}
+
+// TestStaleTimerCannotCancelRecycledEvent is the ABA guard: a Timer whose
+// event fired (returning the record to the pool) must not cancel an
+// unrelated event that later reuses the same record.
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	tm := e.AfterTimer(Nanosecond, func(any, uint64) {}, nil, 0)
+	e.Run()
+
+	// The pool now holds the fired record; this schedule reuses it.
+	fired := false
+	e.AfterTimer(Nanosecond, func(any, uint64) { fired = true }, nil, 0)
+	if tm.Stop() {
+		t.Fatal("stale Timer.Stop claimed to cancel a recycled event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event was cancelled by a stale timer handle")
+	}
+}
+
+// TestSameTimeFIFOMixedKinds verifies FIFO-at-same-timestamp across closure
+// events, typed events, and timers interleaved: the firing order is exactly
+// the scheduling order.
+func TestSameTimeFIFOMixedKinds(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	note := func(recv any, arg uint64) { got = append(got, int(arg)) }
+	at := 5 * Nanosecond
+	e.At(at, func() { got = append(got, 0) })
+	e.AtEvent(at, note, nil, 1)
+	e.AtTimer(at, note, nil, 2)
+	e.At(at, func() { got = append(got, 3) })
+	e.AtEvent(at, note, nil, 4)
+	e.Run()
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestReArmedTimerFIFOOrder is the regression test for timer re-arming: a
+// timer stopped and re-armed at the same timestamp as other pending events
+// fires in its NEW schedule position (after events scheduled before the
+// re-arm), not its original one.
+func TestReArmedTimerFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	note := func(recv any, arg uint64) { got = append(got, int(arg)) }
+	at := 10 * Nanosecond
+	tm := e.AtTimer(at, note, nil, 0) // original position: first
+	e.AtEvent(at, note, nil, 1)
+	e.AtEvent(at, note, nil, 2)
+	tm.Stop()
+	e.AtTimer(at, note, nil, 0) // re-armed: now last
+	e.Run()
+	want := []int{1, 2, 0}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCancelMiddleEventPreservesOrder removes an event from the middle of a
+// same-timestamp run and checks the survivors keep their relative order.
+func TestCancelMiddleEventPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	note := func(recv any, arg uint64) { got = append(got, int(arg)) }
+	at := 10 * Nanosecond
+	var timers []Timer
+	for i := 0; i < 9; i++ {
+		timers = append(timers, e.AtTimer(at, note, nil, uint64(i)))
+	}
+	timers[4].Stop()
+	timers[7].Stop()
+	e.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTypedScheduleAllocFree is the allocation gate for the hot path: a
+// steady-state schedule→fire cycle of typed events must not allocate, and
+// neither may arming and stopping a timer.
+func TestTypedScheduleAllocFree(t *testing.T) {
+	e := NewEngine()
+	type node struct{ count int }
+	n := &node{}
+	var tick Handler
+	tick = func(recv any, _ uint64) {
+		nd := recv.(*node)
+		nd.count++
+		if nd.count%2 == 0 {
+			e.AfterEvent(Nanosecond, tick, nd, 0)
+		}
+	}
+	// Warm the pool.
+	e.AfterEvent(Nanosecond, tick, n, 0)
+	e.AfterEvent(Nanosecond, tick, n, 0)
+	e.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AfterEvent(Nanosecond, tick, n, 0)
+		for e.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("typed schedule/fire allocates %.1f per run, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(1000, func() {
+		tm := e.AfterTimer(Nanosecond, tick, n, 0)
+		tm.Stop()
+	})
+	if allocs != 0 {
+		t.Fatalf("timer arm/stop allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestProcessResumeAllocFree gates the highest-frequency scheduling site:
+// the process unpark/yield path must ride the pooled typed-event records.
+func TestProcessResumeAllocFree(t *testing.T) {
+	e := NewEngine()
+	stop := false
+	p := e.Spawn("spinner", func(p *Process) {
+		for !stop {
+			p.Park()
+		}
+	})
+	e.Run() // park the process
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Unpark()
+		for e.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unpark/resume allocates %.1f per run, want 0", allocs)
+	}
+	stop = true
+	p.Unpark()
+	e.Run()
+	e.Drain()
+}
+
+// TestHeapShrinksAfterDrain verifies the backing array contracts once a
+// large burst drains, instead of pinning peak-queue memory for the run.
+func TestHeapShrinksAfterDrain(t *testing.T) {
+	e := NewEngine()
+	const burst = 4 * minHeapCap
+	for i := 0; i < burst; i++ {
+		e.At(Time(i)*Nanosecond, func() {})
+	}
+	peak := cap(e.pq.a)
+	if peak < burst {
+		t.Fatalf("cap %d after %d pushes, want >= %d", peak, burst, burst)
+	}
+	e.Run()
+	if got := cap(e.pq.a); got >= peak {
+		t.Fatalf("heap cap %d did not shrink from peak %d after drain", got, peak)
+	}
+	// The engine must still work after shrinking.
+	fired := false
+	e.After(Nanosecond, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event lost after heap shrink")
+	}
+}
+
+// TestEventPoolBounded verifies the free list stops growing at its cap so
+// a one-off burst cannot pin its footprint forever.
+func TestEventPoolBounded(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 2*maxPooledEvents; i++ {
+		e.At(Time(i)*Picosecond, func() {})
+	}
+	e.Run()
+	if e.pooled > maxPooledEvents {
+		t.Fatalf("pool holds %d records, cap is %d", e.pooled, maxPooledEvents)
+	}
+}
