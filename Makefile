@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke bench-json ci
+.PHONY: build test vet lint race bench bench-smoke bench-json designspace-smoke ci
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,11 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/sim/
 
 # bench-smoke is the CI benchmark gate: the AllocsPerRun gates on the
-# scheduler and message-delivery hot paths, then every benchmark for one
+# scheduler, message-delivery, and composed NI hot paths, then every benchmark for one
 # iteration (an execute-smoke, not a measurement), with the output saved
 # to bench_smoke.txt for the CI artifact.
 bench-smoke: build
-	$(GO) test -run 'AllocFree' -count=1 ./internal/sim/ ./internal/netsim/
+	$(GO) test -run 'AllocFree' -count=1 ./internal/sim/ ./internal/netsim/ ./internal/nic/
 	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/sim/ | tee bench_smoke.txt
 
 # bench-json regenerates BENCH_results.json: the whole evaluation grid run
@@ -37,10 +37,24 @@ bench-smoke: build
 bench-json: build
 	$(GO) run ./cmd/benchdump -quick -baseline -timeout 300s
 
+# designspace-smoke is the CI gate on the NI composition layer: the
+# cross-Kind conformance suite over every named and cross-product spec,
+# the in-process sweep determinism regression, then the cmd/designspace
+# binary itself run serial vs. eight workers — the text tables must be
+# byte-identical.
+designspace-smoke: build
+	$(GO) test -run 'SpecConformance|CrossSpecCount|Designspace|StandardGrid' -count=1 ./internal/nic/ ./internal/designspace/
+	$(GO) run ./cmd/designspace -quick -jobs 1 > designspace_serial.txt
+	$(GO) run ./cmd/designspace -quick -jobs 8 > designspace_parallel.txt
+	cmp designspace_serial.txt designspace_parallel.txt
+	rm -f designspace_serial.txt designspace_parallel.txt
+
 # ci is the full verification gate: compile everything, vet, enforce the
-# determinism invariants, and run the test suite under the race detector.
+# determinism invariants, run the test suite under the race detector, and
+# smoke the design-space sweep for worker-count invariance.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) run ./cmd/simlint ./...
 	$(GO) test -race ./...
+	$(MAKE) designspace-smoke

@@ -1,0 +1,32 @@
+// Command designspace sweeps the full NI design space: every valid point
+// of the transfer-engine × buffering-policy cross product — the nine named
+// designs plus the ~30 compositions the paper never built (e.g. a UDMA
+// send engine over a coherent memory-homed receive ring) — through the
+// Table 5 round-trip and bandwidth microbenchmarks. The grid's cells are
+// independent simulations and fan out across CPUs; see -jobs, -timeout,
+// and -json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nisim/internal/designspace"
+	"nisim/internal/sweep"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer iterations")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
+	flag.Parse()
+
+	grid := designspace.StandardGrid(*quick)
+	results, rep := opts.Sweep("designspace", 0, grid.Jobs())
+	fmt.Print(designspace.Format(grid.Rows(results)))
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "designspace:", err)
+		os.Exit(1)
+	}
+}

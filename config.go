@@ -61,7 +61,9 @@ type Config struct {
 	// direction per node (default 8); use InfiniteBuffers for unbounded.
 	FlowBuffers int
 	// TraceTo, when non-nil, receives a structured line per memory-bus
-	// transaction — a debugging firehose; leave nil for measurement runs.
+	// transaction and per NI component-seam event (engine start/complete,
+	// buffer accept/bounce/reclaim) — a debugging firehose; leave nil for
+	// measurement runs.
 	TraceTo io.Writer
 }
 
@@ -85,7 +87,7 @@ func (c Config) build() (machine.Config, error) {
 	}
 	mc := machine.DefaultConfig(kind, bufs)
 	if c.TraceTo != nil {
-		mc.Tracer = trace.New(c.TraceTo, trace.Bus)
+		mc.Tracer = trace.New(c.TraceTo, trace.Bus, trace.NIC)
 	}
 	if c.Nodes != 0 {
 		if c.Nodes < 2 {

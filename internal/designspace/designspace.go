@@ -1,0 +1,150 @@
+// Package designspace defines the full NI design-space sweep: every valid
+// point of the transfer-engine × buffering-policy cross product — the nine
+// named designs of the paper plus the cross-product specs it never built —
+// measured with the Table 5 microbenchmarks. The grid is the single source
+// of truth shared by cmd/designspace and the determinism regression test.
+package designspace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nisim/internal/machine"
+	"nisim/internal/micro"
+	"nisim/internal/nic"
+	"nisim/internal/sweep"
+)
+
+// GridSpec parameterizes a design-space grid: which specs, which payloads,
+// and the iteration counts.
+type GridSpec struct {
+	Specs []nic.Spec
+	// LatPayload and BwPayload are the single payload sizes measured per
+	// design point (one latency cell, one bandwidth cell — the full Table 5
+	// payload columns over 39 designs would be a 273-cell grid).
+	LatPayload, BwPayload int
+	// Warmup and Rounds control the latency microbenchmark; Msgs is the
+	// bandwidth message count.
+	Warmup, Rounds, Msgs int
+}
+
+// StandardGrid returns the full design-space grid: the nine named specs
+// in Kind order, then every cross-product spec in nic.AllSpecs order.
+func StandardGrid(quick bool) GridSpec {
+	var specs []nic.Spec
+	for _, k := range nic.Kinds() {
+		specs = append(specs, nic.SpecFor(k))
+	}
+	specs = append(specs, nic.CrossSpecs()...)
+	g := GridSpec{
+		Specs:      specs,
+		LatPayload: 64,
+		BwPayload:  256,
+		Warmup:     600, Rounds: 100, Msgs: 400,
+	}
+	if quick {
+		g.Warmup, g.Rounds, g.Msgs = 50, 10, 40
+	}
+	return g
+}
+
+// config builds the two-node machine configuration for one design point.
+// Like micro.RoundTrip's named-kind path, any design using the UDMA engine
+// forces the DMA path for all payloads, so the engine under test is the
+// one the spec names.
+func config(s nic.Spec) machine.Config {
+	cfg := machine.DefaultConfig(nic.KindOf(s), 8)
+	spec := s
+	cfg.NISpec = &spec
+	if s.Send == nic.UDMAEngine || s.Recv == nic.UDMAEngine {
+		cfg.NI.UDMAThresholdBytes = 0
+	}
+	return cfg
+}
+
+// Jobs returns one latency and one bandwidth job per design point, in the
+// deterministic order Rows expects.
+func (g GridSpec) Jobs() []sweep.Job {
+	var jobs []sweep.Job
+	for _, s := range g.Specs {
+		s := s
+		axes := func(metric string, payload int) map[string]string {
+			return map[string]string{
+				"experiment": "designspace", "metric": metric,
+				"spec": s.Name(), "send": s.Send.String(), "recv": s.Recv.String(),
+				"buffering": s.Buffering.String(), "throttle": fmt.Sprint(s.Throttle),
+				"bufs": "8", "payload": fmt.Sprint(payload),
+			}
+		}
+		jobs = append(jobs, sweep.Job{
+			ID:     fmt.Sprintf("lat/%s/%dB", s.Name(), g.LatPayload),
+			Config: axes("latency", g.LatPayload),
+			Run: func() sweep.Outcome {
+				us := micro.RoundTripCfg(config(s), g.LatPayload, g.Warmup, g.Rounds).Microseconds()
+				return sweep.Outcome{Metrics: map[string]float64{"rtt_us": us}}
+			},
+		})
+		jobs = append(jobs, sweep.Job{
+			ID:     fmt.Sprintf("bw/%s/%dB", s.Name(), g.BwPayload),
+			Config: axes("bandwidth", g.BwPayload),
+			Run: func() sweep.Outcome {
+				mb := micro.BandwidthCfg(config(s), g.BwPayload, g.Msgs)
+				return sweep.Outcome{Metrics: map[string]float64{"bw_mbps": mb}}
+			},
+		})
+	}
+	return jobs
+}
+
+// Row is one design point's measurements.
+type Row struct {
+	Spec      nic.Spec
+	LatencyUS float64
+	BandMB    float64
+}
+
+// Rows reassembles rows from the results of running Jobs() through the
+// orchestrator. Results must be in job order (which sweep.Run guarantees).
+func (g GridSpec) Rows(results []sweep.Result) []Row {
+	rows := make([]Row, 0, len(g.Specs))
+	for i, s := range g.Specs {
+		rows = append(rows, Row{
+			Spec:      s,
+			LatencyUS: results[2*i].Metrics["rtt_us"],
+			BandMB:    results[2*i+1].Metrics["bw_mbps"],
+		})
+	}
+	return rows
+}
+
+// Format renders the sweep as a text table: named design points first in
+// Kind order, then the cross-product points sorted by round-trip latency,
+// so the interesting question — does any unstudied composition beat the
+// named designs? — is answerable at a glance.
+func Format(rows []Row) string {
+	named := make([]Row, 0, len(rows))
+	cross := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		if nic.KindOf(r.Spec) != nic.Custom {
+			named = append(named, r)
+		} else {
+			cross = append(cross, r)
+		}
+	}
+	sort.SliceStable(cross, func(i, j int) bool { return cross[i].LatencyUS < cross[j].LatencyUS })
+
+	var b strings.Builder
+	fmt.Fprintln(&b, "Design space: send engine x recv engine x buffering, round trip and bandwidth")
+	fmt.Fprintf(&b, "%-32s %-11s %-11s %-8s %9s %8s\n", "spec", "send", "recv", "buffer", "rtt(us)", "MB/s")
+	section := func(title string, rs []Row) {
+		fmt.Fprintf(&b, "-- %s\n", title)
+		for _, r := range rs {
+			fmt.Fprintf(&b, "%-32s %-11s %-11s %-8s %9.2f %8.1f\n",
+				r.Spec.Name(), r.Spec.Send, r.Spec.Recv, r.Spec.Buffering, r.LatencyUS, r.BandMB)
+		}
+	}
+	section("named designs (Table 2 + variants)", named)
+	section("cross-product designs (sorted by round trip)", cross)
+	return b.String()
+}

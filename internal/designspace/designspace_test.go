@@ -1,0 +1,102 @@
+package designspace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nisim/internal/micro"
+	"nisim/internal/nic"
+	"nisim/internal/sweep"
+)
+
+// reducedGrid is a grid small enough for the regression tests: two named
+// designs plus two cross-product designs, minimal iteration counts.
+func reducedGrid() GridSpec {
+	return GridSpec{
+		Specs: []nic.Spec{
+			nic.SpecFor(nic.CM5),
+			nic.SpecFor(nic.CNI32Qm),
+			{Send: nic.UDMAEngine, Recv: nic.CoherentEngine, Buffering: nic.MemoryRing},
+			{Send: nic.BlockBufEngine, Recv: nic.UncachedWordEngine, Buffering: nic.FifoVM},
+		},
+		LatPayload: 64, BwPayload: 256,
+		Warmup: 50, Rounds: 10, Msgs: 40,
+	}
+}
+
+// TestStandardGridCoversTheSpace pins the sweep's coverage: all nine named
+// designs plus at least 12 cross-product specs, every job buildable.
+func TestStandardGridCoversTheSpace(t *testing.T) {
+	g := StandardGrid(true)
+	named, cross := 0, 0
+	for _, s := range g.Specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+		if nic.KindOf(s) != nic.Custom {
+			named++
+		} else {
+			cross++
+		}
+	}
+	if named != len(nic.Kinds()) {
+		t.Errorf("grid has %d named designs, want %d", named, len(nic.Kinds()))
+	}
+	if cross < 12 {
+		t.Errorf("grid has %d cross-product designs, want >= 12", cross)
+	}
+	if got, want := len(g.Jobs()), 2*len(g.Specs); got != want {
+		t.Errorf("grid has %d jobs, want %d", got, want)
+	}
+}
+
+// TestDesignspaceSweepIsDeterministic is the cmd/designspace half of the
+// orchestrator determinism regression: a reduced grid swept with eight
+// workers must produce byte-identical text and canonical JSON to a serial
+// sweep.
+func TestDesignspaceSweepIsDeterministic(t *testing.T) {
+	g := reducedGrid()
+
+	serial := sweep.Run(sweep.Config{Jobs: 1}, g.Jobs())
+	parallel := sweep.Run(sweep.Config{Jobs: 8}, g.Jobs())
+
+	serialText := Format(g.Rows(serial))
+	parallelText := Format(g.Rows(parallel))
+	if serialText != parallelText {
+		t.Errorf("parallel text differs from serial:\nserial:\n%s\nparallel:\n%s", serialText, parallelText)
+	}
+
+	serialJSON, err := sweep.NewReport("designspace", 0, sweep.Config{Jobs: 1}, serial, 1).
+		Canonical().MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelJSON, err := sweep.NewReport("designspace", 0, sweep.Config{Jobs: 8}, parallel, 2).
+		Canonical().MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Errorf("parallel canonical JSON differs from serial:\nserial:\n%s\nparallel:\n%s", serialJSON, parallelJSON)
+	}
+	if !strings.Contains(string(serialJSON), sweep.Schema) {
+		t.Errorf("report does not carry schema %q", sweep.Schema)
+	}
+}
+
+// TestNamedSpecsMatchKindPath: building a machine from a named design's
+// Spec must measure identically to building it from the Kind, since both
+// construct the same composed NI.
+func TestNamedSpecsMatchKindPath(t *testing.T) {
+	for _, k := range []nic.Kind{nic.CM5, nic.AP3000, nic.MemoryChannel, nic.CNI32Qm} {
+		viaSpec := micro.RoundTripCfg(config(nic.SpecFor(k)), 64, 50, 10)
+		viaKind := micro.RoundTrip(k, 8, 64, 50, 10)
+		if viaSpec != viaKind {
+			t.Errorf("%s: spec path measured %v, kind path %v", k.ShortName(), viaSpec, viaKind)
+		}
+		if viaSpec <= 0 {
+			t.Errorf("%s: non-positive round trip %v", k.ShortName(), viaSpec)
+		}
+	}
+}

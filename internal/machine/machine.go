@@ -30,8 +30,13 @@ const AppBase membus.Addr = 0x0104_0000
 
 // Config selects the machine to build. DefaultConfig reproduces Table 3.
 type Config struct {
-	Nodes       int
-	NIKind      nic.Kind
+	Nodes int
+	// NIKind selects a named NI design; ignored when NISpec is set.
+	NIKind nic.Kind
+	// NISpec, when non-nil, builds every node's NI from an arbitrary design
+	// point of the transfer-engine × buffering-policy space instead of a
+	// named Kind. The spec must Validate.
+	NISpec      *nic.Spec
 	FlowBuffers int // flow-control buffers per direction; netsim.Infinite allowed
 
 	CPU    sim.Clock
@@ -134,9 +139,25 @@ func New(cfg Config) *Machine {
 		pr := &proc.Proc{ID: i, Eng: eng, Bus: bus, Cache: c, Stats: st, CPU: cfg.CPU}
 		ep := m.Net.Endpoint(i)
 		ep.Stats = st
-		ni := nic.New(cfg.NIKind, &nic.Env{
+		env := &nic.Env{
 			Eng: eng, ID: i, Bus: bus, Mem: mem, EP: ep, Stats: st, CPU: cfg.CPU, Cfg: cfg.NI,
-		})
+		}
+		if cfg.Tracer != nil && cfg.Tracer.Enabled(trace.NIC) {
+			i := i
+			env.Trace = func(format string, args ...any) {
+				cfg.Tracer.Event(eng.Now(), trace.NIC, i, format, args...)
+			}
+		}
+		var ni nic.NI
+		if cfg.NISpec != nil {
+			var err error
+			ni, err = nic.NewFromSpec(*cfg.NISpec, env)
+			if err != nil {
+				panic(fmt.Sprintf("machine: %v", err))
+			}
+		} else {
+			ni = nic.New(cfg.NIKind, env)
+		}
 		node := &Node{ID: i, Proc: pr, NI: ni, mach: m}
 		node.EP = msglayer.New(pr, ni, cfg.Net, cfg.Msg)
 		m.Nodes = append(m.Nodes, node)

@@ -123,6 +123,14 @@ type Transaction struct {
 	homeSupplies bool
 	waiter       *sim.Process
 	completed    bool
+
+	// scratch marks a record owned by the bus's reuse pool (see Access);
+	// refs counts the outstanding references to it — pending phase events
+	// plus the issuer — so it is only recycled once the last event that
+	// could touch it has fired (a write's home access lands after the
+	// issuer has already been released).
+	scratch bool
+	refs    int8
 }
 
 // complete finishes the transaction: the caller's Done hook runs first, then
@@ -137,10 +145,23 @@ func (t *Transaction) complete() {
 	}
 }
 
-// Typed-event handlers for the transaction phases (see Transaction).
-func txnAddressPhase(recv any, _ uint64) { t := recv.(*Transaction); t.bus.addressPhase(t) }
-func txnHomeAccess(recv any, _ uint64)   { t := recv.(*Transaction); t.home.HomeAccess(t) }
-func txnWriteDone(recv any, _ uint64)    { recv.(*Transaction).complete() }
+// Typed-event handlers for the transaction phases (see Transaction). Each
+// releases its reference to the transaction after its last touch.
+func txnAddressPhase(recv any, _ uint64) {
+	t := recv.(*Transaction)
+	t.bus.addressPhase(t)
+	t.bus.release(t)
+}
+func txnHomeAccess(recv any, _ uint64) {
+	t := recv.(*Transaction)
+	t.home.HomeAccess(t)
+	t.bus.release(t)
+}
+func txnWriteDone(recv any, _ uint64) {
+	t := recv.(*Transaction)
+	t.complete()
+	t.bus.release(t)
+}
 func txnReadDone(recv any, _ uint64) {
 	t := recv.(*Transaction)
 	b := t.bus
@@ -155,6 +176,7 @@ func txnReadDone(recv any, _ uint64) {
 		t.home.HomeAccess(t)
 	}
 	t.complete()
+	b.release(t)
 }
 
 // SnoopReply is a snooper's response to observing a transaction's address
@@ -228,6 +250,7 @@ type Bus struct {
 	ranges   []mapping
 	freeAt   sim.Time
 	node     *stats.Node
+	pool     []*Transaction // recycled scratch transactions (see Access)
 
 	// Trace, if non-nil, receives a line per transaction (debugging).
 	Trace func(format string, args ...any)
@@ -301,6 +324,7 @@ func (b *Bus) Issue(t *Transaction) {
 	}
 	t.bus = b
 	t.completed = false
+	t.refs++ // the pending address-phase event
 	_, addrEnd := b.reserve(b.eng.Now(), b.timing.ArbAddrCycles)
 	b.eng.AtEvent(addrEnd, txnAddressPhase, t, 0)
 }
@@ -353,6 +377,7 @@ func (b *Bus) addressPhase(t *Transaction) {
 		// Write data follows the address phase immediately; the device
 		// absorbs it HomeLatency later, but the requester is released as
 		// soon as the bus accepts the data.
+		t.refs += 2 // the pending write-done and home-access events
 		_, dataEnd := b.reserve(b.eng.Now(), b.timing.TurnCycles+b.dataBeats(t.Size))
 		lat := home.HomeLatency(t)
 		b.eng.AtEvent(dataEnd+lat, txnHomeAccess, t, 0)
@@ -360,6 +385,7 @@ func (b *Bus) addressPhase(t *Transaction) {
 	default:
 		// Read-style: the owner cache, or failing that the home, drives the
 		// data after its access latency.
+		t.refs++ // the pending read-done event
 		t.homeSupplies = !fromCache
 		if t.homeSupplies {
 			supplyLat = home.HomeLatency(t)
@@ -382,4 +408,35 @@ func (b *Bus) IssueAndWait(p *sim.Process, t *Transaction) {
 		p.Park()
 	}
 	t.waiter = nil
+}
+
+// release drops one reference to t and recycles scratch records once the
+// last reference — pending phase event or issuer — is gone. Caller-owned
+// transactions carry the same counts but are never pooled.
+func (b *Bus) release(t *Transaction) {
+	t.refs--
+	if t.refs == 0 && t.scratch {
+		b.pool = append(b.pool, t)
+	}
+}
+
+// Access issues a fire-and-forget transaction — Kind, Addr, Size only, no
+// Done hook, no Requester — and blocks the calling process until it
+// completes. It is the allocation-free variant of IssueAndWait for the
+// processor cost primitives, which never inspect the transaction
+// afterwards: the record comes from the bus's scratch pool and returns to
+// it when the last phase event referencing it has fired.
+func (b *Bus) Access(p *sim.Process, k Kind, a Addr, size int) {
+	var t *Transaction
+	if n := len(b.pool); n > 0 {
+		t = b.pool[n-1]
+		b.pool = b.pool[:n-1]
+		*t = Transaction{scratch: true}
+	} else {
+		t = &Transaction{scratch: true}
+	}
+	t.Kind, t.Addr, t.Size = k, a, size
+	t.refs = 1 // the issuer's reference, released below
+	b.IssueAndWait(p, t)
+	b.release(t)
 }

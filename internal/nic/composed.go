@@ -1,0 +1,240 @@
+package nic
+
+import (
+	"fmt"
+
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+)
+
+// sendEngine is the transmit half of a fifo-family transfer engine: the
+// processor-side work of handing one message to the network, plus the
+// re-push costs the FifoVM buffering policy charges when a bounced message
+// must go out again.
+type sendEngine interface {
+	// send performs the full transmit path: path overhead, status checks,
+	// acquiring an outgoing flow-control buffer, pushing the bytes, and
+	// injection.
+	send(pr *proc.Proc, m *netsim.Message)
+	// serviceRepush is the cost of re-pushing a bounced message noticed
+	// while the processor waits inside Recv.
+	serviceRepush(pr *proc.Proc, m *netsim.Message)
+	// retryRepush is the re-push cost of an explicit RetryOne.
+	retryRepush(pr *proc.Proc, m *netsim.Message)
+}
+
+// recvEngine is the receive half of a fifo-family transfer engine: the
+// processor-side work of polling for and draining one message out of the
+// fifo window, plus the cost of consuming a bounced message off the
+// network before it is re-pushed.
+type recvEngine interface {
+	// pollMiss charges an unsuccessful poll (monitoring cost; lands in the
+	// buffering category — the price of limited buffering, §3.2).
+	pollMiss(pr *proc.Proc)
+	// pollHit charges the status check preceding a successful receive.
+	pollHit(pr *proc.Proc)
+	// receive drains the head message out of the fifo window and pops it.
+	receive(pr *proc.Proc) *netsim.Message
+	// retryConsume charges reading a bounced message back out of the
+	// network before retryRepush sends it again.
+	retryConsume(pr *proc.Proc, m *netsim.Message)
+}
+
+// composed is an NI assembled from a Spec: a send transfer engine, a
+// receive transfer engine, and a buffering policy. The nine named Kinds are
+// just well-known Specs; cross-product Specs build the same way.
+//
+// Dispatch is by layer, not by design: the coherent engine owns whichever
+// sides the Spec marks coherent, the fifo engines own the rest, and the
+// buffering policy (FifoVM's bounce queue vs. a coherent ring's NI-side
+// retry) decides the NeedsRetry/RetryOne behavior.
+type composed struct {
+	env  *Env
+	kind Kind
+	spec Spec
+
+	hw  *fifoHW   // fifo window hardware; nil for pure-coherent specs
+	coh *coherent // coherent engine; nil for FifoVM specs
+
+	send sendEngine // nil when the send side is coherent
+	recv recvEngine // nil when the receive side is coherent
+}
+
+// newFifoEngine builds the fifo-family engine for e. The returned value
+// implements sendEngine, and recvEngine for every engine but the
+// send-only reflective one.
+func newFifoEngine(env *Env, hw *fifoHW, e Engine) any {
+	switch e {
+	case UncachedWordEngine:
+		return newWordEngine(env, hw, false)
+	case RegisterWordEngine:
+		return newWordEngine(env, hw, true)
+	case BlockBufEngine:
+		return newBlockBufEngine(env, hw)
+	case ReflectiveEngine:
+		return newReflectiveEngine(env, hw)
+	case UDMAEngine:
+		return newUdmaEngine(env, hw)
+	default:
+		panic(fmt.Sprintf("nic: %s is not a fifo-family engine", e))
+	}
+}
+
+// compose builds a working NI from a validated Spec, wiring it to the
+// node's bus, memory, and network endpoint.
+//
+// Construction order is load-bearing (it fixes bus-target registration and
+// endpoint-callback wiring, and therefore the event schedule):
+//
+//  1. The fifo window hardware, when any side is fifo-family. Its
+//     constructor wires OnAccept and OnBounce (FifoVM's software-visible
+//     bounce queue).
+//  2. The fifo engines. When both sides name the same engine they share
+//     one instance — the UDMA engine's staging rotation is per-device
+//     state, not per-direction.
+//  3. The coherent engine, for ring-buffered specs. Its constructor
+//     overrides OnAccept (receive is the coherent side) and spawns the
+//     NI-side state machines.
+//  4. Ring buffering does not involve the processor (Table 2): returned
+//     messages are retried by the NI, not the software, so the composer
+//     un-wires the fifo hardware's OnBounce.
+func compose(spec Spec, kind Kind, env *Env) *composed {
+	if err := spec.Validate(); err != nil {
+		panic(err.Error())
+	}
+	x := &composed{env: env, kind: kind, spec: spec}
+	if spec.Send.fifoFamily() || spec.Recv.fifoFamily() {
+		x.hw = newFifoHW(env)
+	}
+	if spec.Send.fifoFamily() {
+		e := newFifoEngine(env, x.hw, spec.Send)
+		x.send = e.(sendEngine)
+		if spec.Recv == spec.Send {
+			x.recv = e.(recvEngine)
+		}
+	}
+	if spec.Recv.fifoFamily() && x.recv == nil {
+		x.recv = newFifoEngine(env, x.hw, spec.Recv).(recvEngine)
+	}
+	if spec.Buffering != FifoVM {
+		name := spec.Name()
+		x.coh = newCoherent(env, spec, newRingPolicy(spec.Buffering), name)
+		if x.hw != nil {
+			env.EP.OnBounce = nil
+		}
+	}
+	return x
+}
+
+// Kind implements NI: the named design point this spec reproduces, or
+// Custom for cross-product specs.
+func (x *composed) Kind() Kind { return x.kind }
+
+// Spec returns the design point the NI was composed from.
+func (x *composed) Spec() Spec { return x.spec }
+
+// Send implements NI.
+func (x *composed) Send(pr *proc.Proc, m *netsim.Message) {
+	if x.spec.Send == CoherentEngine {
+		x.coh.send(pr, m)
+		return
+	}
+	if tr := x.env.Trace; tr != nil {
+		tr("engine send start engine=%s dst=%d size=%dB", x.spec.Send, m.Dst, m.Size())
+	}
+	x.send.send(pr, m)
+	if tr := x.env.Trace; tr != nil {
+		tr("engine send complete engine=%s dst=%d", x.spec.Send, m.Dst)
+	}
+}
+
+// Poll implements NI.
+func (x *composed) Poll(pr *proc.Proc) (*netsim.Message, bool) {
+	if x.spec.Recv == CoherentEngine {
+		return x.coh.poll(pr)
+	}
+	if x.hw.recvQ.len() == 0 {
+		x.recv.pollMiss(pr)
+		return nil, false
+	}
+	x.recv.pollHit(pr)
+	m := x.recv.receive(pr)
+	if tr := x.env.Trace; tr != nil {
+		tr("engine recv complete engine=%s src=%d size=%dB", x.spec.Recv, m.Src, m.Size())
+	}
+	return m, true
+}
+
+// Recv implements NI.
+func (x *composed) Recv(pr *proc.Proc) *netsim.Message {
+	if x.spec.Recv == CoherentEngine {
+		return x.coh.recv(pr)
+	}
+	x.hw.waitForMessageServicing(pr, func(b *netsim.Message) { x.send.serviceRepush(pr, b) })
+	x.recv.pollHit(pr)
+	m := x.recv.receive(pr)
+	if tr := x.env.Trace; tr != nil {
+		tr("engine recv complete engine=%s src=%d size=%dB", x.spec.Recv, m.Src, m.Size())
+	}
+	return m
+}
+
+// Pending implements NI.
+func (x *composed) Pending() bool {
+	if x.spec.Recv == CoherentEngine {
+		return x.coh.pending()
+	}
+	return x.hw.pending()
+}
+
+// CanSend implements NI: a coherent send side needs ring space (and, when
+// throttled, receiver credit); a fifo send side needs an outgoing
+// flow-control buffer.
+func (x *composed) CanSend(m *netsim.Message) bool {
+	if x.spec.Send == CoherentEngine {
+		return x.coh.canSend(m)
+	}
+	return x.env.EP.OutFree() > 0
+}
+
+// NeedsRetry implements NI: only FifoVM buffering involves the processor
+// in retrying bounced messages (Table 2); ring policies retry on the NI.
+func (x *composed) NeedsRetry() bool {
+	return x.spec.Buffering == FifoVM && x.hw.hasBounced()
+}
+
+// RetryOne implements NI: consume the bounced message off the network with
+// the receive engine, then re-push it with the send engine.
+func (x *composed) RetryOne(pr *proc.Proc) {
+	if x.spec.Buffering != FifoVM {
+		return
+	}
+	x.hw.retryOne(pr, func(b *netsim.Message) {
+		x.recv.retryConsume(pr, b)
+		x.send.retryRepush(pr, b)
+	})
+}
+
+// Idle implements NI: fifo-family sends complete synchronously inside
+// Send, so only a coherent send side can hold queued work.
+func (x *composed) Idle() bool {
+	if x.spec.Send == CoherentEngine {
+		return x.coh.idle()
+	}
+	return true
+}
+
+// SetPeerLookup implements PeerAware: cross-node visibility for the
+// coherent engine's software credit scheme (CNI_32Q_m+Throttle). A no-op
+// for specs without a coherent side.
+func (x *composed) SetPeerLookup(fn func(node int) NI) {
+	if x.coh == nil {
+		return
+	}
+	x.coh.peerFn = func(node int) *coherent {
+		if p, ok := fn(node).(*composed); ok {
+			return p.coh
+		}
+		return nil
+	}
+}

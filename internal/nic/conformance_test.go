@@ -1,0 +1,207 @@
+package nic
+
+import (
+	"testing"
+
+	"nisim/internal/cache"
+	"nisim/internal/mainmem"
+	"nisim/internal/membus"
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// newTwoNodesSpec is newTwoNodes for an arbitrary design point.
+func newTwoNodesSpec(t *testing.T, spec Spec, bufs int, mutate func(*Config)) *twoNodes {
+	t.Helper()
+	eng := sim.NewEngine()
+	r := &twoNodes{eng: eng, net: netsim.New(eng, netsim.DefaultConfig(), 2, bufs)}
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	for i := 0; i < 2; i++ {
+		st := stats.NewNode()
+		bus := membus.New(eng, membus.DefaultTiming(), st)
+		mem := mainmem.New("dram", 120*sim.Nanosecond, eng)
+		bus.MapRange(DRAMBase, DRAMLimit, mem)
+		c := cache.New("cache", eng, bus, cache.DefaultConfig(), st)
+		pr := &proc.Proc{ID: i, Eng: eng, Bus: bus, Cache: c, Stats: st, CPU: sim.GHz(1)}
+		ep := r.net.Endpoint(i)
+		ep.Stats = st
+		ni, err := NewFromSpec(spec, &Env{Eng: eng, ID: i, Bus: bus, Mem: mem, EP: ep, Stats: st, CPU: sim.GHz(1), Cfg: cfg})
+		if err != nil {
+			t.Fatalf("NewFromSpec(%s): %v", spec.Name(), err)
+		}
+		r.nis[i] = ni
+		r.procs[i] = pr
+		r.nodes[i] = st
+	}
+	for i := range r.nis {
+		if pa, ok := r.nis[i].(PeerAware); ok {
+			pa.SetPeerLookup(func(id int) NI { return r.nis[id] })
+		}
+	}
+	return r
+}
+
+// TestSpecConformance drives every named Kind and every valid cross-product
+// spec through one send/poll/recv/bounce/drain scenario and checks the NI
+// contract invariants that hold for all designs:
+//
+//   - Poll agrees with Pending: a message comes back exactly when Pending
+//     was true immediately before the call (no Recv without Pending).
+//   - Bounced messages are eventually redelivered: every sent message
+//     arrives exactly once, even when the sleeping receiver forces bounces.
+//   - NeedsRetry is true only under processor-involved buffering (FifoVM);
+//     ring-buffered designs never ask the software to retry.
+//   - Idle implies no queued sends: the drain spin after the last delivery
+//     terminates with the send side idle.
+func TestSpecConformance(t *testing.T) {
+	type point struct {
+		name string
+		spec Spec
+	}
+	var points []point
+	for _, k := range Kinds() {
+		points = append(points, point{k.ShortName(), SpecFor(k)})
+	}
+	for _, s := range CrossSpecs() {
+		points = append(points, point{s.Name(), s})
+	}
+	const (
+		count   = 12
+		payload = 112 // >1 block, >UDMA threshold: exercises every engine's large path
+	)
+	for _, pt := range points {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			if err := pt.spec.Validate(); err != nil {
+				t.Fatalf("invalid spec: %v", err)
+			}
+			r := newTwoNodesSpec(t, pt.spec, 2, nil)
+			fifoVM := pt.spec.Buffering == FifoVM
+			idleDrained := false
+			r.run(t,
+				func(pr *proc.Proc, ni NI) {
+					for i := 0; i < count; i++ {
+						m := netsim.NewSized(0, 1, 1, payload)
+						for !ni.CanSend(m) {
+							if ni.NeedsRetry() {
+								if !fifoVM {
+									t.Error("ring-buffered NI reported processor retry work")
+								}
+								ni.RetryOne(pr)
+							} else {
+								pr.P.SleepAs(stats.Buffering, 100*sim.Nanosecond)
+							}
+						}
+						ni.Send(pr, m)
+					}
+					// Drain: service software retries until the whole batch has
+					// been delivered network-wide, then wait for the send side
+					// to go idle.
+					for r.net.Delivered < count {
+						if ni.NeedsRetry() {
+							if !fifoVM {
+								t.Error("ring-buffered NI reported processor retry work")
+							}
+							ni.RetryOne(pr)
+						} else {
+							pr.P.SleepAs(stats.Buffering, 100*sim.Nanosecond)
+						}
+					}
+					for spin := 0; !ni.Idle(); spin++ {
+						if spin > 100000 {
+							t.Error("send side never went idle after the last delivery")
+							return
+						}
+						pr.P.SleepAs(stats.Buffering, 100*sim.Nanosecond)
+					}
+					idleDrained = true
+				},
+				func(pr *proc.Proc, ni NI) {
+					// Sleep first so the two flow-control buffers overflow and
+					// fifo-buffered designs must bounce.
+					pr.P.SleepAs(stats.Compute, 20*sim.Microsecond)
+					got := 0
+					// Exercise the blocking receive path once.
+					if m := ni.Recv(pr); m == nil {
+						t.Error("Recv returned nil")
+					} else {
+						got++
+					}
+					for got < count {
+						pending := ni.Pending()
+						m, ok := ni.Poll(pr)
+						if ok != pending {
+							t.Errorf("Poll returned %v with Pending()=%v", ok, pending)
+						}
+						if ok {
+							if m == nil {
+								t.Error("successful Poll returned nil message")
+							}
+							got++
+							continue
+						}
+						pr.P.SleepAs(stats.Compute, 200*sim.Nanosecond)
+					}
+					if ni.Pending() {
+						t.Error("Pending still true after the whole batch was consumed")
+					}
+					if _, ok := ni.Poll(pr); ok {
+						t.Error("Poll produced a message beyond the sent batch")
+					}
+				})
+			if !idleDrained {
+				t.Fatal("sender never finished draining")
+			}
+			if got := r.nodes[1].FragmentsReceived; got != count {
+				t.Fatalf("received %d fragments, want %d (bounced messages lost?)", got, count)
+			}
+			if fifoVM {
+				if r.nodes[0].Bounces == 0 {
+					t.Error("fifo-buffered design never bounced despite the sleeping receiver")
+				}
+				if r.nodes[0].Retries == 0 {
+					t.Error("fifo-buffered design never needed a software retry")
+				}
+			} else if r.nodes[0].Retries != 0 {
+				t.Errorf("ring-buffered design charged %d software retries", r.nodes[0].Retries)
+			}
+		})
+	}
+}
+
+// TestCrossSpecCount pins the size of the swept design space: the valid
+// cross product beyond the nine named points must stay large enough for
+// cmd/designspace's acceptance floor (>= 12 specs).
+func TestCrossSpecCount(t *testing.T) {
+	cross := CrossSpecs()
+	if len(cross) < 12 {
+		t.Fatalf("only %d cross-product specs, want >= 12", len(cross))
+	}
+	seen := make(map[string]bool)
+	for _, s := range cross {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+		if KindOf(s) != Custom {
+			t.Errorf("%s duplicates a named kind", s.Name())
+		}
+		if seen[s.Name()] {
+			t.Errorf("duplicate spec name %s", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+	// And the named points must round-trip through their specs.
+	for _, k := range Kinds() {
+		if got := KindOf(SpecFor(k)); got != k {
+			t.Errorf("SpecFor(%s) resolves to %v", k.ShortName(), got)
+		}
+		if SpecFor(k).Name() != k.ShortName() {
+			t.Errorf("SpecFor(%s).Name() = %q", k.ShortName(), SpecFor(k).Name())
+		}
+	}
+}

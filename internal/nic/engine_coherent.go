@@ -1,0 +1,377 @@
+package nic
+
+import (
+	"fmt"
+
+	"nisim/internal/membus"
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// coherent is the Coherent Network Interface transfer engine (the CNI
+// family). Processors and the NI communicate through memory-based queues
+// managed with the lazy-pointer, message-valid-bit, and sense-reverse
+// optimizations of Mukherjee et al. [29]: no per-message pointer bus
+// traffic — the processor discovers new messages by reading the (cacheable)
+// head block itself, and the NI discovers new sends from a doorbell plus
+// coherent fetches.
+//
+// Where queue storage lives — and therefore what bus idiom each deposited
+// block pays, when the cache bypasses, and how dead blocks are reclaimed —
+// is the buffering policy's business: coherent drives the generic queue
+// machinery and delegates those decisions to its ringPolicy (policy_ring.go).
+//
+// The NI-homed and NI-cached policies also prefetch send blocks: observing
+// the processor's request-for-exclusive on block k+1 of a message triggers
+// a fetch of block k, overlapping message creation with transfer.
+type coherent struct {
+	env       *Env
+	ring      ringPolicy
+	snoopName string
+
+	prefetch bool
+	throttle bool
+
+	sendRing, recvRing cniRing
+	sendPtr, recvPtr   membus.Addr // cacheable head/tail pointer blocks
+
+	// Send side.
+	sendQ       queue[sendEntry]
+	sendWork    *sim.Cond
+	sendSpace   *sim.Cond // ring space freed
+	outFree     *sim.Cond // network out-buffer freed
+	fetched     map[int64]bool
+	composeTail int64 // logical tail reserved by in-progress composes
+	doorbelled  int64 // logical tail covered by doorbells
+
+	// Receive side.
+	acceptQ     msgQueue
+	recvWork    *sim.Cond
+	deliverable queue[recvEntry]
+	recvCond    *sim.Cond
+	consumeCond *sim.Cond
+	unconsumed  int64 // blocks accepted into the receive queue, not yet consumed
+
+	// Send throttling (CNI_32Q_m+Throttle): a software credit scheme that
+	// keeps, per destination, no more unconsumed blocks outstanding than the
+	// receiver's NI cache holds. outstanding is the sender-side ledger;
+	// consume at the receiver returns the credit via peerFn.
+	outstanding  map[int]int64
+	throttleCond *sim.Cond
+
+	// peerFn resolves the coherent engine at another node. Set by the
+	// machine layer through the composed NI's SetPeerLookup.
+	peerFn func(node int) *coherent
+}
+
+// cniRing is a queue of 64-byte blocks with monotonically increasing
+// logical head/tail indices mapped onto a fixed physical ring.
+type cniRing struct {
+	base membus.Addr
+	cap  int64 // capacity in blocks
+	head int64 // first live block
+	tail int64 // first free block
+}
+
+func (r *cniRing) addr(logical int64) membus.Addr {
+	return r.base + membus.Addr(logical%r.cap)*membus.BlockSize
+}
+
+func (r *cniRing) contains(a membus.Addr) bool {
+	return a >= r.base && a < r.base+membus.Addr(r.cap)*membus.BlockSize
+}
+
+// logicalAt maps a physical block address to the most recent logical index
+// at or below limit-1 that aliases it.
+func (r *cniRing) logicalAt(a membus.Addr, limit int64) int64 {
+	idx := int64(a-r.base) / membus.BlockSize
+	last := limit - 1
+	return last - ((last-idx)%r.cap+r.cap)%r.cap
+}
+
+type sendEntry struct {
+	m     *netsim.Message
+	start int64
+	nb    int64
+}
+
+type recvEntry struct {
+	m       *netsim.Message
+	start   int64
+	nb      int64
+	inCache bool // resident in the NI receive cache (NICachedRing)
+}
+
+func newCoherent(env *Env, spec Spec, ring ringPolicy, snoopName string) *coherent {
+	c := &coherent{
+		env:         env,
+		ring:        ring,
+		snoopName:   snoopName,
+		prefetch:    ring.prefetches() && !env.Cfg.DisableCNIPrefetch,
+		throttle:    spec.Throttle,
+		sendWork:    sim.NewCond(env.Eng),
+		sendSpace:   sim.NewCond(env.Eng),
+		outFree:     sim.NewCond(env.Eng),
+		recvWork:    sim.NewCond(env.Eng),
+		recvCond:    sim.NewCond(env.Eng),
+		consumeCond: sim.NewCond(env.Eng),
+		fetched:     make(map[int64]bool),
+	}
+	if c.throttle {
+		c.outstanding = make(map[int]int64)
+		c.throttleCond = sim.NewCond(env.Eng)
+	}
+	ring.install(c)
+	env.Bus.AttachSnooper(c)
+	env.EP.OnAccept = func(m *netsim.Message) {
+		c.acceptQ.push(m)
+		if tr := env.Trace; tr != nil {
+			tr("buffer accept src=%d size=%dB queued=%d", m.Src, m.Size(), c.acceptQ.len())
+		}
+		c.recvWork.Broadcast()
+	}
+	env.EP.OnOutFree = func() { c.outFree.Broadcast() }
+	env.Eng.Spawn(fmt.Sprintf("cni-send-%d", env.ID), c.sendEngine)
+	env.Eng.Spawn(fmt.Sprintf("cni-recv-%d", env.ID), c.recvEngine)
+	return c
+}
+
+// SnooperName implements membus.Snooper.
+func (c *coherent) SnooperName() string { return c.snoopName }
+
+// Snoop implements membus.Snooper: let the buffering policy supply
+// receive-queue blocks it holds, and watch the send queue for prefetch
+// opportunities.
+func (c *coherent) Snoop(t *membus.Transaction) membus.SnoopReply {
+	switch t.Kind {
+	case membus.GetS:
+		if reply, ok := c.ring.snoopSupply(t.Addr); ok {
+			return reply
+		}
+	case membus.GetX, membus.Upgrade:
+		if c.sendRing.contains(t.Addr) {
+			c.snoopCompose(t.Addr)
+		}
+	}
+	return membus.SnoopReply{}
+}
+
+// snoopCompose reacts to the processor taking exclusive ownership of a send
+// queue block: drop any stale NI copy (fetched too early ⇒ refetch later)
+// and, with prefetch enabled, start fetching the previous block of the
+// message being composed.
+func (c *coherent) snoopCompose(a membus.Addr) {
+	li := c.sendRing.logicalAt(a, c.composeTail)
+	if c.fetched[li] {
+		delete(c.fetched, li)
+		c.env.Stats.Refetches++
+	}
+	if !c.prefetch {
+		return
+	}
+	prev := li - 1
+	if prev < c.doorbelled || c.fetched[prev] {
+		return
+	}
+	c.fetched[prev] = true
+	c.env.Stats.Prefetches++
+	c.env.Bus.Issue(&membus.Transaction{
+		Kind:      membus.GetS,
+		Addr:      c.sendRing.addr(prev),
+		Requester: c,
+		Done:      func() { c.ring.prefetchStored() },
+	})
+}
+
+// send is the processor side of a coherent transmit: compose the message
+// into cacheable queue memory and ring the doorbell; the NI manages the
+// transfer from there, so the processor is released immediately (modulo
+// throttling).
+func (c *coherent) send(pr *proc.Proc, m *netsim.Message) {
+	nb := int64(blocksFor(m))
+	if c.throttle {
+		c.throttleWait(pr, m, nb)
+	}
+	if c.sendRing.tail+nb-c.sendRing.head > c.sendRing.cap {
+		c.env.Stats.SendBlocked++
+		for c.sendRing.tail+nb-c.sendRing.head > c.sendRing.cap {
+			c.sendSpace.WaitAs(pr.P, stats.Buffering)
+		}
+	}
+	start := c.sendRing.tail
+	c.sendRing.tail += nb
+	c.composeTail = c.sendRing.tail
+
+	remaining := m.Size()
+	for i := int64(0); i < nb; i++ {
+		chunk := remaining
+		if chunk > membus.BlockSize {
+			chunk = membus.BlockSize
+		}
+		pr.CachedWrite(stats.Transfer, c.sendRing.addr(start+i), chunk)
+		remaining -= chunk
+	}
+	// Lazy tail-pointer update (cacheable) — the doorbell.
+	pr.CachedWrite(stats.Transfer, c.sendPtr, 8)
+	c.doorbelled = c.sendRing.tail
+	c.sendQ.push(sendEntry{m: m, start: start, nb: nb})
+	if tr := c.env.Trace; tr != nil {
+		tr("engine compose dst=%d blocks=%d ring=[%d,%d)", m.Dst, nb, c.sendRing.head, c.sendRing.tail)
+	}
+	c.sendWork.Broadcast()
+}
+
+// throttleWait models CNI_32Q_m+Throttle: a software credit scheme holds
+// the sender until the receiver's NI cache has room for the message, so the
+// receiver keeps consuming from fast NI SRAM instead of overflowing to main
+// memory. Credits return when the receiver consumes (see consume).
+func (c *coherent) throttleWait(pr *proc.Proc, m *netsim.Message, nb int64) {
+	for c.outstanding[m.Dst]+nb > int64(c.env.Cfg.CNICacheBlocks) {
+		c.throttleCond.WaitAs(pr.P, stats.Buffering)
+	}
+	c.outstanding[m.Dst] += nb
+}
+
+// sendEngine is the NI-side send state machine: fetch message blocks from
+// the processor's cache (or memory) with coherent reads, then inject.
+func (c *coherent) sendEngine(p *sim.Process) {
+	for {
+		for c.sendQ.len() == 0 {
+			c.sendWork.Wait(p)
+		}
+		e := c.sendQ.pop()
+		for i := int64(0); i < e.nb; i++ {
+			li := e.start + i
+			if c.fetched[li] {
+				delete(c.fetched, li)
+				continue
+			}
+			c.ring.admitSend(p)
+			c.env.Bus.IssueAndWait(p, &membus.Transaction{
+				Kind:      membus.GetS,
+				Addr:      c.sendRing.addr(li),
+				Requester: c,
+			})
+			// The local store of the fetched block lands in the device's
+			// write buffer; reads bypass it, so it neither stalls the engine
+			// nor delays subsequent reads. Only the SRAM caches, being
+			// single-ported, charge their occupancy.
+			c.ring.fetchStored()
+		}
+		for !c.env.EP.TryAcquireOut() {
+			c.outFree.Wait(p)
+		}
+		c.env.EP.Inject(e.m)
+		if tr := c.env.Trace; tr != nil {
+			tr("engine inject dst=%d blocks=%d", e.m.Dst, e.nb)
+		}
+		c.sendRing.head = e.start + e.nb
+		c.ring.sendDone(e.nb)
+		c.sendSpace.Broadcast()
+	}
+}
+
+// recvEngine is the NI-side receive state machine: move each accepted
+// message from its incoming flow-control buffer into the receive queue; the
+// buffering policy decides where the blocks land.
+func (c *coherent) recvEngine(p *sim.Process) {
+	for {
+		for c.acceptQ.len() == 0 {
+			c.recvWork.Wait(p)
+		}
+		m := c.acceptQ.pop()
+		nb := int64(blocksFor(m))
+		for c.recvRing.tail+nb-c.recvRing.head > c.recvRing.cap {
+			// Queue full: hold the flow-control buffer (backpressure).
+			c.consumeCond.Wait(p)
+		}
+		start := c.recvRing.tail
+		c.recvRing.tail += nb
+		c.unconsumed += nb
+		inCache := c.ring.deposit(p, start, nb)
+		c.env.EP.ReleaseIn()
+		c.deliverable.push(recvEntry{m: m, start: start, nb: nb, inCache: inCache})
+		c.recvCond.Broadcast()
+	}
+}
+
+// poll is a sense-reverse poll: a cached read of the head block — a 1-cycle
+// cache hit while nothing has arrived, a coherent fetch (from the NI cache,
+// NI memory, or DRAM, depending on the buffering policy) when the NI has
+// deposited a message there.
+func (c *coherent) poll(pr *proc.Proc) (*netsim.Message, bool) {
+	if c.deliverable.len() == 0 {
+		// Unsuccessful poll: a cache-resident head read, so the monitoring
+		// cost of a coherent NI is a 1-cycle hit rather than an uncached
+		// bus round trip.
+		pr.CachedRead(stats.Buffering, c.recvRing.addr(c.recvRing.head), 8)
+		return nil, false
+	}
+	pr.CachedRead(stats.Transfer, c.recvRing.addr(c.recvRing.head), 8)
+	return c.consume(pr), true
+}
+
+// recv blocks until a message is deliverable, then consumes it.
+func (c *coherent) recv(pr *proc.Proc) *netsim.Message {
+	for c.deliverable.len() == 0 {
+		c.recvCond.WaitAs(pr.P, stats.Compute)
+	}
+	pr.CachedRead(stats.Transfer, c.recvRing.addr(c.recvRing.head), 8)
+	return c.consume(pr)
+}
+
+func (c *coherent) consume(pr *proc.Proc) *netsim.Message {
+	e := c.deliverable.pop()
+	m := e.m
+
+	remaining := m.Size()
+	for i := int64(0); i < e.nb; i++ {
+		chunk := remaining
+		if chunk > membus.BlockSize {
+			chunk = membus.BlockSize
+		}
+		pr.CachedRead(stats.Transfer, c.recvRing.addr(e.start+i), chunk)
+		remaining -= chunk
+	}
+	// Copy payload into the user buffer: one store per 8 bytes.
+	pr.Work(stats.Transfer, int64((m.Size()+7)/8))
+	// Lazy head-pointer update (cacheable).
+	pr.CachedWrite(stats.Transfer, c.recvPtr, 8)
+
+	c.recvRing.head = e.start + e.nb
+	c.unconsumed -= e.nb
+	if c.peerFn != nil {
+		if sender := c.peerFn(m.Src); sender != nil && sender.throttle {
+			sender.outstanding[c.env.ID] -= e.nb
+			sender.throttleCond.Broadcast()
+			// The credit return carries a head update, so the NI can
+			// reclaim dead blocks without waiting for a flush.
+			c.ring.reclaim()
+		}
+	}
+	c.ring.recordConsume(e.inCache, e.nb)
+	c.consumeCond.Broadcast()
+	recordRecv(c.env, m)
+	return m
+}
+
+// pending reports whether a consume would succeed now.
+func (c *coherent) pending() bool { return c.deliverable.len() > 0 }
+
+// canSend reports whether the send queue has ring space (and, for the
+// throttled variant, whether the receiver has credit).
+func (c *coherent) canSend(m *netsim.Message) bool {
+	nb := int64(blocksFor(m))
+	if c.sendRing.tail+nb-c.sendRing.head > c.sendRing.cap {
+		return false
+	}
+	if c.throttle && c.outstanding[m.Dst]+nb > int64(c.env.Cfg.CNICacheBlocks) {
+		return false
+	}
+	return true
+}
+
+// idle reports whether the NI-side send engine has drained its queue.
+func (c *coherent) idle() bool { return c.sendQ.len() == 0 }

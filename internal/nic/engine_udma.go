@@ -8,20 +8,24 @@ import (
 	"nisim/internal/stats"
 )
 
-// udma is the Princeton UDMA-based NI_64w+Udma: the processor can examine
-// the first 64 words (256 bytes) of the fifo directly, and can initiate an
-// NI-managed block DMA with a two-instruction user-level sequence (an
-// uncached store of the buffer address followed by an uncached load that
-// checks and commits the start).
+// udmaEngine is the Princeton UDMA-based transfer engine (NI_64w+Udma): the
+// processor can examine the first 64 words (256 bytes) of the fifo
+// directly, and can initiate an NI-managed block DMA with a two-instruction
+// user-level sequence (an uncached store of the buffer address followed by
+// an uncached load that checks and commits the start).
 //
 // As in the paper (§6.1.1), the messaging layer uses the UDMA mechanism
 // only for payloads larger than Cfg.UDMAThresholdBytes; smaller messages
 // fall back on uncached word transfers like the CM-5-like NI. And as in the
 // paper, the software waits for each UDMA transfer to complete, so the
 // benefit is the block transfer itself, not overlap.
-type udma struct {
-	*fifoBase
+//
+// When a spec uses the UDMA engine on both sides, the composer shares one
+// instance so send and receive staging rotate through the same sequence —
+// exactly the monolithic NI's behavior.
+type udmaEngine struct {
 	env *Env
+	hw  *fifoHW
 
 	// stagingSeq rotates DMA staging buffers through a DRAM region so that
 	// consecutive transfers do not artificially hit in the cache.
@@ -33,26 +37,22 @@ type udma struct {
 // rotating staging slots live at cache offsets [0x42000, 0x82000).
 const udmaStagingBase membus.Addr = 0x2004_2000
 
-func newUdma(env *Env) *udma {
-	u := &udma{env: env}
-	u.fifoBase = newFifoBase(env)
-	return u
+func newUdmaEngine(env *Env, hw *fifoHW) *udmaEngine {
+	return &udmaEngine{env: env, hw: hw}
 }
 
-func (u *udma) Kind() Kind { return UDMA }
-
-func (u *udma) useDMA(m *netsim.Message) bool {
+func (u *udmaEngine) useDMA(m *netsim.Message) bool {
 	return m.PayloadLen > u.env.Cfg.UDMAThresholdBytes
 }
 
-func (u *udma) staging() membus.Addr {
+func (u *udmaEngine) staging() membus.Addr {
 	u.stagingSeq++
 	return udmaStagingBase + membus.Addr(u.stagingSeq%256)*1024
 }
 
 // initiate models the two-instruction UDMA start plus the bus-master
 // handoff from processor to NI.
-func (u *udma) initiate(pr *proc.Proc) {
+func (u *udmaEngine) initiate(pr *proc.Proc) {
 	pr.UncachedWrite(stats.Transfer, RegUdmaAddr, 8)
 	pr.UncachedRead(stats.Transfer, RegUdmaStat, 8)
 	pr.P.SleepAs(stats.Transfer, u.env.Cfg.UDMAMasterSwitch)
@@ -61,7 +61,7 @@ func (u *udma) initiate(pr *proc.Proc) {
 // awaitDMA models the software waiting for a UDMA transfer to complete by
 // polling the NI's completion register (the paper's messaging layer "waits
 // until each UDMA transfer is complete").
-func (u *udma) awaitDMA(pr *proc.Proc, done *bool, doneCond *sim.Cond) {
+func (u *udmaEngine) awaitDMA(pr *proc.Proc, done *bool, doneCond *sim.Cond) {
 	for !*done {
 		doneCond.WaitAs(pr.P, stats.Transfer)
 	}
@@ -71,7 +71,7 @@ func (u *udma) awaitDMA(pr *proc.Proc, done *bool, doneCond *sim.Cond) {
 // repush is the software cost of re-sending a returned message: small
 // messages are re-pushed through the window; for UDMA transfers the data
 // still sits in the NI, so the software re-runs the initiation sequence.
-func (u *udma) repush(pr *proc.Proc, m *netsim.Message) {
+func (u *udmaEngine) repush(pr *proc.Proc, m *netsim.Message) {
 	if !u.useDMA(m) {
 		words := wordsFor(m, u.env.Cfg.UncachedWordBytes)
 		for i := 0; i < words; i++ {
@@ -85,8 +85,8 @@ func (u *udma) repush(pr *proc.Proc, m *netsim.Message) {
 	pr.UncachedRead(stats.Buffering, RegUdmaStat, 8)
 }
 
-// Send implements NI.
-func (u *udma) Send(pr *proc.Proc, m *netsim.Message) {
+// send implements sendEngine.
+func (u *udmaEngine) send(pr *proc.Proc, m *netsim.Message) {
 	pr.Work(stats.Transfer, u.env.Cfg.FifoPathCycles)
 	pr.UncachedRead(stats.Transfer, RegStatus, 8)
 	for !u.env.EP.TryAcquireOut() {
@@ -135,26 +135,20 @@ func (u *udma) Send(pr *proc.Proc, m *netsim.Message) {
 	u.awaitDMA(pr, &done, doneCond)
 }
 
-// Poll implements NI.
-func (u *udma) Poll(pr *proc.Proc) (*netsim.Message, bool) {
-	if u.recvQ.len() == 0 {
-		// Unsuccessful poll: monitoring cost attributable to buffering.
-		pr.UncachedRead(stats.Buffering, RegStatus, 8)
-		return nil, false
-	}
-	pr.UncachedRead(stats.Transfer, RegStatus, 8)
-	return u.receive(pr), true
+// pollMiss implements recvEngine.
+func (u *udmaEngine) pollMiss(pr *proc.Proc) {
+	// Unsuccessful poll: monitoring cost attributable to buffering.
+	pr.UncachedRead(stats.Buffering, RegStatus, 8)
 }
 
-// Recv implements NI.
-func (u *udma) Recv(pr *proc.Proc) *netsim.Message {
-	u.waitForMessageServicing(pr, func(r *netsim.Message) { u.repush(pr, r) })
+// pollHit implements recvEngine.
+func (u *udmaEngine) pollHit(pr *proc.Proc) {
 	pr.UncachedRead(stats.Transfer, RegStatus, 8)
-	return u.receive(pr)
 }
 
-func (u *udma) receive(pr *proc.Proc) *netsim.Message {
-	m := u.head()
+// receive implements recvEngine.
+func (u *udmaEngine) receive(pr *proc.Proc) *netsim.Message {
+	m := u.hw.head()
 	pr.Work(stats.Transfer, u.env.Cfg.FifoPathCycles)
 	if !u.useDMA(m) {
 		words := wordsFor(m, u.env.Cfg.UncachedWordBytes)
@@ -163,7 +157,7 @@ func (u *udma) receive(pr *proc.Proc) *netsim.Message {
 			pr.UncachedRead(stats.Transfer, FifoBase, u.env.Cfg.UncachedWordBytes)
 		}
 		recordRecv(u.env, m)
-		return u.pop()
+		return u.hw.pop()
 	}
 
 	// UDMA receive: the software first examines the message head in the
@@ -196,34 +190,25 @@ func (u *udma) receive(pr *proc.Proc) *netsim.Message {
 	// consumer's cached reads of the staging buffer.
 	pr.CachedRead(stats.Transfer, dst, m.Size())
 	recordRecv(u.env, m)
-	return u.pop()
+	return u.hw.pop()
 }
 
-// Pending implements NI.
-func (u *udma) Pending() bool { return u.pending() }
+// serviceRepush implements sendEngine.
+func (u *udmaEngine) serviceRepush(pr *proc.Proc, m *netsim.Message) { u.repush(pr, m) }
 
-// Idle implements NI: Send blocks until the transfer finishes.
-func (u *udma) Idle() bool { return true }
-
-// CanSend implements NI: an outgoing flow-control buffer must be free.
-func (u *udma) CanSend(m *netsim.Message) bool { return u.env.EP.OutFree() > 0 }
-
-// NeedsRetry implements NI.
-func (u *udma) NeedsRetry() bool { return u.hasBounced() }
-
-// RetryOne implements NI: the processor examines the returned message in
-// the window, then re-pushes it.
-func (u *udma) RetryOne(pr *proc.Proc) {
-	u.retryOne(pr, func(r *netsim.Message) {
-		if !u.useDMA(r) {
-			words := wordsFor(r, u.env.Cfg.UncachedWordBytes)
-			for i := 0; i < words; i++ {
-				pr.UncachedRead(pr.P.Category, FifoBase, u.env.Cfg.UncachedWordBytes)
-			}
-		} else {
-			pr.UncachedRead(pr.P.Category, FifoBase, 8)
-			pr.UncachedRead(pr.P.Category, FifoBase, 8)
+// retryConsume implements recvEngine: the processor examines the returned
+// message in the window before re-pushing it.
+func (u *udmaEngine) retryConsume(pr *proc.Proc, m *netsim.Message) {
+	if !u.useDMA(m) {
+		words := wordsFor(m, u.env.Cfg.UncachedWordBytes)
+		for i := 0; i < words; i++ {
+			pr.UncachedRead(pr.P.Category, FifoBase, u.env.Cfg.UncachedWordBytes)
 		}
-		u.repush(pr, r)
-	})
+	} else {
+		pr.UncachedRead(pr.P.Category, FifoBase, 8)
+		pr.UncachedRead(pr.P.Category, FifoBase, 8)
+	}
 }
+
+// retryRepush implements sendEngine.
+func (u *udmaEngine) retryRepush(pr *proc.Proc, m *netsim.Message) { u.repush(pr, m) }

@@ -8,12 +8,20 @@ import (
 	"nisim/internal/stats"
 )
 
-// fifoBase is the machinery shared by the fifo-style NIs (NI_2w,
-// NI_64w+Udma, NI_16w+Blkbuf): an SRAM-backed fifo window on the device,
-// uncached status registers, and a receive queue that is physically the
-// network's incoming flow-control buffers — which is why these designs are
-// so sensitive to the flow-control buffer count (Figure 3a).
-type fifoBase struct {
+// fifoHW is the device hardware shared by the fifo-family transfer engines
+// (uncached-word, register-word, block-buffer, reflective, UDMA): an
+// SRAM-backed fifo window on the device, uncached status registers, and a
+// receive queue that is physically the network's incoming flow-control
+// buffers — which is why fifo-buffered designs are so sensitive to the
+// flow-control buffer count (Figure 3a).
+//
+// Under the FifoVM buffering policy the processor is involved in buffering
+// (Table 2): a returned message sits in its still-allocated outgoing buffer
+// until the software notices and re-pushes it, so fifoHW also wires the
+// bounce queue. Ring-buffered hybrids (Memory Channel send) share the same
+// window hardware but leave bouncing to the NI; the composer un-wires
+// OnBounce for them.
+type fifoHW struct {
 	env      *Env
 	fifo     *mainmem.Memory // serialized NI SRAM behind the fifo window
 	regs     *regsTarget
@@ -22,8 +30,8 @@ type fifoBase struct {
 	recvCond *sim.Cond
 }
 
-func newFifoBase(env *Env) *fifoBase {
-	f := &fifoBase{
+func newFifoHW(env *Env) *fifoHW {
+	f := &fifoHW{
 		env:      env,
 		fifo:     mainmem.New("ni-fifo", env.Cfg.NISRAM+env.Cfg.IOBridge, env.Eng),
 		regs:     &regsTarget{latency: env.Cfg.NISRAM + env.Cfg.IOBridge},
@@ -35,13 +43,16 @@ func newFifoBase(env *Env) *fifoBase {
 		// The message occupies its incoming flow-control buffer until the
 		// processor pops it; ReleaseIn happens at pop time.
 		f.recvQ.push(m)
+		if tr := env.Trace; tr != nil {
+			tr("buffer accept src=%d size=%dB queued=%d", m.Src, m.Size(), f.recvQ.len())
+		}
 		f.recvCond.Broadcast()
 	}
-	// Fifo NIs involve the processor in buffering (Table 2): a returned
-	// message sits in its still-allocated outgoing buffer until the
-	// software notices and re-pushes it.
 	env.EP.OnBounce = func(m *netsim.Message) {
 		f.bounced.push(m)
+		if tr := env.Trace; tr != nil {
+			tr("buffer bounce dst=%d size=%dB awaiting-retry=%d", m.Dst, m.Size(), f.bounced.len())
+		}
 		f.recvCond.Broadcast()
 	}
 	return f
@@ -52,9 +63,12 @@ func newFifoBase(env *Env) *fifoBase {
 // injection, count as processor-involved buffering work. Callers must
 // prefer consuming incoming messages over retrying (consume-first avoids
 // livelock between mutually bouncing senders).
-func (f *fifoBase) retryOne(pr *proc.Proc, repush func(m *netsim.Message)) {
+func (f *fifoHW) retryOne(pr *proc.Proc, repush func(m *netsim.Message)) {
 	m := f.bounced.pop()
 	f.env.Stats.Retries++
+	if tr := f.env.Trace; tr != nil {
+		tr("buffer retry dst=%d size=%dB remaining=%d", m.Dst, m.Size(), f.bounced.len())
+	}
 	prev := pr.P.Category
 	pr.P.Category = stats.Buffering
 	repush(m)
@@ -63,13 +77,13 @@ func (f *fifoBase) retryOne(pr *proc.Proc, repush func(m *netsim.Message)) {
 }
 
 // hasBounced reports whether returned messages await software service.
-func (f *fifoBase) hasBounced() bool { return f.bounced.len() > 0 }
+func (f *fifoHW) hasBounced() bool { return f.bounced.len() > 0 }
 
 // pending reports whether a message is waiting.
-func (f *fifoBase) pending() bool { return f.recvQ.len() > 0 }
+func (f *fifoHW) pending() bool { return f.recvQ.len() > 0 }
 
 // head returns the message at the fifo head without popping it.
-func (f *fifoBase) head() *netsim.Message {
+func (f *fifoHW) head() *netsim.Message {
 	if f.recvQ.len() == 0 {
 		return nil
 	}
@@ -77,7 +91,7 @@ func (f *fifoBase) head() *netsim.Message {
 }
 
 // pop removes the head message and frees its flow-control buffer.
-func (f *fifoBase) pop() *netsim.Message {
+func (f *fifoHW) pop() *netsim.Message {
 	m := f.recvQ.pop()
 	f.env.EP.ReleaseIn()
 	return m
@@ -86,7 +100,7 @@ func (f *fifoBase) pop() *netsim.Message {
 // waitForMessage parks the processor until a message is waiting. The idle
 // time is charged to the compute category (it is communication wait, not an
 // NI data-transfer or buffering cost).
-func (f *fifoBase) waitForMessage(pr *proc.Proc) {
+func (f *fifoHW) waitForMessage(pr *proc.Proc) {
 	for f.recvQ.len() == 0 {
 		f.recvCond.WaitAs(pr.P, stats.Compute)
 	}
@@ -95,7 +109,7 @@ func (f *fifoBase) waitForMessage(pr *proc.Proc) {
 // waitForMessageServicing is waitForMessage for NIs whose software must
 // also re-push returned messages while it waits. Incoming messages take
 // priority over retries.
-func (f *fifoBase) waitForMessageServicing(pr *proc.Proc, repush func(m *netsim.Message)) {
+func (f *fifoHW) waitForMessageServicing(pr *proc.Proc, repush func(m *netsim.Message)) {
 	for {
 		if f.recvQ.len() > 0 {
 			return

@@ -1,0 +1,81 @@
+package nic
+
+import (
+	"testing"
+
+	"nisim/internal/netsim"
+	"nisim/internal/sim"
+)
+
+// TestComposedSendRecvAllocFree is the allocation gate for the composed NI
+// hot paths: once warm, a complete send→deliver→poll round through the
+// processor-driven designs must not allocate. The path under test spans
+// the composed dispatch, the fifo engine (uncached words, register words,
+// block-buffer transfers, UDMA's small-message fallback), the fifo window
+// hardware queues, the bus's scratch-transaction pool, and netsim's pooled
+// delivery — regressing any of them to a per-message allocation (a closure
+// in dispatch, a fresh bus transaction per access, a queue that strands
+// its backing array) fails this test.
+//
+// The NI-managed designs are not gated here: the UDMA large-message path
+// and the coherent engine run device state machines that allocate per
+// block (DMA chain closures, ring bookkeeping); their hot software costs
+// go through the same primitives this test covers.
+func TestComposedSendRecvAllocFree(t *testing.T) {
+	for _, k := range []Kind{CM5, CM5SingleCycle, AP3000, UDMA} {
+		k := k
+		t.Run(k.ShortName(), func(t *testing.T) {
+			r := newTwoNodes(t, k, 8, nil)
+			// 8 B payload: the word designs' native size, and under the
+			// UDMA threshold so its uncached-word fallback is exercised.
+			m := netsim.NewSized(0, 1, 1, 8)
+
+			// One long-lived sender and receiver perform one round each
+			// time the test releases one: AllocsPerRun cannot re-spawn
+			// processes per round without measuring the spawn itself.
+			const total = 230
+			release, got := 0, 0
+			p0 := r.eng.Spawn("sender", func(p *sim.Process) {
+				pr, ni := r.procs[0], r.nis[0]
+				for i := 0; i < total; i++ {
+					for release <= i {
+						p.Sleep(100 * sim.Nanosecond)
+					}
+					for !ni.CanSend(m) {
+						p.Sleep(100 * sim.Nanosecond)
+					}
+					ni.Send(pr, m)
+				}
+			})
+			r.procs[0].Bind(p0)
+			p1 := r.eng.Spawn("receiver", func(p *sim.Process) {
+				pr, ni := r.procs[1], r.nis[1]
+				for got < total {
+					if _, ok := ni.Poll(pr); ok {
+						got++
+					} else {
+						p.Sleep(100 * sim.Nanosecond)
+					}
+				}
+			})
+			r.procs[1].Bind(p1)
+
+			running := func() bool { return got < release }
+			round := func() {
+				release++
+				r.eng.RunWhile(running)
+				if got != release {
+					t.Fatalf("round %d did not complete: got=%d", release, got)
+				}
+			}
+			// Warm the pools: event records, scratch transactions, queue
+			// backing arrays, flow-control state.
+			for i := 0; i < 20; i++ {
+				round()
+			}
+			if allocs := testing.AllocsPerRun(200, round); allocs != 0 {
+				t.Errorf("composed send/recv round allocates %.1f per run, want 0", allocs)
+			}
+		})
+	}
+}

@@ -2,30 +2,36 @@ package nic
 
 import "nisim/internal/netsim"
 
-// msgQueue is a FIFO of messages over a reusable backing array. The old
-// queues popped with q = q[1:], which strands consumed slots: append can
-// never reuse them, so a long run reallocates and leaks the array forward
-// indefinitely. Popping here advances a head index instead, and once the
-// queue drains the array rewinds to its start — the steady state of a
-// drain-as-fast-as-you-fill NI then never allocates.
-type msgQueue struct {
-	a    []*netsim.Message
+// queue is a FIFO over a reusable backing array. The old queues popped with
+// q = q[1:], which strands consumed slots: append can never reuse them, so a
+// long run reallocates and leaks the array forward indefinitely. Popping
+// here advances a head index instead, and once the queue drains the array
+// rewinds to its start — the steady state of a drain-as-fast-as-you-fill NI
+// then never allocates. Value-typed element queues (the coherent engine's
+// send/receive entries) get the same property without per-entry boxing.
+type queue[T any] struct {
+	a    []T
 	head int
 }
 
-func (q *msgQueue) push(m *netsim.Message) { q.a = append(q.a, m) }
+func (q *queue[T]) push(v T) { q.a = append(q.a, v) }
 
-func (q *msgQueue) len() int { return len(q.a) - q.head }
+func (q *queue[T]) len() int { return len(q.a) - q.head }
 
-func (q *msgQueue) peek() *netsim.Message { return q.a[q.head] }
+func (q *queue[T]) peek() T { return q.a[q.head] }
 
-func (q *msgQueue) pop() *netsim.Message {
-	m := q.a[q.head]
-	q.a[q.head] = nil
+func (q *queue[T]) pop() T {
+	var zero T
+	v := q.a[q.head]
+	q.a[q.head] = zero
 	q.head++
 	if q.head == len(q.a) {
 		q.a = q.a[:0]
 		q.head = 0
 	}
-	return m
+	return v
 }
+
+// msgQueue is the message FIFO used by the fifo hardware's receive and
+// bounce queues and the coherent engine's accept queue.
+type msgQueue = queue[*netsim.Message]

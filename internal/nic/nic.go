@@ -1,18 +1,23 @@
-// Package nic implements the seven memory-bus network interfaces the paper
-// evaluates (Table 2), plus the single-cycle (processor-register-mapped)
-// NI_2w variant of Figure 4 and the send-throttled CNI_32Q_m of Table 5.
+// Package nic implements the memory-bus network interfaces the paper
+// evaluates, decomposed along the axes of its own taxonomy (Table 2): a
+// transfer engine per side (the bus-transaction idiom moving message
+// bytes) composed with a buffering policy (where messages wait and who
+// retries them). The seven studied NIs, plus the single-cycle
+// (processor-register-mapped) NI_2w variant of Figure 4 and the
+// send-throttled CNI_32Q_m of Table 5, are just named points (Spec) in
+// that space:
 //
-// Every NI exposes the same contract — Send, Poll, Recv — to the messaging
-// layer, and realizes it with different bus transactions, device memories,
-// and degrees of processor involvement:
+//	NI_2w            (CM-5-like)          uword+uword         over fifovm
+//	NI_64w+Udma      (Princeton UDMA)     udma+udma           over fifovm
+//	NI_16w+Blkbuf    (AP3000-like)        blkbuf+blkbuf       over fifovm
+//	CNI_0Q_m         (StarT-JR-like)      coherent+coherent   over memring
+//	Blkbuf_S/CNI_R   (Memory Channel)     reflective+coherent over memring
+//	CNI_512Q         (CNI, no cache)      coherent+coherent   over niring
+//	CNI_32Q_m        (CNI with cache)     coherent+coherent   over nicache
 //
-//	NI_2w            (CM-5-like)          uncached word pushes/pops
-//	NI_64w+Udma      (Princeton UDMA)     user-level DMA initiation, block DMA
-//	NI_16w+Blkbuf    (AP3000-like)        block-buffer loads/stores
-//	CNI_0Q_m         (StarT-JR-like)      coherent queues homed in memory
-//	Blkbuf_S/CNI_R   (Memory Channel)     block-buffer send, coherent receive
-//	CNI_512Q         (CNI, no cache)      coherent queues homed on the NI
-//	CNI_32Q_m        (CNI with cache)     memory-homed queues + 32-block NI cache
+// Every composed NI exposes the same contract — Send, Poll, Recv — to the
+// messaging layer. The rest of the valid cross product (see Spec.Validate)
+// is reachable through NewFromSpec and swept by cmd/designspace.
 package nic
 
 import (
@@ -122,6 +127,34 @@ func KindByName(s string) (Kind, error) {
 // NI is the contract every network interface model implements. The
 // messaging layer is the only intended caller; it fragments application
 // messages to the network maximum before calling Send.
+//
+// Three of the zero-cost queries have semantics precise enough to be worth
+// stating once, for all designs:
+//
+//   - Pending is about the receive side only: it is true exactly when a
+//     call to Poll would return a message (and therefore Recv would return
+//     without waiting). Messages still in flight, or accepted by the NI
+//     but not yet deposited where the processor can read them, do not
+//     count.
+//
+//   - NeedsRetry is about bounced messages only: it is true exactly when a
+//     returned-to-sender message is waiting for *software* re-push, which
+//     can only happen under buffering that involves the processor
+//     (Table 2's FifoVM). Designs whose NI retries in hardware — every
+//     ring-buffered design, including the Memory Channel hybrid — report
+//     false unconditionally.
+//
+//   - Idle is about the send side only: it is true exactly when the NI has
+//     no queued or in-flight send work, so a drain barrier that has
+//     stopped calling Send may safely end the phase. Fifo-family sends
+//     complete synchronously inside Send, so those designs are always
+//     idle by the time Send returns — the Memory Channel NI's
+//     unconditional true is correct, not a stub, because its reflective
+//     send holds the processor until injection and its receive side holds
+//     no send work at all. Only a coherent send engine, which queues
+//     composed messages for NI-side fetch, can be non-idle. Idle says
+//     nothing about the receive side: a drain loop must also consume
+//     until Pending is false.
 type NI interface {
 	// Kind identifies the design.
 	Kind() Kind
@@ -295,33 +328,30 @@ type Env struct {
 	Stats *stats.Node
 	CPU   sim.Clock
 	Cfg   Config
+	// Trace, when non-nil, receives one formatted line per component-seam
+	// event (engine start/complete, buffer accept/bounce/reclaim). Wired by
+	// the machine layer when NIC tracing is enabled; nil costs nothing.
+	Trace func(format string, args ...any)
 }
 
 // New constructs the NI model for kind, wiring it to the node's bus,
-// memory, and network endpoint.
+// memory, and network endpoint. Every named kind is built by composing its
+// Spec — there are no monolithic implementations.
 func New(kind Kind, env *Env) NI {
-	switch kind {
-	case CM5:
-		return newNI2w(env, false)
-	case CM5SingleCycle:
-		return newNI2w(env, true)
-	case UDMA:
-		return newUdma(env)
-	case AP3000:
-		return newBlkbuf(env)
-	case StarTJR:
-		return newCNI(env, StarTJR)
-	case MemoryChannel:
-		return newMemChannel(env)
-	case CNI512Q:
-		return newCNI(env, CNI512Q)
-	case CNI32Qm:
-		return newCNI(env, CNI32Qm)
-	case CNI32QmThrottle:
-		return newCNI(env, CNI32QmThrottle)
-	default:
+	if kind < 0 || kind >= numKinds {
 		panic(fmt.Sprintf("nic: unknown kind %d", int(kind)))
 	}
+	return compose(SpecFor(kind), kind, env)
+}
+
+// NewFromSpec constructs the NI for an arbitrary design point. The spec
+// must Validate; named points report their Kind, cross-product points
+// report Custom.
+func NewFromSpec(spec Spec, env *Env) (NI, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return compose(spec, KindOf(spec), env), nil
 }
 
 // blocksFor returns how many 64-byte blocks m occupies in a CNI queue.

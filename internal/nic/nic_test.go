@@ -216,7 +216,7 @@ func TestCNI32QmBypassesWhenCacheFull(t *testing.T) {
 func TestThrottleLimitsOutstanding(t *testing.T) {
 	r := newTwoNodes(t, CNI32QmThrottle, 64, nil)
 	maxUnconsumed := int64(0)
-	probe := r.nis[1].(*cni)
+	probe := r.nis[1].(*composed).coh
 	r.run(t,
 		func(pr *proc.Proc, ni NI) {
 			for i := 0; i < 60; i++ {

@@ -1,0 +1,262 @@
+package nic
+
+import "fmt"
+
+// This file defines the NI design space of the paper's §4 as data: a Spec
+// names one point in the (send transfer engine × receive transfer engine ×
+// buffering policy) cross product, and the composer in composed.go builds a
+// working NI from any valid Spec. The seven NIs of Table 2 (plus the two §6
+// variants) are just the named points; the rest of the space is reachable
+// through cmd/designspace.
+
+// Engine identifies one transfer-engine implementation: the component that
+// owns the bus-transaction idiom moving message bytes between the processor
+// (or memory) and the network.
+type Engine int
+
+// The transfer engines. Each corresponds to one data-transfer parameter
+// setting of Table 2 (transfer size × transfer manager × source/dest).
+const (
+	// EngineNone marks an unset engine; never valid.
+	EngineNone Engine = iota
+	// UncachedWordEngine is the CM-5 idiom: the processor moves every
+	// word with uncached loads/stores through a two-word fifo window.
+	UncachedWordEngine
+	// RegisterWordEngine is the single-cycle variant of Figure 4: the same
+	// word loop, but the NI is processor-register-mapped, so every access
+	// is one cycle and no bus transaction.
+	RegisterWordEngine
+	// BlockBufEngine is the AP3000 idiom: processor-managed 64-byte block
+	// loads/stores between an on-chip block buffer and the NI fifo.
+	BlockBufEngine
+	// ReflectiveEngine is the Memory Channel send idiom: stores to a mapped
+	// page stream to the NI as block writes with no status-register checks.
+	// Send-only.
+	ReflectiveEngine
+	// UDMAEngine is the Princeton idiom: small messages go through the
+	// uncached word window; large ones through user-initiated, NI-managed
+	// block DMA.
+	UDMAEngine
+	// CoherentEngine is the CNI idiom: the NI is a coherent bus device
+	// moving 64-byte blocks to/from cacheable queue memory on its own.
+	CoherentEngine
+	numEngines
+)
+
+func (e Engine) String() string {
+	switch e {
+	case UncachedWordEngine:
+		return "uword"
+	case RegisterWordEngine:
+		return "regword"
+	case BlockBufEngine:
+		return "blkbuf"
+	case ReflectiveEngine:
+		return "reflective"
+	case UDMAEngine:
+		return "udma"
+	case CoherentEngine:
+		return "coherent"
+	default:
+		return fmt.Sprintf("engine%d", int(e))
+	}
+}
+
+// fifoFamily reports whether e moves data through the shared fifo hardware
+// (device SRAM window + uncached status registers) rather than through
+// coherent queue memory.
+func (e Engine) fifoFamily() bool {
+	switch e {
+	case UncachedWordEngine, RegisterWordEngine, BlockBufEngine, ReflectiveEngine, UDMAEngine:
+		return true
+	}
+	return false
+}
+
+// Buffering identifies one buffering policy: the component that owns where
+// incoming messages wait, who bounces them when space runs out, and how
+// storage is reclaimed (Table 2's buffering parameters: location ×
+// processor involvement).
+type Buffering int
+
+// The buffering policies.
+const (
+	// BufferingNone marks an unset policy; never valid.
+	BufferingNone Buffering = iota
+	// FifoVM buffers messages in the NI fifo (physically the incoming
+	// flow-control buffers) with VM fallback: overflow returns messages to
+	// the sender, whose *processor* must notice and re-push them.
+	FifoVM
+	// MemoryRing buffers messages in a coherent ring homed in main memory
+	// (StarT-JR, Memory Channel receive): plentiful, no processor
+	// involvement, every block travels through DRAM.
+	MemoryRing
+	// NIRing buffers messages in a coherent ring homed in NI DRAM
+	// (CNI_512Q): bounded, no processor involvement, blocks stay on the
+	// device until consumed.
+	NIRing
+	// NICachedRing buffers messages in a memory-homed ring cached in NI
+	// SRAM (CNI_32Q_m): overflow bypasses to memory, consumed blocks die
+	// in the cache without writeback.
+	NICachedRing
+	numBufferings
+)
+
+func (b Buffering) String() string {
+	switch b {
+	case FifoVM:
+		return "fifovm"
+	case MemoryRing:
+		return "memring"
+	case NIRing:
+		return "niring"
+	case NICachedRing:
+		return "nicache"
+	default:
+		return fmt.Sprintf("buffering%d", int(b))
+	}
+}
+
+// Spec is one point in the NI design space: a send transfer engine, a
+// receive transfer engine, and a buffering policy, plus the optional
+// software send-throttle of Table 5's CNI_32Q_m+Throttle.
+type Spec struct {
+	Send      Engine
+	Recv      Engine
+	Buffering Buffering
+	// Throttle enables the software credit scheme that keeps no more
+	// unconsumed blocks outstanding per destination than the receiver's NI
+	// cache holds. Requires a coherent send engine over NICachedRing.
+	Throttle bool
+}
+
+// Name returns a compact identifier for the spec: the Kind short name for
+// the nine named design points, or "send+recv.buffering" for cross-product
+// specs.
+func (s Spec) Name() string {
+	if k := KindOf(s); k != Custom {
+		return k.ShortName()
+	}
+	n := fmt.Sprintf("%s+%s.%s", s.Send, s.Recv, s.Buffering)
+	if s.Throttle {
+		n += "+throttle"
+	}
+	return n
+}
+
+// Validate reports whether the spec is a buildable design point. The rules
+// encode the physical constraints of the components:
+//
+//   - ReflectiveEngine has no receive side (reflective memory is write-only).
+//   - FifoVM buffering services messages through the fifo hardware, so the
+//     receive engine must be fifo-family; a coherent send engine buffers
+//     outbound messages in its own ring, which FifoVM does not model.
+//   - The ring policies deposit messages into coherent queue memory, which
+//     only the coherent engine can read, so ring buffering requires a
+//     coherent receive engine.
+//   - Throttle is the CNI_32Q_m credit scheme: it meters the receiver's NI
+//     cache, so it requires a coherent send engine over NICachedRing.
+func (s Spec) Validate() error {
+	if s.Send <= EngineNone || s.Send >= numEngines {
+		return fmt.Errorf("nic: invalid send engine %d", int(s.Send))
+	}
+	if s.Recv <= EngineNone || s.Recv >= numEngines {
+		return fmt.Errorf("nic: invalid recv engine %d", int(s.Recv))
+	}
+	if s.Buffering <= BufferingNone || s.Buffering >= numBufferings {
+		return fmt.Errorf("nic: invalid buffering policy %d", int(s.Buffering))
+	}
+	if s.Recv == ReflectiveEngine {
+		return fmt.Errorf("nic: %s is send-only", ReflectiveEngine)
+	}
+	if s.Buffering == FifoVM {
+		if !s.Recv.fifoFamily() {
+			return fmt.Errorf("nic: %s buffering requires a fifo-family recv engine, got %s", s.Buffering, s.Recv)
+		}
+		if s.Send == CoherentEngine {
+			return fmt.Errorf("nic: %s send engine requires ring buffering, got %s", s.Send, s.Buffering)
+		}
+	} else if s.Recv != CoherentEngine {
+		return fmt.Errorf("nic: %s buffering requires the %s recv engine, got %s", s.Buffering, CoherentEngine, s.Recv)
+	}
+	if s.Throttle && (s.Send != CoherentEngine || s.Buffering != NICachedRing) {
+		return fmt.Errorf("nic: throttle requires %s send over %s", CoherentEngine, NICachedRing)
+	}
+	return nil
+}
+
+// Custom is the Kind reported by NIs composed from a Spec that matches none
+// of the nine named design points.
+const Custom Kind = -1
+
+// SpecFor returns the design-space decomposition of a named Kind (the
+// Table 2 classification as a Spec).
+func SpecFor(kind Kind) Spec {
+	switch kind {
+	case CM5:
+		return Spec{Send: UncachedWordEngine, Recv: UncachedWordEngine, Buffering: FifoVM}
+	case CM5SingleCycle:
+		return Spec{Send: RegisterWordEngine, Recv: RegisterWordEngine, Buffering: FifoVM}
+	case UDMA:
+		return Spec{Send: UDMAEngine, Recv: UDMAEngine, Buffering: FifoVM}
+	case AP3000:
+		return Spec{Send: BlockBufEngine, Recv: BlockBufEngine, Buffering: FifoVM}
+	case StarTJR:
+		return Spec{Send: CoherentEngine, Recv: CoherentEngine, Buffering: MemoryRing}
+	case MemoryChannel:
+		return Spec{Send: ReflectiveEngine, Recv: CoherentEngine, Buffering: MemoryRing}
+	case CNI512Q:
+		return Spec{Send: CoherentEngine, Recv: CoherentEngine, Buffering: NIRing}
+	case CNI32Qm:
+		return Spec{Send: CoherentEngine, Recv: CoherentEngine, Buffering: NICachedRing}
+	case CNI32QmThrottle:
+		return Spec{Send: CoherentEngine, Recv: CoherentEngine, Buffering: NICachedRing, Throttle: true}
+	default:
+		panic(fmt.Sprintf("nic: no spec for kind %d", int(kind)))
+	}
+}
+
+// KindOf returns the named Kind a spec reproduces, or Custom when the spec
+// is a cross-product point the paper did not study.
+func KindOf(s Spec) Kind {
+	for k := Kind(0); k < numKinds; k++ {
+		if SpecFor(k) == s {
+			return k
+		}
+	}
+	return Custom
+}
+
+// AllSpecs enumerates every valid spec in the design space in a fixed,
+// deterministic order: all (send, recv, buffering) triples that Validate,
+// plus the throttled variant of each triple that supports it.
+func AllSpecs() []Spec {
+	var out []Spec
+	for send := Engine(1); send < numEngines; send++ {
+		for recv := Engine(1); recv < numEngines; recv++ {
+			for buf := Buffering(1); buf < numBufferings; buf++ {
+				s := Spec{Send: send, Recv: recv, Buffering: buf}
+				if s.Validate() == nil {
+					out = append(out, s)
+				}
+				s.Throttle = true
+				if s.Validate() == nil {
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CrossSpecs enumerates the valid specs beyond the nine named design
+// points, in the same deterministic order as AllSpecs.
+func CrossSpecs() []Spec {
+	var out []Spec
+	for _, s := range AllSpecs() {
+		if KindOf(s) == Custom {
+			out = append(out, s)
+		}
+	}
+	return out
+}

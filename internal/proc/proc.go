@@ -47,7 +47,7 @@ func (pr *Proc) Work(category int, n int64) {
 func (pr *Proc) UncachedRead(category int, a membus.Addr, size int) {
 	prev := pr.P.Category
 	pr.P.Category = category
-	pr.Bus.IssueAndWait(pr.P, &membus.Transaction{Kind: membus.UncachedRead, Addr: a, Size: size})
+	pr.Bus.Access(pr.P, membus.UncachedRead, a, size)
 	pr.P.Category = prev
 }
 
@@ -56,7 +56,7 @@ func (pr *Proc) UncachedRead(category int, a membus.Addr, size int) {
 func (pr *Proc) UncachedWrite(category int, a membus.Addr, size int) {
 	prev := pr.P.Category
 	pr.P.Category = category
-	pr.Bus.IssueAndWait(pr.P, &membus.Transaction{Kind: membus.UncachedWrite, Addr: a, Size: size})
+	pr.Bus.Access(pr.P, membus.UncachedWrite, a, size)
 	pr.P.Category = prev
 }
 
@@ -67,7 +67,7 @@ func (pr *Proc) BlockRead(category int, a membus.Addr, instrCycles int64) {
 	prev := pr.P.Category
 	pr.P.Category = category
 	pr.P.Sleep(pr.CPU.Cycles(instrCycles))
-	pr.Bus.IssueAndWait(pr.P, &membus.Transaction{Kind: membus.BlockRead, Addr: a, Size: membus.BlockSize})
+	pr.Bus.Access(pr.P, membus.BlockRead, a, membus.BlockSize)
 	pr.P.Category = prev
 }
 
@@ -77,7 +77,7 @@ func (pr *Proc) BlockWrite(category int, a membus.Addr, instrCycles int64) {
 	prev := pr.P.Category
 	pr.P.Category = category
 	pr.P.Sleep(pr.CPU.Cycles(instrCycles))
-	pr.Bus.IssueAndWait(pr.P, &membus.Transaction{Kind: membus.BlockWrite, Addr: a, Size: membus.BlockSize})
+	pr.Bus.Access(pr.P, membus.BlockWrite, a, membus.BlockSize)
 	pr.P.Category = prev
 }
 

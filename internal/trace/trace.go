@@ -22,6 +22,7 @@ const (
 	Bus Category = "bus" // memory-bus transactions
 	Net Category = "net" // network inject/accept/bounce
 	Msg Category = "msg" // messaging-layer sends and dispatches
+	NIC Category = "nic" // NI component seams: engine start/complete, buffer accept/bounce/reclaim
 )
 
 // Tracer writes time-stamped event lines. Safe for use from a single
