@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke bench-json designspace-smoke ci
+.PHONY: build test vet lint race bench bench-smoke bench-json designspace-smoke chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -49,12 +49,26 @@ designspace-smoke: build
 	cmp designspace_serial.txt designspace_parallel.txt
 	rm -f designspace_serial.txt designspace_parallel.txt
 
+# chaos-smoke is the CI gate on the overload plane: the chaos-grid
+# regression tests (matrix coverage, determinism, measured degradation)
+# plus the open-loop workload suite, then the cmd/chaossweep binary run
+# serial vs. eight workers on the quick grid — the text tables must be
+# byte-identical — with the machine-readable nisim-sweep/v1 report saved
+# to chaos_results.json for the CI artifact.
+chaos-smoke: build
+	$(GO) test -run 'Chaos|OpenLoop|StandardGridCovers' -count=1 ./internal/chaos/ ./internal/workload/
+	$(GO) run ./cmd/chaossweep -quick -jobs 1 -json chaos_results.json > chaos_serial.txt
+	$(GO) run ./cmd/chaossweep -quick -jobs 8 > chaos_parallel.txt
+	cmp chaos_serial.txt chaos_parallel.txt
+	rm -f chaos_serial.txt chaos_parallel.txt
+
 # ci is the full verification gate: compile everything, vet, enforce the
 # determinism invariants, run the test suite under the race detector, and
-# smoke the design-space sweep for worker-count invariance.
+# smoke the design-space and chaos sweeps for worker-count invariance.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) run ./cmd/simlint ./...
 	$(GO) test -race ./...
 	$(MAKE) designspace-smoke
+	$(MAKE) chaos-smoke

@@ -1,0 +1,34 @@
+// Command chaossweep drives every named NI design point past saturation
+// and measures how it degrades. Each cell of the (spec × offered load ×
+// fault mix) grid runs the open-loop request/response workload against a
+// server whose NI enforces an admission-control policy, under a lossless,
+// lossy, or outage fault condition, and reports goodput, delivered-latency
+// quantiles, drop/bounce/eviction counts, and post-outage recovery time.
+// Cells are independent simulations and fan out across CPUs; see -jobs,
+// -timeout, and -json. A cell that starves or livelocks terminates with a
+// watchdog diagnostic (shown in its row) rather than hanging the sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nisim/internal/chaos"
+	"nisim/internal/sweep"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer requests per cell")
+	var opts sweep.Options
+	opts.Register(flag.CommandLine)
+	flag.Parse()
+
+	grid := chaos.StandardGrid(*quick)
+	results, rep := opts.Sweep("chaos", grid.Seed, grid.Jobs())
+	fmt.Print(chaos.Format(grid, grid.Rows(results)))
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "chaossweep:", err)
+		os.Exit(1)
+	}
+}

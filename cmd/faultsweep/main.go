@@ -42,32 +42,13 @@ type point struct {
 	total   *stats.Node
 }
 
-// faultsFor derives the full fault mix from one headline loss rate: drops
-// dominate, with correlated corruption, duplication, ack loss, jitter, and
-// forced bounces at reduced rates.
-func faultsFor(rate float64, seed uint64) faults.Config {
-	if rate == 0 {
-		return faults.Config{}
-	}
-	return faults.Config{
-		Seed:        seed,
-		Drop:        rate,
-		Corrupt:     rate / 2,
-		Duplicate:   rate / 2,
-		CtlDrop:     rate / 2,
-		Delay:       rate,
-		MaxDelay:    500 * sim.Nanosecond,
-		ForceBounce: rate / 4,
-	}
-}
-
-func run(kind nic.Kind, rate float64, seed uint64, payload, count int, reliable bool) point {
+func run(kind nic.Kind, mix faults.Mix, rate float64, seed uint64, payload, count int, reliable bool) point {
 	cfg := machine.DefaultConfig(kind, 8)
 	cfg.Nodes = 2
 	if reliable {
 		cfg.Net.Reliability = netsim.DefaultReliability()
 	}
-	cfg.Faults = faultsFor(rate, seed)
+	cfg.Faults = mix.Config(rate, seed)
 	m := machine.New(cfg)
 
 	received := 0
@@ -118,7 +99,7 @@ func parseRates(s string) []float64 {
 
 // sweepJobs returns the (NI, loss rate) grid as sweep jobs, rates inner,
 // in the table's row order.
-func sweepJobs(rates []float64, seed uint64, payload, count int) []sweep.Job {
+func sweepJobs(mix faults.Mix, rates []float64, seed uint64, payload, count int) []sweep.Job {
 	var jobs []sweep.Job
 	for _, kind := range nic.PaperSeven() {
 		for _, rate := range rates {
@@ -131,7 +112,7 @@ func sweepJobs(rates []float64, seed uint64, payload, count int) []sweep.Job {
 					"msgs": fmt.Sprint(count),
 				},
 				Run: func() sweep.Outcome {
-					p := run(kind, rate, seed, payload, count, true)
+					p := run(kind, mix, rate, seed, payload, count, true)
 					summary := report.ReliabilitySummary(p.total)
 					if summary == "" {
 						summary = "-"
@@ -158,9 +139,23 @@ func main() {
 	msgs := flag.Int("msgs", 300, "messages per run")
 	seed := flag.Uint64("seed", 1, "fault-injection seed")
 	unreliable := flag.Bool("unreliable", false, "disable the reliability layer (demonstrates the quiescence watchdog)")
+	// Per-fault-class multipliers: each class's probability is the headline
+	// loss rate times its multiplier, so one class can be turned up, down,
+	// or off without disturbing the others. The defaults reproduce the
+	// historical blend exactly.
+	def := faults.DefaultMix()
+	mix := def
+	flag.Float64Var(&mix.Drop, "drop", def.Drop, "drop-rate multiplier on the headline loss rate")
+	flag.Float64Var(&mix.Corrupt, "corrupt", def.Corrupt, "corruption-rate multiplier")
+	flag.Float64Var(&mix.Duplicate, "dup", def.Duplicate, "duplication-rate multiplier")
+	flag.Float64Var(&mix.CtlDrop, "ackloss", def.CtlDrop, "ack/bounce-loss multiplier")
+	flag.Float64Var(&mix.Delay, "jitter", def.Delay, "delay-jitter multiplier")
+	flag.Float64Var(&mix.ForceBounce, "bounce", def.ForceBounce, "forced-bounce multiplier")
+	jitterNS := flag.Int64("jitter-max-ns", int64(def.MaxDelay/sim.Nanosecond), "jitter magnitude ceiling, ns")
 	var opts sweep.Options
 	opts.Register(flag.CommandLine)
 	flag.Parse()
+	mix.MaxDelay = sim.Time(*jitterNS) * sim.Nanosecond
 
 	rates := parseRates(*rateFlag)
 	count := *msgs
@@ -169,11 +164,11 @@ func main() {
 	}
 
 	if *unreliable {
-		demoWatchdog(rates, *seed, *payload, count)
+		demoWatchdog(mix, rates, *seed, *payload, count)
 		return
 	}
 
-	results, rep := opts.Sweep("faultsweep", *seed, sweepJobs(rates, *seed, *payload, count))
+	results, rep := opts.Sweep("faultsweep", *seed, sweepJobs(mix, rates, *seed, *payload, count))
 	fmt.Printf("Fault sweep: %d msgs x %dB node0->node1, reliability on, seed %d\n", count, *payload, *seed)
 	fmt.Println("(loss = drop rate; corruption/duplication/ack-loss/jitter scale with it)")
 	fmt.Println()
@@ -212,7 +207,7 @@ func main() {
 // the first dropped message or ack strands the workload, and instead of
 // returning a silently truncated result the machine panics with the
 // quiescence diagnostic, which we print.
-func demoWatchdog(rates []float64, seed uint64, payload, count int) {
+func demoWatchdog(mix faults.Mix, rates []float64, seed uint64, payload, count int) {
 	rate := 0.0
 	for _, r := range rates {
 		if r > 0 {
@@ -233,5 +228,5 @@ func demoWatchdog(rates []float64, seed uint64, payload, count int) {
 			fmt.Println("run completed without loss (try a higher rate or different seed)")
 		}
 	}()
-	run(kind, rate, seed, payload, count, false)
+	run(kind, mix, rate, seed, payload, count, false)
 }

@@ -57,6 +57,65 @@ func (c Config) Zero() bool {
 		c.ForceBounce == 0 && c.CtlDrop == 0 && c.EjectDrop == 0 && len(c.Outages) == 0
 }
 
+// Mix scales one headline fault rate into per-class probabilities: class
+// probability = rate * multiplier. DefaultMix is the historical faultsweep
+// blend; drivers expose the multipliers as flags so each class can be
+// turned up, down, or off independently.
+type Mix struct {
+	Drop        float64
+	Corrupt     float64
+	Duplicate   float64
+	Delay       float64
+	ForceBounce float64
+	CtlDrop     float64
+
+	// MaxDelay is the jitter magnitude installed whenever Delay is active.
+	MaxDelay sim.Time
+}
+
+// DefaultMix returns the blend cmd/faultsweep has always used: the headline
+// rate drives drops and jitter directly, half-rate corruption, duplication,
+// and control loss, quarter-rate forced bounces, 500 ns jitter ceiling.
+func DefaultMix() Mix {
+	return Mix{
+		Drop:        1,
+		Corrupt:     0.5,
+		Duplicate:   0.5,
+		Delay:       1,
+		ForceBounce: 0.25,
+		CtlDrop:     0.5,
+		MaxDelay:    500 * sim.Nanosecond,
+	}
+}
+
+// Config expands the mix at a headline rate into a fault Config. A zero
+// rate returns the zero Config (inject nothing, keep the lossless fast
+// path); per-class probabilities are clamped to [0, 1].
+func (mx Mix) Config(rate float64, seed uint64) Config {
+	if rate == 0 {
+		return Config{}
+	}
+	clamp := func(p float64) float64 {
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return Config{
+		Seed:        seed,
+		Drop:        clamp(rate * mx.Drop),
+		Corrupt:     clamp(rate * mx.Corrupt),
+		Duplicate:   clamp(rate * mx.Duplicate),
+		Delay:       clamp(rate * mx.Delay),
+		ForceBounce: clamp(rate * mx.ForceBounce),
+		CtlDrop:     clamp(rate * mx.CtlDrop),
+		MaxDelay:    mx.MaxDelay,
+	}
+}
+
 // rng is a splitmix64 stream: tiny, fast, and — unlike a shared math/rand
 // source — trivially forked per endpoint so decisions never depend on the
 // interleaving of other endpoints' traffic.

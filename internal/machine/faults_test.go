@@ -185,6 +185,38 @@ func TestWatchdogDiagnosesUnreliableLoss(t *testing.T) {
 	}
 }
 
+func TestWatchdogDiagnosesStarvation(t *testing.T) {
+	// Every data injection force-bounces, forever, with the reliability
+	// layer retrying open-endedly (no deadline): the network churns —
+	// activity keeps rising — but nothing is ever delivered. That is
+	// sustained-overload starvation, not livelock, and the watchdog must
+	// terminate the run with the starvation diagnostic naming the starved
+	// endpoints instead of the generic stall report (or a silent hang).
+	cfg := machine.DefaultConfig(nic.CNI32Qm, 8)
+	cfg.Nodes = 2
+	cfg.Net.Reliability = netsim.DefaultReliability()
+	cfg.Faults = faults.Config{Seed: 1, ForceBounce: 1.0}
+	cfg.StallHorizon = 20 * sim.Microsecond
+	var diag string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				diag = r.(string)
+			}
+		}()
+		faultWorkload(t, cfg, 10)
+	}()
+	if diag == "" {
+		t.Fatal("starved run did not panic")
+	}
+	if !strings.Contains(diag, "starvation") {
+		t.Fatalf("diagnostic is not the starvation report:\n%s", diag)
+	}
+	if !strings.Contains(diag, "endpoint 0") {
+		t.Fatalf("diagnostic does not name the starved endpoint:\n%s", diag)
+	}
+}
+
 func TestDuplicationSuppressedEndToEnd(t *testing.T) {
 	// Heavy duplication + ack loss: every application message must be
 	// dispatched exactly once (the msglayer suppresses both in-assembly

@@ -58,8 +58,20 @@ type Config struct {
 	// injected and the network makes no protocol progress for this long
 	// while flow-control buffers are held, Run panics with the quiescence
 	// diagnostic instead of livelocking on spinning software. Zero selects
-	// DefaultStallHorizon; lossless runs never arm the watchdog.
+	// DefaultStallHorizon; lossless runs never arm the watchdog unless
+	// Watchdog forces it.
 	StallHorizon sim.Time
+
+	// Watchdog arms the stall/starvation watchdog even when no faults are
+	// injected. Overload runs want this: an admission policy bouncing every
+	// arrival starves the workload without a single injected fault.
+	Watchdog bool
+
+	// StarvationHorizon is how long network activity may keep rising with
+	// zero deliveries before the watchdog declares sustained-overload
+	// starvation (distinct from livelock, where activity itself is flat).
+	// Zero selects DefaultStarvationTicks stall horizons.
+	StarvationHorizon sim.Time
 
 	// Tracer, when non-nil, receives a structured event line per bus
 	// transaction (and any other subsystems wired to it). Off by default.
@@ -71,6 +83,11 @@ type Config struct {
 // (the longest bounce backoffs and retransmission timeouts are well under a
 // millisecond on the Table 3 network).
 const DefaultStallHorizon = 2 * sim.Millisecond
+
+// DefaultStarvationTicks is the default starvation patience in stall
+// horizons: activity rising for this many consecutive watchdog ticks with
+// not one delivery is a bounce/retry storm, not a slow receiver.
+const DefaultStarvationTicks = 8
 
 // DefaultConfig returns the paper's system parameters with the given NI and
 // flow-control buffer count.
@@ -194,34 +211,61 @@ func (m *Machine) Run(prog func(n *Node)) *stats.Machine {
 		n.Proc.Bind(p)
 	}
 
-	// Livelock watchdog, armed only for fault runs: a lost message with the
-	// reliability layer off leaves software spinning (poll-while-blocked),
-	// so the event queue never drains and the quiescence check below never
-	// fires. Instead, sample network progress every StallHorizon; two equal
-	// samples with flow-control buffers still held mean nothing can ever
-	// advance. The tick stops rescheduling once it is the only event source,
-	// handing stall detection back to the queue-drain path.
+	// Livelock/starvation watchdog, armed for fault runs and on request: a
+	// lost message with the reliability layer off leaves software spinning
+	// (poll-while-blocked), so the event queue never drains and the
+	// quiescence check below never fires. Instead, sample network progress
+	// every StallHorizon. Two equal activity samples with flow-control
+	// buffers still held mean nothing can ever advance (livelock). Activity
+	// rising tick after tick with not one delivery is the other failure
+	// mode — a sustained bounce/retransmission storm starving the workload —
+	// and is diagnosed distinctly. The tick stops rescheduling once it is
+	// the only event source, handing stall detection back to the queue-drain
+	// path.
 	stalled := ""
-	if !m.Cfg.Faults.Zero() {
+	if !m.Cfg.Faults.Zero() || m.Cfg.Watchdog {
 		horizon := m.Cfg.StallHorizon
 		if horizon <= 0 {
 			horizon = DefaultStallHorizon
 		}
-		last := int64(-1)
+		starveAfter := int64(DefaultStarvationTicks)
+		if m.Cfg.StarvationHorizon > 0 {
+			// Ceiling division: detection happens on whole watchdog ticks.
+			starveAfter = int64(m.Cfg.StarvationHorizon / horizon)
+			if m.Cfg.StarvationHorizon%horizon != 0 {
+				starveAfter++
+			}
+			if starveAfter < 1 {
+				starveAfter = 1
+			}
+		}
+		last, lastDel := int64(-1), int64(-1)
+		starvedTicks := int64(0)
 		var tick func()
 		tick = func() {
 			if done >= len(m.Nodes) || stalled != "" {
 				return
 			}
-			act := m.Net.Activity()
+			act, del := m.Net.Progress()
 			if act == last {
 				if r := m.Eng.StallReport(); r != "" {
 					stalled = fmt.Sprintf("machine: no network progress for %v with %d/%d nodes finished at %v\n%s",
 						horizon, done, len(m.Nodes), m.Eng.Now(), r)
 					return
 				}
+			} else if del == lastDel {
+				starvedTicks++
+				if starvedTicks >= starveAfter {
+					if r := m.Net.StarvationReport(); r != "" {
+						stalled = fmt.Sprintf("machine: sustained overload starvation — network churning for %v without a delivery, %d/%d nodes finished at %v\n%s",
+							sim.Time(starvedTicks)*horizon, done, len(m.Nodes), m.Eng.Now(), r)
+						return
+					}
+				}
+			} else {
+				starvedTicks = 0
 			}
-			last = act
+			last, lastDel = act, del
 			if m.Eng.Pending() > 0 {
 				m.Eng.After(horizon, tick)
 			}
@@ -268,6 +312,24 @@ func (m *Machine) registerBarrier() {
 
 // Size returns the number of nodes in the machine.
 func (n *Node) Size() int { return len(n.mach.Nodes) }
+
+// SettleSends services the NI until every send this node issued has
+// settled: all outgoing flow-control buffers free (delivered, acked, or
+// abandoned), the NI-side send queue drained, and no bounced message
+// awaiting a software re-push. A program whose *last* sends can bounce —
+// an overloaded receiver returning the final barrier release, say — must
+// settle before returning, or the bounce lands in the software retry queue
+// of a processor that will never poll again and the peer hangs. Closed-loop
+// programs never see this (a quiescent receiver has buffer space); open-loop
+// overload programs call it before exiting.
+func (n *Node) SettleSends() {
+	ep := n.mach.Net.Endpoint(n.ID)
+	for ep.OutFree() < ep.Buffers() || !n.NI.Idle() || n.NI.NeedsRetry() {
+		if !n.EP.PollOne() {
+			n.Proc.P.SleepAs(stats.Compute, 200*sim.Nanosecond)
+		}
+	}
+}
 
 // Barrier synchronizes all nodes through the messaging layer: everyone
 // sends an arrival to node 0; node 0 broadcasts a release. The traffic (and

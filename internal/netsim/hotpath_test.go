@@ -57,3 +57,112 @@ func TestReliableDeliveryPathAllocFree(t *testing.T) {
 		t.Fatalf("reliable delivery round allocates %.1f per run, want 0", allocs)
 	}
 }
+
+// faultRecoveryNet builds the two-endpoint rig the recovery gates share:
+// reliability with a short timeout and an unlimited attempt budget, so no
+// round ever abandons (abandonment appends to Failures, which allocates —
+// legitimately, it happens at most once per message).
+func faultRecoveryNet(plane FaultPlane) (*sim.Engine, *Endpoint, *Endpoint) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Reliability = ReliabilityConfig{
+		Enabled: true, AckTimeout: 1 * sim.Microsecond,
+		TimeoutCap: 8 * sim.Microsecond, MaxAttempts: 0,
+	}
+	nw := New(eng, cfg, 2, 1)
+	sender, recv := nw.Endpoint(0), nw.Endpoint(1)
+	sender.Fault = plane
+	recv.Fault = plane
+	recv.OnAccept = func(m *Message) { recv.ReleaseIn() }
+	return eng, sender, recv
+}
+
+// TestRetransmitPathAllocFree gates loss recovery under an active fault
+// plane: each round the plane destroys the first injection, the ack timer
+// fires, and the retransmission delivers. Timer re-arming, the inflight
+// map churn, and the fault-verdict plumbing must all stay on pooled state.
+func TestRetransmitPathAllocFree(t *testing.T) {
+	drop := false
+	eng, sender, _ := faultRecoveryNet(&scriptPlane{
+		inject: func(now sim.Time, m *Message) FaultVerdict {
+			drop = !drop
+			return FaultVerdict{Drop: drop}
+		},
+	})
+	m := NewSized(0, 1, 0, 8)
+	round := func() {
+		if !sender.TryAcquireOut() {
+			t.Fatal("outgoing buffer not free at round start")
+		}
+		sender.Inject(m)
+		eng.Run()
+	}
+	for i := 0; i < 20; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(200, round); allocs != 0 {
+		t.Fatalf("drop+retransmit round allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestBounceRecoveryAllocFree gates bounce recovery under an active fault
+// plane: each round the plane returns the first injection on the bounce
+// network, the reliability layer stops the ack timer, backs off, and the
+// timed retry delivers.
+func TestBounceRecoveryAllocFree(t *testing.T) {
+	bounce := false
+	eng, sender, _ := faultRecoveryNet(&scriptPlane{
+		inject: func(now sim.Time, m *Message) FaultVerdict {
+			bounce = !bounce
+			return FaultVerdict{ForceBounce: bounce}
+		},
+	})
+	m := NewSized(0, 1, 0, 8)
+	round := func() {
+		if !sender.TryAcquireOut() {
+			t.Fatal("outgoing buffer not free at round start")
+		}
+		sender.Inject(m)
+		eng.Run()
+	}
+	for i := 0; i < 20; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(200, round); allocs != 0 {
+		t.Fatalf("bounce+retry round allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestAdmissionPathAllocFree gates the admission-control fast path: each
+// round the receiver's Admit hook refuses the arrival twice — once onto
+// the bounce network, once as a silent drop recovered by the ack timer —
+// before accepting the third attempt. Both refusal verdicts and the accept
+// must ride the same pooled delivery machinery as the lossless path.
+func TestAdmissionPathAllocFree(t *testing.T) {
+	eng, sender, recv := faultRecoveryNet(nil)
+	decision := 0
+	recv.Admit = func(m *Message) AdmitDecision {
+		decision++
+		switch decision % 3 {
+		case 1:
+			return AdmitBounce
+		case 2:
+			return AdmitDrop
+		}
+		return AdmitAccept
+	}
+	m := NewSized(0, 1, 0, 8)
+	round := func() {
+		if !sender.TryAcquireOut() {
+			t.Fatal("outgoing buffer not free at round start")
+		}
+		sender.Inject(m)
+		eng.Run()
+	}
+	for i := 0; i < 20; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(200, round); allocs != 0 {
+		t.Fatalf("admission refuse/accept round allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -52,6 +52,10 @@ type Message struct {
 	attempts int  // total injections (first send, bounce retries, retransmits)
 	retx     int  // timer-driven retransmissions only (bounded by MaxAttempts)
 	corrupt  bool // corrupted in flight; ChecksumOK reports false
+	// deadline is the absolute delivery deadline stamped at first injection
+	// when the reliability layer runs with a per-message deadline; zero means
+	// none. Retries (timer or bounce) past it abandon the send.
+	deadline sim.Time
 
 	// net is set at first injection so typed-event handlers can resolve the
 	// source and destination endpoints from the message alone.
@@ -159,6 +163,16 @@ func (nw *Network) Config() Config { return nw.cfg }
 // still spinning.
 func (nw *Network) Activity() int64 { return nw.activity }
 
+// Progress returns the two watchdog counters together: protocol activity
+// (injections, decisions, buffer releases) and accepted deliveries. Rising
+// activity with flat deliveries over a long interval is the signature of
+// sustained-overload starvation — a bounce or retransmission storm churning
+// the network without ever landing a message — which is distinct from
+// livelock (flat activity: nothing moves at all).
+func (nw *Network) Progress() (activity, delivered int64) {
+	return nw.activity, nw.Delivered
+}
+
 // Typed-event handlers for the message hot path. Each is one shared
 // package-level function — scheduling it allocates nothing — with the
 // message (or endpoint) as the receiver; the message's net back-pointer
@@ -238,6 +252,14 @@ type Endpoint struct {
 	// been freed. When nil the failure is still recorded in the network's
 	// Failures list and the node's DeliveryFailures counter.
 	OnDeliveryError func(err *DeliveryError)
+	// Admit, if non-nil, is the NI's admission-control hook, consulted for
+	// every arriving data message after the checksum gate and before the
+	// flow-control buffer check. Nil (the default) is the paper's lossless
+	// accept-or-bounce protocol, bit-identical to a build without the hook.
+	// AdmitBounce returns the message on the second network even with free
+	// buffers; AdmitDrop destroys it silently — recovery, if any, is the
+	// sender's reliability layer, exactly as for a fault-plane drop.
+	Admit func(m *Message) AdmitDecision
 	// Fault, if non-nil, injects faults into this endpoint's traffic at the
 	// inject and eject points. Nil is the lossless network.
 	Fault FaultPlane
@@ -316,6 +338,9 @@ func (ep *Endpoint) Inject(m *Message) {
 		if m.Seq == 0 {
 			ep.seq++
 			m.Seq = ep.seq
+			if d := ep.net.cfg.Reliability.Deadline; d > 0 {
+				m.deadline = ep.net.eng.Now() + d
+			}
 		}
 		m.SealChecksum()
 	}
@@ -426,6 +451,24 @@ func (ep *Endpoint) dropControl(kind ControlKind, m *Message) bool {
 	return true
 }
 
+// AdmitDecision is an admission-control verdict for one arriving message
+// (see Endpoint.Admit). The zero value accepts.
+type AdmitDecision int
+
+const (
+	// AdmitAccept admits the message into an incoming flow-control buffer
+	// (space permitting — a full endpoint still bounces).
+	AdmitAccept AdmitDecision = iota
+	// AdmitBounce returns the message to its sender on the guaranteed second
+	// network, regardless of free buffer space.
+	AdmitBounce
+	// AdmitDrop destroys the message at the receiver. Under the reliability
+	// layer the sender's retransmission timer (and ultimately its deadline or
+	// attempt budget) recovers or abandons the send; without it the loss is
+	// permanent, as for a fault-plane drop.
+	AdmitDrop
+)
+
 func (ep *Endpoint) decide(m *Message) {
 	ep.net.activity++
 	eng := ep.net.eng
@@ -438,6 +481,24 @@ func (ep *Endpoint) decide(m *Message) {
 			ep.Stats.CorruptDropped++
 		}
 		return
+	}
+	if ep.Admit != nil {
+		switch ep.Admit(m) {
+		case AdmitDrop:
+			if ep.Stats != nil {
+				ep.Stats.AdmitDrops++
+			}
+			return
+		case AdmitBounce:
+			if ep.Stats != nil {
+				ep.Stats.AdmitBounces++
+			}
+			if ep.dropControl(BounceControl, m) {
+				return
+			}
+			eng.AfterEvent(ep.net.cfg.Latency+ep.net.serialization(m.Size()), msgBounced, m, 0)
+			return
+		}
 	}
 	if ep.inFree > 0 {
 		ep.inFree--
@@ -465,7 +526,8 @@ func (ep *Endpoint) decide(m *Message) {
 }
 
 func (ep *Endpoint) bounced(m *Message) {
-	if ep.net.cfg.Reliability.Enabled {
+	reliable := ep.net.cfg.Reliability.Enabled
+	if reliable {
 		t, ok := ep.inflight[m]
 		if !ok {
 			// Already acked (a duplicated copy bounced after the original
@@ -479,6 +541,16 @@ func (ep *Endpoint) bounced(m *Message) {
 		// flow-control contention never counts toward MaxAttempts.
 		t.Stop()
 		m.retx = 0
+		// The deadline does bound bounce retries: it is what keeps a bounce
+		// storm (an overloaded or admission-refusing receiver returning
+		// every attempt) from spinning the sender forever.
+		if m.deadline > 0 && ep.net.eng.Now() >= m.deadline {
+			if ep.Stats != nil {
+				ep.Stats.Bounces++
+			}
+			ep.abandon(m, ReasonDeadline)
+			return
+		}
 	}
 	if ep.Stats != nil {
 		ep.Stats.Bounces++
@@ -487,7 +559,20 @@ func (ep *Endpoint) bounced(m *Message) {
 		ep.OnBounce(m)
 		return
 	}
-	d := ep.net.cfg.RetryBase * sim.Time(m.attempts)
+	var d sim.Time
+	if reliable {
+		// Capped exponential backoff: under overload, repeated bounces thin
+		// the retry traffic out instead of stacking a linear ramp of
+		// re-injections onto an already saturated receiver.
+		d = ep.net.cfg.RetryBase
+		for i := 1; i < m.attempts && d < ep.net.cfg.RetryCap; i++ {
+			d <<= 1
+		}
+	} else {
+		// The paper's lossless protocol backs off linearly (§5.1.2);
+		// unchanged so the baseline results stay bit-identical.
+		d = ep.net.cfg.RetryBase * sim.Time(m.attempts)
+	}
 	if d > ep.net.cfg.RetryCap {
 		d = ep.net.cfg.RetryCap
 	}

@@ -80,6 +80,12 @@ type ReliabilityConfig struct {
 	// evidence of loss, and contended messages legitimately bounce dozens
 	// of times (§5.1.2).
 	MaxAttempts int
+	// Deadline, when positive, is a per-message delivery deadline measured
+	// from first injection. Unlike MaxAttempts it bounds bounce retries too,
+	// so a sustained bounce storm (an overloaded receiver returning every
+	// attempt) surfaces a DeliveryError instead of retrying forever. Zero
+	// keeps sends open-ended, the pre-overload-plane behavior.
+	Deadline sim.Time
 }
 
 // DefaultReliability returns a configuration tuned for the Table 3
@@ -106,18 +112,31 @@ func (rc ReliabilityConfig) timeout(attempts int) sim.Time {
 	return d
 }
 
+// Reasons a reliable send can be abandoned, carried on DeliveryError so
+// callers (and test assertions) can tell a retransmission budget blown by
+// loss from a deadline blown by sustained overload.
+const (
+	// ReasonBudget: MaxAttempts timer-driven retransmissions went unacked.
+	ReasonBudget = "retry budget exhausted"
+	// ReasonDeadline: the per-message Deadline elapsed before delivery —
+	// typically a bounce storm from an overloaded receiver.
+	ReasonDeadline = "deadline exceeded"
+)
+
 // DeliveryError records a send abandoned by the reliability layer after
-// exhausting its retransmission budget.
+// exhausting its retransmission budget or missing its deadline.
 type DeliveryError struct {
 	Msg      *Message
 	Attempts int
 	// Time is when the send was abandoned.
 	Time sim.Time
+	// Reason is ReasonBudget or ReasonDeadline.
+	Reason string
 }
 
 func (e *DeliveryError) Error() string {
-	return fmt.Sprintf("netsim: %v undeliverable after %d attempts (abandoned at %v)",
-		e.Msg, e.Attempts, e.Time)
+	return fmt.Sprintf("netsim: %v undeliverable after %d attempts (%s at %v)",
+		e.Msg, e.Attempts, e.Reason, e.Time)
 }
 
 // checksum is an FNV-1a hash over the message header fields and payload
@@ -239,16 +258,11 @@ func (ep *Endpoint) ackTimeout(m *Message) {
 	}
 	rc := ep.net.cfg.Reliability
 	if rc.MaxAttempts > 0 && m.retx >= rc.MaxAttempts {
-		delete(ep.inflight, m)
-		if ep.Stats != nil {
-			ep.Stats.DeliveryFailures++
-		}
-		err := &DeliveryError{Msg: m, Attempts: m.attempts, Time: ep.net.eng.Now()}
-		ep.net.Failures = append(ep.net.Failures, err)
-		ep.releaseOut()
-		if ep.OnDeliveryError != nil {
-			ep.OnDeliveryError(err)
-		}
+		ep.abandon(m, ReasonBudget)
+		return
+	}
+	if m.deadline > 0 && ep.net.eng.Now() >= m.deadline {
+		ep.abandon(m, ReasonDeadline)
 		return
 	}
 	m.retx++
@@ -258,12 +272,55 @@ func (ep *Endpoint) ackTimeout(m *Message) {
 	ep.Inject(m)
 }
 
+// abandon gives up on a reliable send: the inflight entry is removed, the
+// outgoing buffer freed (so the simulation quiesces instead of hanging),
+// and a structured DeliveryError recorded. Callers decide the reason.
+func (ep *Endpoint) abandon(m *Message, reason string) {
+	if t, ok := ep.inflight[m]; ok {
+		t.Stop()
+		delete(ep.inflight, m)
+	}
+	if ep.Stats != nil {
+		ep.Stats.DeliveryFailures++
+	}
+	err := &DeliveryError{Msg: m, Attempts: m.attempts, Time: ep.net.eng.Now(), Reason: reason}
+	ep.net.Failures = append(ep.net.Failures, err)
+	ep.releaseOut()
+	if ep.OnDeliveryError != nil {
+		ep.OnDeliveryError(err)
+	}
+}
+
 // QuiescenceReport implements the engine's quiescence check for the
 // network: it names every endpoint still holding flow-control buffers or
 // tracking unacknowledged sends. Empty means the network is quiescent.
 // netsim registers it with the engine at New; it is also useful directly
 // after Engine.Run when a workload appears to have finished early.
 func (nw *Network) QuiescenceReport() string {
+	body := nw.endpointReport()
+	if body == "" {
+		return ""
+	}
+	return "netsim: network not quiescent — a message, ack, or bounce was lost:\n" + body
+}
+
+// StarvationReport names the endpoints implicated in sustained-overload
+// starvation: traffic keeps churning (activity rises) but nothing is
+// delivered. The body is the same per-endpoint buffer/inflight inventory
+// as QuiescenceReport; only the diagnosis differs — here the messages are
+// not lost, they are being perpetually bounced or retried. Empty means no
+// endpoint is holding work.
+func (nw *Network) StarvationReport() string {
+	body := nw.endpointReport()
+	if body == "" {
+		return ""
+	}
+	return "netsim: sustained overload starvation — traffic is churning but nothing is delivered:\n" + body
+}
+
+// endpointReport is the shared body of the quiescence and starvation
+// diagnostics: one line per endpoint still holding buffers or unacked sends.
+func (nw *Network) endpointReport() string {
 	var b strings.Builder
 	for _, ep := range nw.eps {
 		outHeld := ep.bufs - ep.outFree
@@ -286,8 +343,5 @@ func (nw *Network) QuiescenceReport() string {
 		}
 		b.WriteByte('\n')
 	}
-	if b.Len() == 0 {
-		return ""
-	}
-	return "netsim: network not quiescent — a message, ack, or bounce was lost:\n" + b.String()
+	return b.String()
 }

@@ -12,7 +12,7 @@ import (
 //
 //	offset  size  field
 //	0       1     version (wireVersion)
-//	1       1     flags (bit 0: payload bytes follow)
+//	1       1     flags (bit 0: payload bytes follow; bit 1: corrupted synthetic payload)
 //	2       4     src
 //	6       4     dst
 //	10      4     handler
@@ -29,6 +29,11 @@ const (
 	wireVersion     = 1
 	wireHeaderBytes = 42
 	flagPayload     = 1 << 0
+	// flagCorrupt carries the corrupt marker of a synthetic-payload message
+	// (no real bytes to flip, see corruptedCopy). Without it a captured
+	// corrupted frame would re-parse as pristine and pass its checksum —
+	// a fault-plane round trip must preserve ChecksumOK's verdict.
+	flagCorrupt = 1 << 1
 )
 
 // AppendWire appends m's wire encoding to dst and returns the extended
@@ -54,6 +59,9 @@ func (m *Message) AppendWire(dst []byte) ([]byte, error) {
 	if m.Payload != nil {
 		flags |= flagPayload
 	}
+	if m.corrupt {
+		flags |= flagCorrupt
+	}
 	dst = append(dst, wireVersion, flags)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Src))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Dst))
@@ -78,7 +86,7 @@ func ParseWire(b []byte) (*Message, error) {
 		return nil, fmt.Errorf("netsim: unknown wire version %d", b[0])
 	}
 	flags := b[1]
-	if flags&^byte(flagPayload) != 0 {
+	if flags&^byte(flagPayload|flagCorrupt) != 0 {
 		return nil, fmt.Errorf("netsim: unknown wire flags %#x", flags)
 	}
 	m := &Message{
@@ -90,6 +98,7 @@ func ParseWire(b []byte) (*Message, error) {
 		Arg:        binary.LittleEndian.Uint64(b[22:]),
 		Seq:        binary.LittleEndian.Uint64(b[30:]),
 		Checksum:   binary.LittleEndian.Uint32(b[38:]),
+		corrupt:    flags&flagCorrupt != 0,
 	}
 	for _, f := range [...]struct {
 		name string

@@ -4,18 +4,106 @@ import (
 	"bytes"
 	"math"
 	"testing"
+
+	"nisim/internal/sim"
 )
 
 // Seed corpus for the round-trip fuzzer. The payload sizes mirror the
 // integer-truncation case fixed in PR 1: serialization time used integer
 // division, so partial-word payloads (1 byte, 249 bytes) under-billed the
-// wire. The codec must carry those exact lengths faithfully.
+// wire. The codec must carry those exact lengths faithfully. The corpus is
+// then extended with frames captured live from the fault plane, so the
+// fuzzer starts from the wire images the fault machinery actually emits.
 func fuzzSeeds(f *testing.F) {
 	f.Add(0, 1, 0, 0, []byte(nil), uint64(0), uint64(0))
 	f.Add(3, 7, 2, 1, []byte{0xff}, uint64(42), uint64(1))            // 1-byte partial word
 	f.Add(1, 0, 4, 0, bytes.Repeat([]byte{0xa5}, 20), uint64(0), uint64(9)) // spsolve payload
 	f.Add(5, 6, 1, 2, bytes.Repeat([]byte{0x5a}, 248), uint64(7), uint64(100))
 	f.Add(6, 5, 1, 2, bytes.Repeat([]byte{0x5a}, 249), uint64(7), uint64(101)) // 249: partial word
+	for _, m := range captureFaultFrames() {
+		f.Add(m.Src, m.Dst, m.Handler, m.Channel, m.Payload, m.Arg, m.Seq)
+	}
+}
+
+// captureFaultFrames drives a tiny two-node reliable network through a
+// scripted fault plane and snapshots the frames the plane touched: a
+// data message the plane duplicated, the corrupted copy observed at the
+// eject point (flipped payload bit and all), and the header of a message
+// returned on the bounce network. Deterministic: the engine's event order
+// fixes the capture order.
+func captureFaultFrames() []*Message {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Reliability = ReliabilityConfig{
+		Enabled: true, AckTimeout: 1 * sim.Microsecond,
+		TimeoutCap: 8 * sim.Microsecond, MaxAttempts: 8,
+	}
+	nw := New(eng, cfg, 2, 1)
+
+	var frames []*Message
+	snap := func(m *Message) {
+		c := *m
+		c.Payload = append([]byte(nil), m.Payload...)
+		if m.Payload == nil {
+			c.Payload = nil
+		}
+		frames = append(frames, &c)
+	}
+
+	injects := 0
+	plane := &scriptPlane{
+		inject: func(now sim.Time, m *Message) FaultVerdict {
+			injects++
+			switch injects {
+			case 1:
+				snap(m) // the frame the plane duplicates
+				return FaultVerdict{Duplicate: true}
+			case 2:
+				return FaultVerdict{Corrupt: true}
+			}
+			return FaultVerdict{}
+		},
+		eject: func(now sim.Time, m *Message) FaultVerdict {
+			if !m.ChecksumOK() {
+				snap(m) // the corrupted copy as the receiver sees it
+			}
+			return FaultVerdict{}
+		},
+		ctl: func(now sim.Time, kind ControlKind, m *Message) bool {
+			if kind == BounceControl {
+				snap(m) // a bounce-network header
+			}
+			return false
+		},
+	}
+	nw.Endpoint(0).Fault = plane
+	nw.Endpoint(1).Fault = plane
+
+	// One in-buffer, held across the first accept: the duplicate copy finds
+	// it full and bounces (captured above), then settles as a stale ack.
+	recv := nw.Endpoint(1)
+	accepts := 0
+	recv.OnAccept = func(m *Message) {
+		accepts++
+		if accepts > 1 {
+			recv.ReleaseIn()
+		}
+	}
+	send := func(m *Message) {
+		if !nw.Endpoint(0).TryAcquireOut() {
+			panic("capture rig: no out buffer")
+		}
+		nw.Endpoint(0).Inject(m)
+	}
+	eng.After(0, func() { send(NewSized(0, 1, 3, 8)) }) // duplicated, dup bounces
+	eng.After(2*sim.Microsecond, func() { recv.ReleaseIn() })
+	eng.After(3*sim.Microsecond, func() {
+		m := NewMessage(0, 1, 4, bytes.Repeat([]byte{0xc3}, 33))
+		m.Arg = 0xfeedface
+		send(m) // corrupted in flight, retransmitted clean
+	})
+	eng.Run()
+	return frames
 }
 
 func FuzzWireRoundTrip(f *testing.F) {
@@ -75,8 +163,70 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if cm.ChecksumOK() {
 				t.Fatalf("checksum verified despite corrupted payload byte %d", i)
 			}
+			// A frame truncated after the corruption must be rejected
+			// outright — never parsed into a short payload that happens to
+			// re-verify.
+			if _, err := ParseWire(corrupt[:len(corrupt)-1]); err == nil {
+				t.Fatal("ParseWire accepted a frame truncated after corruption")
+			}
 		}
 	})
+}
+
+// TestWireCarriesCorruptVerdict pins the fault-plane round trip: a frame
+// captured mid-corruption must still fail ChecksumOK after encode/decode.
+// For payload messages the flipped byte carries the evidence; for synthetic
+// payloads (no bytes on the wire) only flagCorrupt does — losing it would
+// relaundering a corrupted capture into a pristine one.
+func TestWireCarriesCorruptVerdict(t *testing.T) {
+	syn := NewSized(1, 2, 3, 64)
+	syn.SealChecksum()
+	sc := syn.corruptedCopy(7)
+	wire, err := sc.AppendWire(nil)
+	if err != nil {
+		t.Fatalf("AppendWire(corrupted synthetic): %v", err)
+	}
+	got, err := ParseWire(wire)
+	if err != nil {
+		t.Fatalf("ParseWire(corrupted synthetic): %v", err)
+	}
+	if got.ChecksumOK() {
+		t.Error("corrupted synthetic frame re-parsed as pristine")
+	}
+
+	pm := NewMessage(1, 2, 3, []byte{1, 2, 3, 4})
+	pm.SealChecksum()
+	pc := pm.corruptedCopy(11)
+	wire, err = pc.AppendWire(nil)
+	if err != nil {
+		t.Fatalf("AppendWire(corrupted payload): %v", err)
+	}
+	got, err = ParseWire(wire)
+	if err != nil {
+		t.Fatalf("ParseWire(corrupted payload): %v", err)
+	}
+	if got.ChecksumOK() {
+		t.Error("corrupted payload frame re-parsed as pristine")
+	}
+	if _, err := ParseWire(wire[:len(wire)-1]); err == nil {
+		t.Error("ParseWire accepted a corrupted frame with a truncated tail")
+	}
+
+	// The pristine originals must still verify: corruption marks the copy,
+	// never the sender's retransmission buffer.
+	for _, m := range []*Message{syn, pm} {
+		w, err := m.AppendWire(nil)
+		if err != nil {
+			t.Fatalf("AppendWire(pristine): %v", err)
+		}
+		g, err := ParseWire(w)
+		if err != nil {
+			t.Fatalf("ParseWire(pristine): %v", err)
+		}
+		if !g.ChecksumOK() {
+			t.Errorf("pristine frame %v fails checksum after round trip", m)
+		}
+	}
 }
 
 func TestWireRejectsMalformed(t *testing.T) {

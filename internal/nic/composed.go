@@ -98,6 +98,9 @@ func newFifoEngine(env *Env, hw *fifoHW, e Engine) any {
 //  4. Ring buffering does not involve the processor (Table 2): returned
 //     messages are retried by the NI, not the software, so the composer
 //     un-wires the fifo hardware's OnBounce.
+//  5. The overload policy, when the Spec sets one, compiles into the
+//     endpoint's Admit hook (overload.go) — after the engines, so the
+//     occupancy signal reads whichever buffering layer was built.
 func compose(spec Spec, kind Kind, env *Env) *composed {
 	if err := spec.Validate(); err != nil {
 		panic(err.Error())
@@ -123,6 +126,7 @@ func compose(spec Spec, kind Kind, env *Env) *composed {
 			env.EP.OnBounce = nil
 		}
 	}
+	x.installOverload()
 	return x
 }
 

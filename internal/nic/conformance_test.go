@@ -15,8 +15,15 @@ import (
 // newTwoNodesSpec is newTwoNodes for an arbitrary design point.
 func newTwoNodesSpec(t *testing.T, spec Spec, bufs int, mutate func(*Config)) *twoNodes {
 	t.Helper()
+	return newTwoNodesNet(t, spec, bufs, netsim.DefaultConfig(), mutate)
+}
+
+// newTwoNodesNet is newTwoNodesSpec with the network configuration exposed,
+// for scenarios that need the reliability layer or non-default link timing.
+func newTwoNodesNet(t *testing.T, spec Spec, bufs int, netCfg netsim.Config, mutate func(*Config)) *twoNodes {
+	t.Helper()
 	eng := sim.NewEngine()
-	r := &twoNodes{eng: eng, net: netsim.New(eng, netsim.DefaultConfig(), 2, bufs)}
+	r := &twoNodes{eng: eng, net: netsim.New(eng, netCfg, 2, bufs)}
 	cfg := DefaultConfig()
 	if mutate != nil {
 		mutate(&cfg)
@@ -169,6 +176,128 @@ func TestSpecConformance(t *testing.T) {
 				}
 			} else if r.nodes[0].Retries != 0 {
 				t.Errorf("ring-buffered design charged %d software retries", r.nodes[0].Retries)
+			}
+		})
+	}
+}
+
+// stormPlane is a fault plane that returns every data message injected by
+// endpoint 0 on the bounce network, modeling a receiver refusing all
+// traffic. Control messages pass untouched.
+type stormPlane struct{}
+
+func (stormPlane) Inject(now sim.Time, m *netsim.Message) netsim.FaultVerdict {
+	if m.Src == 0 {
+		return netsim.FaultVerdict{ForceBounce: true}
+	}
+	return netsim.FaultVerdict{}
+}
+func (stormPlane) Eject(now sim.Time, m *netsim.Message) netsim.FaultVerdict {
+	return netsim.FaultVerdict{}
+}
+func (stormPlane) DropControl(now sim.Time, kind netsim.ControlKind, m *netsim.Message) bool {
+	return false
+}
+
+// TestSpecConformanceBounceStorm drives every composed design point — the
+// nine named kinds and the full cross product — through a sustained bounce
+// storm: every injection from node 0 is returned to sender, forever. With
+// a per-message deadline configured, every spec must degrade gracefully:
+// the sends are abandoned with deadline-exceeded delivery errors, the
+// network drains to quiescence, and the run terminates. No design may
+// silently hang or spin past the deadline.
+func TestSpecConformanceBounceStorm(t *testing.T) {
+	type point struct {
+		name string
+		spec Spec
+	}
+	var points []point
+	for _, k := range Kinds() {
+		points = append(points, point{k.ShortName(), SpecFor(k)})
+	}
+	for _, s := range CrossSpecs() {
+		points = append(points, point{s.Name(), s})
+	}
+	const (
+		count    = 4
+		payload  = 112
+		deadline = 60 * sim.Microsecond
+	)
+	for _, pt := range points {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			netCfg := netsim.DefaultConfig()
+			netCfg.Reliability = netsim.ReliabilityConfig{
+				Enabled: true, AckTimeout: 4 * sim.Microsecond,
+				TimeoutCap: 64 * sim.Microsecond, MaxAttempts: 16,
+				Deadline: deadline,
+			}
+			r := newTwoNodesNet(t, pt.spec, 2, netCfg, nil)
+			r.net.Endpoint(0).Fault = stormPlane{}
+			senderDone := false
+			r.run(t,
+				func(pr *proc.Proc, ni NI) {
+					defer func() { senderDone = true }()
+					for i := 0; i < count; i++ {
+						m := netsim.NewSized(0, 1, 1, payload)
+						for spin := 0; !ni.CanSend(m); spin++ {
+							if spin > 100000 {
+								t.Error("CanSend never came true under the storm")
+								return
+							}
+							if ni.NeedsRetry() {
+								ni.RetryOne(pr)
+							} else {
+								pr.P.SleepAs(stats.Buffering, 100*sim.Nanosecond)
+							}
+						}
+						ni.Send(pr, m)
+					}
+					// Every send must terminate in a delivery error: service
+					// software bounce retries until the deadline abandons them.
+					for spin := 0; len(r.net.Failures) < count; spin++ {
+						if spin > 100000 {
+							t.Errorf("only %d/%d sends abandoned under the storm", len(r.net.Failures), count)
+							return
+						}
+						if ni.NeedsRetry() {
+							ni.RetryOne(pr)
+						} else {
+							pr.P.SleepAs(stats.Buffering, 100*sim.Nanosecond)
+						}
+					}
+				},
+				func(pr *proc.Proc, ni NI) {
+					for spin := 0; !senderDone; spin++ {
+						if spin > 100000 {
+							t.Error("receiver never released: sender stuck")
+							return
+						}
+						if _, ok := ni.Poll(pr); ok {
+							t.Error("storm delivered a message despite bouncing every injection")
+						}
+						pr.P.SleepAs(stats.Compute, 1*sim.Microsecond)
+					}
+				})
+			if r.net.Delivered != 0 {
+				t.Errorf("%d messages delivered through a total bounce storm", r.net.Delivered)
+			}
+			if len(r.net.Failures) != count {
+				t.Fatalf("%d delivery errors, want %d", len(r.net.Failures), count)
+			}
+			for _, e := range r.net.Failures {
+				if e.Reason != netsim.ReasonDeadline {
+					t.Errorf("send abandoned for %q, want %q", e.Reason, netsim.ReasonDeadline)
+				}
+			}
+			if r.nodes[0].ForcedBounces == 0 || r.nodes[0].Bounces == 0 {
+				t.Errorf("storm produced no bounces: forced=%d bounces=%d",
+					r.nodes[0].ForcedBounces, r.nodes[0].Bounces)
+			}
+			// Detection-or-drain: once every send is abandoned the network
+			// must be quiescent — no stranded buffer, timer, or retry.
+			if rep := r.net.QuiescenceReport(); rep != "" {
+				t.Errorf("network not quiescent after the storm resolved:\n%s", rep)
 			}
 		})
 	}

@@ -79,3 +79,86 @@ func TestComposedSendRecvAllocFree(t *testing.T) {
 		})
 	}
 }
+
+// TestAdmissionControlAllocFree gates the composed admission-control fast
+// path: a CM5 design with a tight watermark receives two back-to-back
+// messages per round — the first admitted against an empty queue, the
+// second refused onto the bounce network (occupancy over the watermark)
+// and re-sent by the sender's software retry once the receiver has drained
+// the first. The occupancy probe, refuse verdict, bounce-queue recycling,
+// and software retry must all be allocation-free once warm.
+func TestAdmissionControlAllocFree(t *testing.T) {
+	spec := SpecFor(CM5)
+	// 12% of 8 buffers rounds to under one message: any occupancy refuses.
+	spec.Overload = OverloadPolicy{AdmitPct: 12, Refuse: RefuseBounce}
+	r := newTwoNodesNet(t, spec, 8, netsim.DefaultConfig(), nil)
+	m1 := netsim.NewSized(0, 1, 1, 8)
+	m2 := netsim.NewSized(0, 1, 1, 8)
+
+	const total = 230
+	release, got := 0, 0
+	p0 := r.eng.Spawn("sender", func(p *sim.Process) {
+		pr, ni := r.procs[0], r.nis[0]
+		for i := 0; i < total; i++ {
+			for release <= i {
+				p.Sleep(100 * sim.Nanosecond)
+			}
+			for _, m := range []*netsim.Message{m1, m2} {
+				for !ni.CanSend(m) {
+					if ni.NeedsRetry() {
+						ni.RetryOne(pr)
+					} else {
+						p.Sleep(100 * sim.Nanosecond)
+					}
+				}
+				ni.Send(pr, m)
+			}
+			// Service the refused send's bounce until both land.
+			for r.net.Delivered < int64(2*(i+1)) {
+				if ni.NeedsRetry() {
+					ni.RetryOne(pr)
+				} else {
+					p.Sleep(100 * sim.Nanosecond)
+				}
+			}
+		}
+	})
+	r.procs[0].Bind(p0)
+	p1 := r.eng.Spawn("receiver", func(p *sim.Process) {
+		pr, ni := r.procs[1], r.nis[1]
+		for got < 2*total {
+			// Let both arrivals hit the admission gate before draining, so
+			// the second is refused against the first's occupancy.
+			p.Sleep(2 * sim.Microsecond)
+			for got < 2*release {
+				if _, ok := ni.Poll(pr); ok {
+					got++
+				} else {
+					p.Sleep(100 * sim.Nanosecond)
+				}
+			}
+		}
+	})
+	r.procs[1].Bind(p1)
+
+	running := func() bool { return got < 2*release }
+	round := func() {
+		release++
+		r.eng.RunWhile(running)
+		if got != 2*release {
+			t.Fatalf("round %d did not complete: got=%d", release, got)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		round()
+	}
+	if r.nodes[1].AdmitBounces == 0 {
+		t.Fatal("warmup never hit the refuse path; the gate proves nothing")
+	}
+	if allocs := testing.AllocsPerRun(200, round); allocs != 0 {
+		t.Errorf("admission-controlled round allocates %.1f per run, want 0", allocs)
+	}
+	if r.nodes[1].AdmitBounces < 200 {
+		t.Errorf("gated rounds stopped exercising the refuse path: %d admission bounces", r.nodes[1].AdmitBounces)
+	}
+}

@@ -117,9 +117,73 @@ func (b Buffering) String() string {
 	}
 }
 
+// RefuseAction is what an overload policy does with an arrival it refuses
+// at the admission watermark.
+type RefuseAction int
+
+const (
+	// RefuseBounce returns the refused arrival to its sender on the second
+	// network — the paper's flow-control verdict, applied early.
+	RefuseBounce RefuseAction = iota
+	// RefuseDrop destroys the refused arrival. In a lossless network this
+	// silently loses the message (the watchdog names the stranded sender);
+	// under the reliability layer the sender retries or abandons.
+	RefuseDrop
+	numRefuseActions
+)
+
+func (r RefuseAction) String() string {
+	switch r {
+	case RefuseBounce:
+		return "bounce"
+	case RefuseDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("refuse%d", int(r))
+	}
+}
+
+// EvictChoice is whether an over-watermark arrival may displace buffered
+// work instead of being refused.
+type EvictChoice int
+
+const (
+	// EvictNone refuses over-watermark arrivals outright.
+	EvictNone EvictChoice = iota
+	// EvictOldest destroys the oldest undelivered buffered message to make
+	// room, then admits the arrival (drop-from-head: newest data survives).
+	EvictOldest
+	numEvictChoices
+)
+
+// OverloadPolicy is the declarative admission-control policy of a Spec:
+// what the receive side does with arrivals once buffered occupancy crosses
+// a watermark. The zero value disables admission control — every arrival
+// takes the paper's accept-or-flow-control-bounce path, bit-identically.
+type OverloadPolicy struct {
+	// AdmitPct is the occupancy watermark in percent of receive-buffer
+	// capacity: arrivals are admitted while occupancy < AdmitPct% of
+	// capacity. 0 disables the policy entirely; 100 admits until full.
+	AdmitPct int
+	// Refuse is the fate of a refused arrival: bounce (default) or drop.
+	Refuse RefuseAction
+	// Evict, when EvictOldest, displaces the oldest buffered message
+	// instead of refusing the arrival. Requires Refuse == RefuseDrop (an
+	// evicting policy is a drop-class policy: it destroys admitted data).
+	Evict EvictChoice
+	// ControlBase, when positive, exempts control-plane traffic: arrivals
+	// whose Handler >= ControlBase bypass the watermark and are always
+	// admitted, so barriers and protocol messages survive data overload.
+	ControlBase int
+}
+
+// Zero reports whether the policy disables admission control.
+func (p OverloadPolicy) Zero() bool { return p.AdmitPct == 0 }
+
 // Spec is one point in the NI design space: a send transfer engine, a
 // receive transfer engine, and a buffering policy, plus the optional
-// software send-throttle of Table 5's CNI_32Q_m+Throttle.
+// software send-throttle of Table 5's CNI_32Q_m+Throttle and an optional
+// overload-admission policy.
 type Spec struct {
 	Send      Engine
 	Recv      Engine
@@ -128,18 +192,36 @@ type Spec struct {
 	// unconsumed blocks outstanding per destination than the receiver's NI
 	// cache holds. Requires a coherent send engine over NICachedRing.
 	Throttle bool
+	// Overload is the admission-control policy applied to arrivals at this
+	// NI's endpoint. The zero value preserves lossless accept-or-bounce.
+	Overload OverloadPolicy
 }
 
 // Name returns a compact identifier for the spec: the Kind short name for
 // the nine named design points, or "send+recv.buffering" for cross-product
-// specs.
+// specs, with a "+ovPCTr[e][cN]" suffix when an overload policy is set
+// (PCT the watermark, r the refuse action's initial, e eviction, cN the
+// control-exemption handler base).
 func (s Spec) Name() string {
-	if k := KindOf(s); k != Custom {
-		return k.ShortName()
+	base := s
+	base.Overload = OverloadPolicy{}
+	var n string
+	if k := KindOf(base); k != Custom {
+		n = k.ShortName()
+	} else {
+		n = fmt.Sprintf("%s+%s.%s", s.Send, s.Recv, s.Buffering)
+		if s.Throttle {
+			n += "+throttle"
+		}
 	}
-	n := fmt.Sprintf("%s+%s.%s", s.Send, s.Recv, s.Buffering)
-	if s.Throttle {
-		n += "+throttle"
+	if !s.Overload.Zero() {
+		n += fmt.Sprintf("+ov%d%c", s.Overload.AdmitPct, s.Overload.Refuse.String()[0])
+		if s.Overload.Evict == EvictOldest {
+			n += "e"
+		}
+		if s.Overload.ControlBase > 0 {
+			n += fmt.Sprintf("c%d", s.Overload.ControlBase)
+		}
 	}
 	return n
 }
@@ -181,6 +263,33 @@ func (s Spec) Validate() error {
 	}
 	if s.Throttle && (s.Send != CoherentEngine || s.Buffering != NICachedRing) {
 		return fmt.Errorf("nic: throttle requires %s send over %s", CoherentEngine, NICachedRing)
+	}
+	return s.Overload.validate()
+}
+
+// validate checks the overload policy's internal consistency. The zero
+// value always validates (admission control off).
+func (p OverloadPolicy) validate() error {
+	if p.AdmitPct < 0 || p.AdmitPct > 100 {
+		return fmt.Errorf("nic: overload AdmitPct %d outside [0, 100]", p.AdmitPct)
+	}
+	if p.Refuse < 0 || p.Refuse >= numRefuseActions {
+		return fmt.Errorf("nic: invalid overload refuse action %d", int(p.Refuse))
+	}
+	if p.Evict < 0 || p.Evict >= numEvictChoices {
+		return fmt.Errorf("nic: invalid overload evict choice %d", int(p.Evict))
+	}
+	if p.AdmitPct == 0 {
+		if p.Refuse != RefuseBounce || p.Evict != EvictNone || p.ControlBase != 0 {
+			return fmt.Errorf("nic: overload policy fields require AdmitPct > 0")
+		}
+		return nil
+	}
+	if p.Evict == EvictOldest && p.Refuse != RefuseDrop {
+		return fmt.Errorf("nic: %v eviction requires the drop refuse action (eviction destroys admitted data)", EvictOldest)
+	}
+	if p.ControlBase < 0 {
+		return fmt.Errorf("nic: negative overload ControlBase %d", p.ControlBase)
 	}
 	return nil
 }

@@ -85,6 +85,12 @@ type Node struct {
 	DupSuppressed    int64 // duplicate fragments discarded by the messaging layer
 	DeliveryFailures int64 // sends abandoned after the retransmit limit
 
+	// Admission-control counters (what this node's overload policy did to
+	// arriving traffic; see nic.OverloadPolicy).
+	AdmitDrops     int64 // arrivals destroyed at the admission watermark
+	AdmitBounces   int64 // arrivals returned to sender at the watermark
+	AdmitEvictions int64 // buffered messages evicted to admit newer ones
+
 	// NI-specific counters.
 	NICacheHits   int64 // processor receive fills supplied by the NI cache
 	NICacheMisses int64 // receive fills that fell through to main memory
@@ -171,6 +177,9 @@ func (m *Machine) Total() *Node {
 		t.CorruptDropped += n.CorruptDropped
 		t.DupSuppressed += n.DupSuppressed
 		t.DeliveryFailures += n.DeliveryFailures
+		t.AdmitDrops += n.AdmitDrops
+		t.AdmitBounces += n.AdmitBounces
+		t.AdmitEvictions += n.AdmitEvictions
 		t.NICacheHits += n.NICacheHits
 		t.NICacheMisses += n.NICacheMisses
 		t.NIBypasses += n.NIBypasses
@@ -237,7 +246,51 @@ func (m *Machine) Metrics() map[string]float64 {
 	nonzero("retransmits", t.Retransmits)
 	nonzero("dup_suppressed", t.DupSuppressed)
 	nonzero("delivery_failures", t.DeliveryFailures)
+	nonzero("admit_drops", t.AdmitDrops)
+	nonzero("admit_bounces", t.AdmitBounces)
+	nonzero("admit_evictions", t.AdmitEvictions)
 	return ms
+}
+
+// Quantiles accumulates latency samples for order-statistics reporting
+// (the p50/p99 delivered-latency columns of the overload experiments).
+// Samples are kept raw and sorted on demand, so quantiles are exact and the
+// accumulation path is one append.
+type Quantiles struct {
+	samples []sim.Time
+	sorted  bool
+}
+
+// Add records one sample.
+func (q *Quantiles) Add(v sim.Time) {
+	q.samples = append(q.samples, v)
+	q.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (q *Quantiles) Count() int { return len(q.samples) }
+
+// At returns the p-quantile (p in [0, 1]) using the nearest-rank method,
+// or 0 with no samples. At(0.5) is the median; At(0.99) the p99.
+func (q *Quantiles) At(p float64) sim.Time {
+	if len(q.samples) == 0 {
+		return 0
+	}
+	if !q.sorted {
+		sort.Slice(q.samples, func(i, j int) bool { return q.samples[i] < q.samples[j] })
+		q.sorted = true
+	}
+	if p <= 0 {
+		return q.samples[0]
+	}
+	rank := int(p*float64(len(q.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(q.samples) {
+		rank = len(q.samples) - 1
+	}
+	return q.samples[rank]
 }
 
 // Histogram counts occurrences of integer values (message sizes in bytes).
