@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-smoke bench-json designspace-smoke chaos-smoke ci
+.PHONY: build test vet lint lint-json race bench bench-smoke bench-json designspace-smoke chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ vet: build
 # (see DESIGN.md "Determinism invariants").
 lint: build
 	$(GO) run ./cmd/simlint ./...
+
+# lint-json additionally writes the simlint/v1 report — surviving findings
+# plus the complete //lint:allow inventory (pass, position, reason, used) —
+# to simlint_report.json for the CI artifact.
+lint-json: build
+	$(GO) run ./cmd/simlint -json simlint_report.json ./...
 
 test:
 	$(GO) test ./...
@@ -63,12 +69,7 @@ chaos-smoke: build
 	rm -f chaos_serial.txt chaos_parallel.txt
 
 # ci is the full verification gate: compile everything, vet, enforce the
-# determinism invariants, run the test suite under the race detector, and
-# smoke the design-space and chaos sweeps for worker-count invariance.
-ci:
-	$(GO) build ./...
-	$(GO) vet ./...
-	$(GO) run ./cmd/simlint ./...
-	$(GO) test -race ./...
-	$(MAKE) designspace-smoke
-	$(MAKE) chaos-smoke
+# determinism invariants (all seven simlint passes plus the stale-escape
+# check), run the test suite under the race detector, and smoke the
+# design-space and chaos sweeps for worker-count invariance.
+ci: build vet lint race designspace-smoke chaos-smoke

@@ -1,16 +1,28 @@
 // Simlint is the multichecker for the simulator's determinism and
 // unit-safety invariants. It loads every package under the module from
 // source (standard library included — no module downloads needed), runs the
-// four passes in internal/lint, and exits nonzero when any finding
+// seven passes in internal/lint, and exits nonzero when any finding
 // survives its //lint:allow directives.
+//
+// Findings print as "file:line:col: pass: message" (the format CI's
+// problem matcher consumes). A full-suite run over the default ./...
+// pattern additionally reports stale //lint:allow directives — ones that
+// suppressed nothing — so dead escapes cannot rot in place; pass or
+// package subsets skip that check, since a directive for a pass that did
+// not run would be stale vacuously.
 //
 // Usage:
 //
 //	go run ./cmd/simlint ./...
 //	go run ./cmd/simlint -passes detrand,maporder ./internal/netsim
+//	go run ./cmd/simlint -json simlint_report.json ./...
+//
+// -json writes the simlint/v1 report: surviving findings plus the complete
+// allow-directive inventory (pass, position, reason, used).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +35,7 @@ import (
 
 func main() {
 	passNames := flag.String("passes", "", "comma-separated subset of passes to run (default: all)")
+	jsonPath := flag.String("json", "", "write the simlint/v1 findings+allows report to this file")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -46,19 +59,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Load every package before running any pass: noalloc's hot set is the
+	// transitive closure over all //lint:hotpath roots in the world, so a
+	// package analyzed early must still see roots declared in one loaded
+	// late.
 	world := lint.NewWorld(root, modPath)
-	var diags []lint.Diagnostic
+	pkgs := make([]*lint.Package, 0, len(dirs))
 	for _, dir := range dirs {
-		path := importPath(root, modPath, dir)
-		pkg, err := world.Load(path)
+		pkg, err := world.Load(importPath(root, modPath, dir))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simlint:", err)
 			os.Exit(2)
 		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
 		diags = append(diags, lint.CheckDirectives(pkg, lint.All())...)
 		for _, a := range analyzers {
 			diags = append(diags, lint.Run(a, pkg)...)
 		}
+	}
+	// Stale-directive detection needs every pass to have run over the whole
+	// module — only then has an unused directive provably suppressed
+	// nothing.
+	if *passNames == "" && len(args) == 1 && args[0] == "./..." {
+		diags = append(diags, lint.StaleAllows(pkgs, lint.All())...)
 	}
 
 	sort.Slice(diags, func(i, j int) bool {
@@ -74,13 +101,27 @@ func main() {
 		}
 		return diags[i].Pass < diags[j].Pass
 	})
+	rel := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil {
+			return filepath.ToSlash(r)
+		}
+		return name
+	}
 	for _, d := range diags {
 		pos := world.Fset.Position(d.Pos)
-		name := pos.Filename
-		if rel, err := filepath.Rel(root, name); err == nil {
-			name = rel
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel(pos.Filename), pos.Line, pos.Column, d.Pass, d.Message)
+	}
+	if *jsonPath != "" {
+		report := lint.NewReport(world.Fset, diags, pkgs, rel)
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Pass, d.Message)
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Printf("simlint: %d finding(s)\n", len(diags))

@@ -12,6 +12,8 @@ import (
 )
 
 // State is a MOESI coherence state.
+//
+//lint:enum
 type State int8
 
 // MOESI states.
@@ -35,7 +37,7 @@ func (s State) String() string {
 		return "O"
 	case Modified:
 		return "M"
-	default:
+	default: //lint:allow exhaustive String falls back to "?" for invalid states; report output is byte-identity-locked
 		return "?"
 	}
 }
@@ -126,7 +128,7 @@ func (c *Cache) Snoop(t *membus.Transaction) membus.SnoopReply {
 	if !l.state.Valid() || l.tag != block {
 		return membus.SnoopReply{}
 	}
-	switch t.Kind {
+	switch t.Kind { //lint:allow exhaustive only kinds the bus snoops (Kind.coherent) reach Snoop; others never arrive
 	case membus.GetS:
 		switch l.state {
 		case Modified, Owned:
@@ -135,8 +137,10 @@ func (c *Cache) Snoop(t *membus.Transaction) membus.SnoopReply {
 		case Exclusive:
 			l.state = Shared
 			return membus.SnoopReply{Owner: true, Shared: true, SupplyLatency: c.cfg.SupplyLat}
-		default: // Shared
+		case Shared:
 			return membus.SnoopReply{Shared: true}
+		default:
+			panic("cache: snoop GetS on invalid line state")
 		}
 	case membus.GetX, membus.Upgrade, membus.Invalidate, membus.WriteInvalidate:
 		owner := l.state.Dirty() || l.state == Exclusive
@@ -157,7 +161,7 @@ func (c *Cache) Snoop(t *membus.Transaction) membus.SnoopReply {
 func (c *Cache) evict(p *sim.Process, l *line) {
 	if l.state.Dirty() {
 		c.Writebacks++
-		c.bus.IssueAndWait(p, &membus.Transaction{
+		c.bus.IssueAndWait(p, &membus.Transaction{ //lint:allow noalloc writeback is a full split transaction on the miss path, outside the gated hit path
 			Kind:      membus.Writeback,
 			Addr:      l.tag,
 			Requester: c,
@@ -221,7 +225,7 @@ func (c *Cache) access(p *sim.Process, a membus.Addr, size int, write bool) {
 	if hit && write {
 		// Shared or Owned: upgrade in place.
 		c.Hits++
-		c.bus.IssueAndWait(p, &membus.Transaction{
+		c.bus.IssueAndWait(p, &membus.Transaction{ //lint:allow noalloc upgrade is a full split transaction with snoop participation, outside the gated hit path
 			Kind:      membus.Upgrade,
 			Addr:      block,
 			Requester: c,
@@ -243,7 +247,7 @@ func (c *Cache) access(p *sim.Process, a membus.Addr, size int, write bool) {
 	if write {
 		kind = membus.GetX
 	}
-	t := &membus.Transaction{Kind: kind, Addr: block, Requester: c}
+	t := &membus.Transaction{Kind: kind, Addr: block, Requester: c} //lint:allow noalloc miss fill is a full split transaction; the AllocsPerRun gates cover the hit path
 	c.bus.IssueAndWait(p, t)
 	l.tag = block
 	if write {

@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -14,17 +16,28 @@ import (
 // CheckDirectives.
 const allowPrefix = "lint:allow"
 
-// allowSite is one well-formed directive: pass name plus the source line it
-// annotates.
+// allowSite is one well-formed directive: pass name, reason, and the source
+// line it annotates. used records whether the directive did anything this
+// run — suppressed a finding, or pruned a noalloc walk edge — so the driver
+// can report directives that have rotted into no-ops.
 type allowSite struct {
-	file string
-	line int
-	pass string
+	pos    token.Pos
+	file   string
+	line   int
+	pass   string
+	reason string
+	used   bool
 }
 
-// allowSites extracts the well-formed allow directives of a package.
-func allowSites(pkg *Package) []allowSite {
-	var sites []allowSite
+// allowSites returns the well-formed allow directives of a package. The
+// result is cached on the World so the used marks accumulate across every
+// pass run before StaleAllows inspects them.
+func allowSites(pkg *Package) []*allowSite {
+	w := pkg.World
+	if sites, ok := w.allowCache[pkg]; ok {
+		return sites
+	}
+	var sites []*allowSite
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -32,11 +45,18 @@ func allowSites(pkg *Package) []allowSite {
 				if !ok || pass == "" || reason == "" {
 					continue
 				}
-				pos := pkg.World.Fset.Position(c.Pos())
-				sites = append(sites, allowSite{file: pos.Filename, line: pos.Line, pass: pass})
+				pos := w.Fset.Position(c.Pos())
+				sites = append(sites, &allowSite{
+					pos:    c.Pos(),
+					file:   pos.Filename,
+					line:   pos.Line,
+					pass:   pass,
+					reason: reason,
+				})
 			}
 		}
 	}
+	w.allowCache[pkg] = sites
 	return sites
 }
 
@@ -75,13 +95,17 @@ func filterAllowed(pass string, diags []Diagnostic, pkg *Package) []Diagnostic {
 	return kept
 }
 
-func allowedAt(sites []allowSite, pass string, pos token.Position) bool {
+// allowedAt reports whether a directive for pass covers pos, marking every
+// matching directive as used so it cannot be reported as stale.
+func allowedAt(sites []*allowSite, pass string, pos token.Position) bool {
+	hit := false
 	for _, s := range sites {
 		if s.pass == pass && s.file == pos.Filename && (s.line == pos.Line || s.line == pos.Line-1) {
-			return true
+			s.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // CheckDirectives reports malformed allow directives (missing pass or
@@ -118,4 +142,73 @@ func CheckDirectives(pkg *Package, known []*Analyzer) []Diagnostic {
 		}
 	}
 	return diags
+}
+
+// StaleAllows reports well-formed directives that suppressed no finding
+// (and pruned no noalloc walk edge) across every pass run so far. Only
+// meaningful after the full suite has run over the whole module: a
+// directive for a pass that never ran, or whose findings live in a package
+// that was not analyzed, would be reported as stale vacuously, so the
+// driver gates this on a default (all passes, all packages) invocation.
+func StaleAllows(pkgs []*Package, known []*Analyzer) []Diagnostic {
+	names := make(map[string]bool, len(known))
+	for _, a := range known {
+		names[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, s := range allowSites(pkg) {
+			if s.used || !names[s.pass] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     s.pos,
+				Pass:    "allow",
+				Message: fmt.Sprintf("//lint:allow %s suppresses no finding; remove the stale escape", s.pass),
+			})
+		}
+	}
+	return diags
+}
+
+// An Allow describes one well-formed //lint:allow directive for the JSON
+// report: where it is, which pass it waives, the recorded reason, and
+// whether it actually did anything this run.
+type Allow struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Pass   string `json:"pass"`
+	Reason string `json:"reason"`
+	Used   bool   `json:"used"`
+}
+
+// Allows returns the full directive inventory of the analyzed packages,
+// sorted by position, for the simlint/v1 report. rel maps absolute file
+// names to report-relative ones (pass nil for absolute paths).
+func Allows(pkgs []*Package, rel func(string) string) []Allow {
+	if rel == nil {
+		rel = func(s string) string { return s }
+	}
+	var out []Allow
+	for _, pkg := range pkgs {
+		for _, s := range allowSites(pkg) {
+			out = append(out, Allow{
+				File:   rel(s.file),
+				Line:   s.line,
+				Pass:   s.pass,
+				Reason: s.reason,
+				Used:   s.used,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Pass < out[j].Pass
+	})
+	return out
 }

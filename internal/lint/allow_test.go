@@ -42,3 +42,51 @@ func TestCheckDirectives(t *testing.T) {
 		t.Errorf("missing expected diagnostics (malformed=%v unknown=%v): %+v", malformed, unknown, diags)
 	}
 }
+
+// TestStaleAllows proves the stale-escape detector: after the suppressing
+// pass has run, a directive that caught a finding is fine, while one that
+// suppressed nothing is itself a finding.
+func TestStaleAllows(t *testing.T) {
+	world := lint.NewWorld("testdata/src", "")
+	pkg, err := world.Load("stale")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if diags := lint.Run(lint.DetRand, pkg); len(diags) != 0 {
+		t.Fatalf("detrand findings leaked past the used directive: %+v", diags)
+	}
+	stale := lint.StaleAllows([]*lint.Package{pkg}, lint.All())
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale diagnostics, want 1: %+v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "suppresses no finding") {
+		t.Errorf("unexpected stale message: %q", stale[0].Message)
+	}
+	pos := world.Fset.Position(stale[0].Pos)
+	if pos.Line != 9 {
+		t.Errorf("stale directive reported at line %d, want 9 (the unused one)", pos.Line)
+	}
+}
+
+// TestAllowInventory proves the JSON inventory: every well-formed directive
+// appears with its pass, reason, and used flag.
+func TestAllowInventory(t *testing.T) {
+	world := lint.NewWorld("testdata/src", "")
+	pkg, err := world.Load("stale")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	lint.Run(lint.DetRand, pkg)
+	allows := lint.Allows([]*lint.Package{pkg}, func(s string) string { return s })
+	if len(allows) != 2 {
+		t.Fatalf("got %d allows, want 2: %+v", len(allows), allows)
+	}
+	if !allows[0].Used || allows[1].Used {
+		t.Errorf("used flags wrong: %+v", allows)
+	}
+	for _, a := range allows {
+		if a.Pass != "detrand" || a.Reason == "" || a.Line == 0 {
+			t.Errorf("incomplete inventory entry: %+v", a)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nisim/internal/lint"
+	"nisim/internal/lint/analysistest"
+)
+
+// TestChanConfine proves channel confinement: all six operation forms are
+// findings in an unsanctioned package, channel *types* are not, the
+// //lint:allow chanconfine escape works, and the partition-layer fixture
+// (internal/sim/partition) is skipped entirely despite being full of
+// channel operations.
+func TestChanConfine(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ChanConfine, "chanconfine", "internal/sim/partition")
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// enumDirective marks a named type's declaration (doc or trailing comment)
+// as a design-space enum whose switches must be exhaustive.
+const enumDirective = "lint:enum"
+
+// Exhaustive makes growing the design space safe: every switch on a
+// //lint:enum-marked type (nic.Engine, nic.Buffering, overload refuse and
+// evict policies, netsim admission verdicts and control classes, bus
+// transaction kinds, cache states) must either cover all declared
+// constants of the type or carry a panicking default, so adding
+// engine_rdma or a collectives buffering policy breaks the build at lint
+// time instead of silently composing wrong.
+//
+// The required set is the declaring package's constants of the exact type,
+// minus unexported num* bound sentinels (numEngines-style counts exist to
+// iterate, not to occur). A default clause that panics satisfies any
+// switch; a default that does not panic is itself a finding, because a new
+// constant would be silently misrouted through it. Switches with
+// non-constant case expressions are skipped — coverage cannot be decided
+// statically.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc: "switches on //lint:enum types must cover every declared constant " +
+		"or carry a panicking default, so new design-space points cannot be " +
+		"silently misrouted",
+	Run: runExhaustive,
+}
+
+// isMarkedEnum reports whether tn's declaration carries //lint:enum,
+// scanning the declaring package's syntax once per package.
+func (w *World) isMarkedEnum(tn *types.TypeName) bool {
+	if tn == nil || tn.Pkg() == nil {
+		return false
+	}
+	pkg, ok := w.pkgs[tn.Pkg().Path()]
+	if !ok {
+		return false
+	}
+	w.scanEnumMarks(pkg)
+	return w.enumMarks[tn]
+}
+
+func (w *World) scanEnumMarks(pkg *Package) {
+	if w.enumScanned[pkg] {
+		return
+	}
+	w.enumScanned[pkg] = true
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasDirective(gd.Doc, enumDirective) &&
+					!hasDirective(ts.Doc, enumDirective) &&
+					!hasDirective(ts.Comment, enumDirective) {
+					continue
+				}
+				if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					w.enumMarks[tn] = true
+				}
+			}
+		}
+	}
+}
+
+// enumConstants returns the declared constants of the enum, in the
+// declaring package scope's (sorted) name order. Unexported num* names are
+// bound sentinels, excluded from the required set.
+func enumConstants(tn *types.TypeName) []*types.Const {
+	scope := tn.Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), tn.Type()) {
+			continue
+		}
+		if !c.Exported() && strings.HasPrefix(c.Name(), "num") {
+			continue
+		}
+		consts = append(consts, c)
+	}
+	return consts
+}
+
+func runExhaustive(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return
+	}
+	tn := named.Obj()
+	if !pass.World.isMarkedEnum(tn) {
+		return
+	}
+
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil { // default clause
+			if panicsIn(pass.Info, cc.Body) {
+				return // a panicking default satisfies any coverage
+			}
+			pass.Reportf(cc.Pos(),
+				"switch on enum %s has a non-panicking default: a new constant would be silently misrouted through it", tn.Name())
+			return
+		}
+		for _, e := range cc.List {
+			c := constObj(pass.Info, e)
+			if c == nil {
+				return // non-constant case: coverage undecidable
+			}
+			covered[c.Val().ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for _, c := range enumConstants(tn) {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+			covered[c.Val().ExactString()] = true // aliases count once
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch on enum %s does not cover %s; add the cases or a panicking default",
+			tn.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// constObj resolves a case expression to the named constant it denotes.
+func constObj(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, _ := info.Uses[id].(*types.Const)
+	return c
+}
+
+// panicsIn reports whether the statement list directly contains a call to
+// the panic builtin.
+func panicsIn(info *types.Info, stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if isPanicCall(info, n) {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nisim/internal/lint"
+	"nisim/internal/lint/analysistest"
+)
+
+// TestExhaustive proves enum coverage checking: a missing constant and a
+// non-panicking default are findings; a panicking default, full coverage
+// (num* sentinels excluded), unmarked types, non-constant cases, and an
+// //lint:allow exhaustive default are not.
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Exhaustive, "exhaustive")
+}

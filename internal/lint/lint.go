@@ -4,8 +4,11 @@
 // runs; these passes turn the invariants that guarantee reproducibility —
 // no wall-clock or global math/rand in model code, no map-iteration order
 // leaking into event scheduling or output, sim.Time always composed from
-// unit constants, goroutines only via the engine's process API — into a CI
-// gate instead of reviewer vigilance.
+// unit constants, goroutines only via the engine's process API, hot paths
+// statically allocation-free from their //lint:hotpath roots, switches on
+// //lint:enum design-space types exhaustive, channels confined to the
+// sanctioned concurrency layers — into a CI gate instead of reviewer
+// vigilance.
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Diagnostic, analysistest-style fixtures) but is self-contained on the
@@ -75,7 +78,7 @@ type Diagnostic struct {
 
 // All returns the full simlint suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, SimTime, NoGoroutine}
+	return []*Analyzer{DetRand, MapOrder, SimTime, NoGoroutine, NoAlloc, Exhaustive, ChanConfine}
 }
 
 // Run executes one analyzer over a loaded package and returns its findings
@@ -137,9 +140,18 @@ func isSimTime(t types.Type) bool {
 
 // calleeFunc resolves the called function or method of a call expression to
 // its types object, or nil for builtins, conversions, and dynamic calls.
+// Explicitly instantiated generic calls (f[T](x)) resolve through their
+// index expression to the generic function.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(e.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(e.X)
+	}
 	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		id = fun
 	case *ast.SelectorExpr:

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function declaration (in its doc comment) as a
+// hot-path root: the function and everything it statically reaches
+// in-module must be allocation-free.
+const hotpathDirective = "lint:hotpath"
+
+// NoAlloc statically proves the simulator's hot paths allocation-free,
+// turning the runtime AllocsPerRun spot-checks (which cover only the specs
+// a test happens to run) into a guarantee over the whole design space.
+//
+// Roots carry //lint:hotpath in their doc comment. The hot set is their
+// transitive closure over every package loaded in the world, following
+// statically resolved calls and references to declared functions — a bare
+// function name passed as a value (the typed-event Handler idiom:
+// AtEvent(t, msgArrive, m, 0)) pulls the handler into the hot set without
+// annotating it. Dynamic calls (interface methods, func-typed fields and
+// variables) end the chain, a documented under-approximation shared with
+// maporder's reachability walk. An //lint:allow noalloc directive on a
+// call line prunes the walk into that callee as well as suppressing
+// findings on the line, so a proven-cold or deliberately allocating branch
+// cuts the proof obligation at its entry point.
+//
+// Inside hot functions the pass flags the allocating constructs: function
+// literals (closure environments), address-taken composite literals,
+// make/new, append (which may grow its backing array), map writes and
+// iteration, string concatenation, calls into fmt, and arguments boxed
+// into interface parameters. Arguments inside panic(...) are exempt — the
+// panicking branch is off the measured path. Pointer-shaped values (*T,
+// chan, map, func) box without allocating and are not flagged.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "functions reachable from //lint:hotpath roots must not allocate: " +
+		"no closures, escaping composite literals, make/new, growing append, " +
+		"map writes/iteration, string concatenation, fmt, or interface boxing",
+	Run: runNoAlloc,
+}
+
+// hotFuncs returns the set of functions statically reachable from
+// //lint:hotpath roots across every loaded package, memoized until a new
+// package is indexed.
+func (w *World) hotFuncs() map[*types.Func]bool {
+	if w.hotMemo != nil {
+		return w.hotMemo
+	}
+	hot := make(map[*types.Func]bool)
+	w.hotMemo = hot
+	for fn, fs := range w.decls {
+		if hasDirective(fs.decl.Doc, hotpathDirective) {
+			w.markHot(fn, hot)
+		}
+	}
+	return hot
+}
+
+// markHot adds fn (normalized to its generic origin) and everything it
+// statically reaches to the hot set. Allow directives on an edge's line
+// prune the walk into that callee.
+func (w *World) markHot(fn *types.Func, hot map[*types.Func]bool) {
+	if fn == nil {
+		return
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	if hot[fn] {
+		return
+	}
+	decl, pkg := w.FuncSource(fn)
+	if decl == nil {
+		return // out-of-world: standard library or interface method
+	}
+	hot[fn] = true
+	sites := allowSites(pkg)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		callee, ok := pkg.Info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		if allowedAt(sites, "noalloc", w.Fset.Position(id.Pos())) {
+			return true // pruned edge; the directive is now marked used
+		}
+		w.markHot(callee, hot)
+		return true
+	})
+}
+
+// hasDirective reports whether a comment group contains the given bare
+// lint directive on a line of its own.
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoAlloc(pass *Pass) {
+	hot := pass.World.hotFuncs()
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !hot[fn] {
+				continue
+			}
+			checkHotBody(pass, fn.Name(), fd)
+		}
+	}
+}
+
+// checkHotBody flags allocating constructs in one hot function body,
+// exempting everything inside panic arguments.
+func checkHotBody(pass *Pass, name string, fd *ast.FuncDecl) {
+	var stack []ast.Node
+	panicDepth := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if isPanicCall(pass.Info, top) {
+				panicDepth--
+			}
+			return true
+		}
+		stack = append(stack, n)
+		if isPanicCall(pass.Info, n) {
+			panicDepth++
+			return true
+		}
+		if panicDepth > 0 {
+			return true // the panicking branch is off the measured path
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s is //lint:hotpath-reachable: function literal allocates its closure", name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "%s is //lint:hotpath-reachable: address-taken composite literal escapes to the heap", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isMapIndex(pass.Info, lhs) {
+					pass.Reportf(lhs.Pos(), "%s is //lint:hotpath-reachable: map assignment may grow the bucket array", name)
+				}
+			}
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass.Info, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "%s is //lint:hotpath-reachable: string concatenation allocates", name)
+			}
+		case *ast.IncDecStmt:
+			if isMapIndex(pass.Info, n.X) {
+				pass.Reportf(n.X.Pos(), "%s is //lint:hotpath-reachable: map assignment may grow the bucket array", name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pass.Info, n.X) {
+				pass.Reportf(n.Pos(), "%s is //lint:hotpath-reachable: string concatenation allocates", name)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "%s is //lint:hotpath-reachable: map iteration is hash-seeded and may allocate iterator state", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating builtins, fmt calls, and interface-boxing
+// arguments of one call inside a hot function.
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s is //lint:hotpath-reachable: %s allocates", name, b.Name())
+			case "append":
+				pass.Reportf(call.Pos(), "%s is //lint:hotpath-reachable: append may grow the backing array", name)
+			}
+			return
+		}
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return // conversion or dynamic call: ends the analysis
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "%s is //lint:hotpath-reachable: fmt.%s allocates", name, fn.Name())
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	checkBoxing(pass, name, call, sig)
+}
+
+// checkBoxing flags call arguments whose conversion to an interface
+// parameter must heap-allocate the value.
+func checkBoxing(pass *Pass, name string, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last // s... passes the slice itself
+			} else if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := pass.Info.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() {
+			continue
+		}
+		at := tv.Type
+		if _, already := at.Underlying().(*types.Interface); already {
+			continue
+		}
+		if pointerShaped(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s is //lint:hotpath-reachable: %s boxes into interface parameter", name, at)
+	}
+}
+
+// pointerShaped reports types whose interface representation is the value
+// itself in the data word — converting them to an interface does not
+// allocate.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isPanicCall reports whether n is a call to the panic builtin.
+func isPanicCall(info *types.Info, n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isMapIndex(info *types.Info, e ast.Expr) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[ix.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

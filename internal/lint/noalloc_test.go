@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nisim/internal/lint"
+	"nisim/internal/lint/analysistest"
+)
+
+// TestNoAlloc proves the hot-path allocation proof end to end: the
+// //lint:hotpath roots, the cross-package hot set (noalloc/dep is pulled in
+// by the edge from the root, not by annotation), bare function references
+// and generic instantiations, every flagged construct, the panic-branch
+// exemption, and both roles of //lint:allow noalloc — same-line
+// suppression and call-edge pruning (dep.Pruned's allocation must not be
+// reported).
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoAlloc, "noalloc", "noalloc/dep")
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// ReportVersion identifies the machine-readable diagnostics schema.
+const ReportVersion = "simlint/v1"
+
+// A Report is the versioned JSON artifact of one simlint run: every
+// finding that survived its directives, plus the full //lint:allow
+// inventory (position, pass, reason, whether it was exercised) so
+// suppressions are auditable without grepping the tree.
+type Report struct {
+	Version  string    `json:"version"`
+	Findings []Finding `json:"findings"`
+	Allows   []Allow   `json:"allows"`
+}
+
+// A Finding is one surviving diagnostic in file:line:col form.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+// NewReport assembles the simlint/v1 report from a run's surviving
+// diagnostics and the allow inventory of the analyzed packages. rel maps
+// absolute file names to report-relative ones (nil keeps them absolute).
+// Findings and Allows are never null in the marshaled output: an empty run
+// reports empty arrays.
+func NewReport(fset *token.FileSet, diags []Diagnostic, pkgs []*Package, rel func(string) string) Report {
+	if rel == nil {
+		rel = func(s string) string { return s }
+	}
+	findings := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		findings = append(findings, Finding{
+			File:    rel(pos.Filename),
+			Line:    pos.Line,
+			Col:     pos.Column,
+			Pass:    d.Pass,
+			Message: d.Message,
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Pass < b.Pass
+	})
+	allows := Allows(pkgs, rel)
+	if allows == nil {
+		allows = []Allow{}
+	}
+	return Report{Version: ReportVersion, Findings: findings, Allows: allows}
+}

@@ -1,0 +1,29 @@
+// Package chanconfine exercises channel confinement: every channel
+// operation is a finding outside the sanctioned layers, channel *types*
+// are not, and //lint:allow chanconfine is the escape.
+package chanconfine
+
+func ops() {
+	ch := make(chan int, 1) // want `channel creation is confined`
+	ch <- 1                 // want `channel send is confined`
+	<-ch                    // want `channel receive is confined`
+	select { // want `select is confined`
+	default:
+	}
+	for range ch { // want `range over channel is confined`
+	}
+	close(ch) // want `channel close is confined`
+}
+
+// Channel types in fields and signatures are declarations, not operations:
+// no findings.
+type holder struct {
+	c chan int
+}
+
+func sig(c chan<- int) {}
+
+func allowed() {
+	c := make(chan int) //lint:allow chanconfine fixture: justified channel use
+	_ = c
+}

@@ -1,0 +1,82 @@
+// Package exhaustive exercises enum coverage checking: //lint:enum-marked
+// types, missing constants, panicking vs. non-panicking defaults, the num*
+// bound-sentinel exclusion, unmarked types, non-constant cases, and the
+// //lint:allow exhaustive escape.
+package exhaustive
+
+// Color is a fixture design-space enum.
+//
+//lint:enum
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+	numColors // bound sentinel: excluded from the required set
+)
+
+// Plain is unmarked: switches on it are unchecked.
+type Plain int
+
+const (
+	P0 Plain = iota
+	P1
+)
+
+func missing(c Color) {
+	switch c { // want `switch on enum Color does not cover Blue; add the cases or a panicking default`
+	case Red, Green:
+	}
+}
+
+func soft(c Color) int {
+	switch c {
+	case Red:
+		return 0
+	default: // want `switch on enum Color has a non-panicking default`
+		return 1
+	}
+}
+
+// hard is satisfied by its panicking default even though Green and Blue
+// have no case.
+func hard(c Color) int {
+	switch c {
+	case Red:
+		return 0
+	default:
+		panic("exhaustive: unknown color")
+	}
+}
+
+// full covers every declared constant; numColors is not required.
+func full(c Color) {
+	switch c {
+	case Red, Green, Blue:
+	}
+}
+
+// unmarked types produce no findings however partial the switch.
+func unmarked(p Plain) {
+	switch p {
+	case P0:
+	}
+}
+
+// nonConst cases make coverage undecidable; the switch is skipped.
+func nonConst(c, x Color) {
+	switch c {
+	case x:
+	}
+}
+
+// allowedSoft proves the escape hatch on a deliberate fallback default.
+func allowedSoft(c Color) int {
+	switch c {
+	case Red, Green, Blue:
+		return 0
+	default: //lint:allow exhaustive fixture: deliberate fallback, output locked
+		return 1
+	}
+}

@@ -1,0 +1,15 @@
+// Package partition stands in for the declared future conservative-parallel
+// partition layer: channel operations here are the layer's subject matter,
+// so chanconfine skips the package entirely (no want comments — none of
+// these operations may be reported).
+package partition
+
+func exchange() {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+	select {
+	default:
+	}
+	close(ch)
+}

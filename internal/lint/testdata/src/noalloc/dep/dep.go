@@ -1,0 +1,14 @@
+// Package dep proves the hot set crosses package boundaries: Helper is
+// reached only from the noalloc fixture's annotated root.
+package dep
+
+// Helper is hot via the cross-package edge from noalloc.root.
+func Helper() {
+	_ = make([]int, 1) // want `make allocates`
+}
+
+// Pruned is reached only through an //lint:allow noalloc edge in the
+// caller; the walk stops there and this allocation is not reported.
+func Pruned() {
+	_ = make([]int, 1)
+}

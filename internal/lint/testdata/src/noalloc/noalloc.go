@@ -1,0 +1,105 @@
+// Package noalloc exercises the hot-path allocation proof: //lint:hotpath
+// roots, the transitive in-module hot set (including cross-package edges,
+// bare function references, and generic instantiations), the flagged
+// allocating constructs, the panic-branch exemption, and the two roles of
+// //lint:allow noalloc (same-line suppression and call-edge pruning).
+package noalloc
+
+import (
+	"fmt"
+
+	"noalloc/dep"
+)
+
+type node struct{ next *node }
+
+// root exercises every flagged construct directly in an annotated function.
+//
+//lint:hotpath
+func root(m map[int]int, s []int, a, b string) {
+	f := func() {} // want `function literal allocates its closure`
+	f()
+	p := &node{} // want `address-taken composite literal escapes to the heap`
+	_ = p
+	_ = make([]int, 4) // want `make allocates`
+	_ = new(node)      // want `new allocates`
+	s = append(s, 1)   // want `append may grow the backing array`
+	m[1] = 2           // want `map assignment may grow the bucket array`
+	m[1]++             // want `map assignment may grow the bucket array`
+	for range m {      // want `map iteration is hash-seeded`
+	}
+	_ = a + b      // want `string concatenation allocates`
+	a += b         // want `string concatenation allocates`
+	fmt.Println(a) // want `fmt.Println allocates`
+	dep.Helper()
+	dep.Pruned() //lint:allow noalloc fixture: proven-cold branch, walk must not descend
+}
+
+func box(v interface{}) {}
+
+// boxing: non-pointer-shaped arguments to interface parameters are flagged;
+// nil and pointer-shaped values are not.
+//
+//lint:hotpath
+func boxing(n int, p *node) {
+	box(n) // want `int boxes into interface parameter`
+	box(p)
+	box(nil)
+}
+
+// guard proves the panic-branch exemption: allocations feeding a panic are
+// off the measured path.
+//
+//lint:hotpath
+func guard(d int) {
+	if d < 0 {
+		panic(fmt.Sprintf("negative %d", d))
+	}
+}
+
+// suppressed proves same-line //lint:allow noalloc suppression inside a hot
+// function.
+//
+//lint:hotpath
+func suppressed() {
+	_ = make([]int, 1) //lint:allow noalloc fixture: justified warm-up allocation
+}
+
+func take(h func()) { h() }
+
+// rootRef pulls byRef into the hot set by bare reference (the typed-event
+// Handler idiom), without annotating byRef itself.
+//
+//lint:hotpath
+func rootRef() { take(byRef) }
+
+func byRef() {
+	_ = new(int) // want `new allocates`
+}
+
+type stack[T any] struct{ a []T }
+
+func (s *stack[T]) push(v T) {
+	s.a = append(s.a, v) // want `append may grow the backing array`
+}
+
+// rootGen reaches push through an instantiation; the hot set must resolve
+// it to the generic declaration.
+//
+//lint:hotpath
+func rootGen() {
+	var s stack[int]
+	s.push(1)
+}
+
+type iface interface{ M() }
+
+// dynamic calls end the chain: no findings in or beyond i.M.
+//
+//lint:hotpath
+func dynamic(i iface) { i.M() }
+
+// cold is not reachable from any root; its allocations are not findings.
+func cold() {
+	_ = make([]int, 8)
+}

@@ -1,0 +1,9 @@
+// Package stale carries one directive that suppresses a real finding and
+// one that suppresses nothing, for the stale-escape detector.
+package stale
+
+import "time"
+
+var t0 = time.Now() //lint:allow detrand fixture: harness-only timing, genuinely suppresses a finding
+
+var x = 1 //lint:allow detrand fixture: nothing on this line ever trips detrand

@@ -1,0 +1,24 @@
+// Package worldfx exercises the source loader itself: a multi-file
+// package, generic declarations resolved from their instantiations, and
+// type aliases.
+package worldfx
+
+// Pair is a generic type whose method is instantiated in b.go.
+type Pair[T any] struct{ a, b T }
+
+// First returns the first element.
+func (p Pair[T]) First() T { return p.a }
+
+// Max is a generic function instantiated in b.go.
+func Max[T int | int64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Alias aliases Real; type queries must see through it.
+type Alias = Real
+
+// Real is the aliased named type.
+type Real int

@@ -1,0 +1,10 @@
+package worldfx
+
+func useMax() int { return Max(1, 2) }
+
+func usePair() int {
+	p := Pair[int]{a: 1, b: 2}
+	return p.First()
+}
+
+func useAlias() Alias { return Alias(3) }

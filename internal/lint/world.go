@@ -47,6 +47,17 @@ type World struct {
 	loading   map[string]bool
 	decls     map[*types.Func]*funcSource
 	schedMemo map[*types.Func]schedState
+
+	// allowCache keys each package's //lint:allow sites so used marks
+	// accumulate across passes (see allowSites, StaleAllows).
+	allowCache map[*Package][]*allowSite
+	// hotMemo is the //lint:hotpath transitive closure, invalidated when a
+	// new package is indexed so late loads can contribute roots.
+	hotMemo map[*types.Func]bool
+	// enumMarks records //lint:enum-annotated named types, per declaring
+	// package (scanned lazily by isMarkedEnum).
+	enumMarks   map[*types.TypeName]bool
+	enumScanned map[*Package]bool
 }
 
 // schedState memoizes (*World).schedules; schedVisiting breaks recursion
@@ -72,14 +83,17 @@ type funcSource struct {
 func NewWorld(root, modulePath string) *World {
 	fset := token.NewFileSet()
 	return &World{
-		Fset:       fset,
-		Root:       root,
-		ModulePath: modulePath,
-		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		pkgs:       make(map[string]*Package),
-		loading:    make(map[string]bool),
-		decls:      make(map[*types.Func]*funcSource),
-		schedMemo:  make(map[*types.Func]schedState),
+		Fset:        fset,
+		Root:        root,
+		ModulePath:  modulePath,
+		std:         importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:        make(map[string]*Package),
+		loading:     make(map[string]bool),
+		decls:       make(map[*types.Func]*funcSource),
+		schedMemo:   make(map[*types.Func]schedState),
+		allowCache:  make(map[*Package][]*allowSite),
+		enumMarks:   make(map[*types.TypeName]bool),
+		enumScanned: make(map[*Package]bool),
 	}
 }
 
@@ -169,13 +183,22 @@ func (w *World) indexFuncs(p *Package) {
 			}
 		}
 	}
+	// New declarations can add //lint:hotpath roots; recompute on demand.
+	w.hotMemo = nil
 }
 
 // FuncSource returns the body and owning package of fn, when fn was loaded
 // into this world (standard-library and interface methods return nil).
+// Instantiated generic functions and methods resolve to their generic
+// declaration via Origin.
 func (w *World) FuncSource(fn *types.Func) (*ast.FuncDecl, *Package) {
 	if fs, ok := w.decls[fn]; ok {
 		return fs.decl, fs.pkg
+	}
+	if o := fn.Origin(); o != fn {
+		if fs, ok := w.decls[o]; ok {
+			return fs.decl, fs.pkg
+		}
 	}
 	return nil, nil
 }

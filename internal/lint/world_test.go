@@ -1,0 +1,99 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"nisim/internal/lint"
+)
+
+func loadWorldFixture(t *testing.T) *lint.Package {
+	t.Helper()
+	world := lint.NewWorld("testdata/src", "")
+	pkg, err := world.Load("worldfx")
+	if err != nil {
+		t.Fatalf("loading worldfx: %v", err)
+	}
+	return pkg
+}
+
+// usesOf collects every use of the named identifier that resolves to a
+// function, across all of the package's files.
+func usesOf(pkg *lint.Package, name string) []*types.Func {
+	var fns []*types.Func
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name != name {
+				return true
+			}
+			if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+				fns = append(fns, fn)
+			}
+			return true
+		})
+	}
+	return fns
+}
+
+// TestWorldMultiFilePackage checks that a package's files share one type
+// universe: a generic declared in a.go is resolvable from its use in b.go.
+func TestWorldMultiFilePackage(t *testing.T) {
+	pkg := loadWorldFixture(t)
+	if len(pkg.Files) != 2 {
+		t.Fatalf("got %d files, want 2", len(pkg.Files))
+	}
+	fns := usesOf(pkg, "Max")
+	if len(fns) == 0 {
+		t.Fatal("no cross-file use of Max resolved to a function")
+	}
+}
+
+// TestWorldGenericInstantiation checks that FuncSource resolves
+// instantiated generic functions and methods back to their generic
+// declarations (via Origin), so call-graph walks do not dead-end at an
+// instantiation.
+func TestWorldGenericInstantiation(t *testing.T) {
+	pkg := loadWorldFixture(t)
+	for _, name := range []string{"Max", "First"} {
+		fns := usesOf(pkg, name)
+		if len(fns) == 0 {
+			t.Fatalf("no use of %s resolved to a function", name)
+		}
+		for _, fn := range fns {
+			decl, declPkg := pkg.World.FuncSource(fn)
+			if decl == nil {
+				t.Fatalf("FuncSource(%v) returned no declaration", fn)
+			}
+			if decl.Name.Name != name {
+				t.Fatalf("FuncSource(%v) resolved to %s, want %s", fn, decl.Name.Name, name)
+			}
+			if declPkg != pkg {
+				t.Fatalf("FuncSource(%v) resolved to package %s, want worldfx", fn, declPkg.Path)
+			}
+		}
+	}
+}
+
+// TestWorldTypeAlias checks that aliases survive loading as aliases and
+// unalias to the declared named type, the property exhaustive's tag
+// resolution depends on.
+func TestWorldTypeAlias(t *testing.T) {
+	pkg := loadWorldFixture(t)
+	obj := pkg.Types.Scope().Lookup("Alias")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		t.Fatalf("Alias is %T, want *types.TypeName", obj)
+	}
+	if !tn.IsAlias() {
+		t.Fatal("Alias lost its alias-ness during loading")
+	}
+	named, ok := types.Unalias(tn.Type()).(*types.Named)
+	if !ok {
+		t.Fatalf("Unalias(Alias) is %T, want *types.Named", types.Unalias(tn.Type()))
+	}
+	if named.Obj().Name() != "Real" {
+		t.Fatalf("Unalias(Alias) resolved to %s, want Real", named.Obj().Name())
+	}
+}

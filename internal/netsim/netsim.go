@@ -178,14 +178,20 @@ func (nw *Network) Progress() (activity, delivered int64) {
 // message (or endpoint) as the receiver; the message's net back-pointer
 // resolves the acting endpoint. They replace the per-hop closures that
 // previously allocated a fresh environment for every network transit.
+//lint:hotpath
 func msgArrive(recv any, _ uint64) { m := recv.(*Message); m.net.eps[m.Dst].arrive(m) }
+//lint:hotpath
 func msgEject(recv any, _ uint64)  { m := recv.(*Message); m.net.eps[m.Dst].eject(m) }
+//lint:hotpath
 func msgDecide(recv any, _ uint64) { m := recv.(*Message); m.net.eps[m.Dst].decide(m) }
+//lint:hotpath
 func msgAcked(recv any, _ uint64)  { m := recv.(*Message); m.net.eps[m.Src].acked(m) }
+//lint:hotpath
 func msgBounced(recv any, _ uint64) {
 	m := recv.(*Message)
 	m.net.eps[m.Src].bounced(m)
 }
+//lint:hotpath
 func msgRetryInject(recv any, _ uint64) {
 	m := recv.(*Message)
 	ep := m.net.eps[m.Src]
@@ -194,8 +200,11 @@ func msgRetryInject(recv any, _ uint64) {
 	}
 	ep.Inject(m)
 }
+//lint:hotpath
 func msgAckTimeout(recv any, _ uint64) { m := recv.(*Message); m.net.eps[m.Src].ackTimeout(m) }
+//lint:hotpath
 func epReleaseOut(recv any, _ uint64)  { recv.(*Endpoint).releaseOut() }
+//lint:hotpath
 func epNotifyOutFree(recv any, _ uint64) {
 	ep := recv.(*Endpoint)
 	if ep.OnOutFree != nil {
@@ -280,6 +289,8 @@ func (ep *Endpoint) OutFree() int { return ep.outFree }
 func (ep *Endpoint) InFree() int { return ep.inFree }
 
 // TryAcquireOut claims an outgoing flow-control buffer if one is free.
+//
+//lint:hotpath
 func (ep *Endpoint) TryAcquireOut() bool {
 	if ep.outFree <= 0 {
 		return false
@@ -290,6 +301,8 @@ func (ep *Endpoint) TryAcquireOut() bool {
 
 // AcquireOut blocks process p until an outgoing buffer is free, then claims
 // it. Blocked time is charged to the Buffering category.
+//
+//lint:hotpath
 func (ep *Endpoint) AcquireOut(p *sim.Process) {
 	if ep.outFree <= 0 && ep.Stats != nil {
 		ep.Stats.SendBlocked++
@@ -303,12 +316,16 @@ func (ep *Endpoint) AcquireOut(p *sim.Process) {
 // WaitOut parks p until an outgoing buffer may have freed; callers re-check
 // with TryAcquireOut (used by NIs whose processors spin on a status
 // register). Blocked time is charged to the Buffering category.
+//
+//lint:hotpath
 func (ep *Endpoint) WaitOut(p *sim.Process) { ep.outCond.WaitAs(p, stats.Buffering) }
 
 // releaseOut returns an outgoing buffer (ack received or send aborted).
 // Surplus credits are ignored: under fault injection without the
 // reliability layer, a duplicated message is acknowledged twice, and a
 // credit-counting NI discards the spurious second credit.
+//
+//lint:hotpath
 func (ep *Endpoint) releaseOut() {
 	if ep.outFree >= ep.bufs {
 		return
@@ -324,6 +341,8 @@ func (ep *Endpoint) releaseOut() {
 // Inject serializes m onto the link and launches it toward its destination.
 // The caller must have acquired an outgoing buffer. Injection is pipelined:
 // Inject returns immediately and the link schedule advances.
+//
+//lint:hotpath
 func (ep *Endpoint) Inject(m *Message) {
 	if m.Src != ep.id {
 		panic(fmt.Sprintf("netsim: endpoint %d injecting message with src %d", ep.id, m.Src))
@@ -453,6 +472,8 @@ func (ep *Endpoint) dropControl(kind ControlKind, m *Message) bool {
 
 // AdmitDecision is an admission-control verdict for one arriving message
 // (see Endpoint.Admit). The zero value accepts.
+//
+//lint:enum
 type AdmitDecision int
 
 const (
@@ -483,7 +504,7 @@ func (ep *Endpoint) decide(m *Message) {
 		return
 	}
 	if ep.Admit != nil {
-		switch ep.Admit(m) {
+		switch ep.Admit(m) { //lint:allow exhaustive AdmitAccept falls through to the normal delivery path below the switch
 		case AdmitDrop:
 			if ep.Stats != nil {
 				ep.Stats.AdmitDrops++
@@ -582,6 +603,8 @@ func (ep *Endpoint) bounced(m *Message) {
 // ReleaseIn frees one incoming flow-control buffer; the NI calls it when it
 // has moved an accepted message out of the buffer (into NI memory, main
 // memory, or the processor).
+//
+//lint:hotpath
 func (ep *Endpoint) ReleaseIn() {
 	ep.inFree++
 	if ep.inFree > ep.bufs {

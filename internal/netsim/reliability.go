@@ -40,6 +40,8 @@ type FaultVerdict struct {
 
 // ControlKind distinguishes the control messages of the return-to-sender
 // protocol for fault purposes.
+//
+//lint:enum
 type ControlKind int
 
 const (
@@ -139,30 +141,36 @@ func (e *DeliveryError) Error() string {
 		e.Msg, e.Attempts, e.Reason, e.Time)
 }
 
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// fnvMix64 folds v into an FNV-1a hash one little-endian byte at a time.
+// A standalone function rather than a closure inside checksum: checksum is
+// on the reliable-delivery hot path and must not allocate an environment.
+func fnvMix64(h uint32, v uint64) uint32 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint32(v&0xFF)) * fnvPrime32
+		v >>= 8
+	}
+	return h
+}
+
 // checksum is an FNV-1a hash over the message header fields and payload
 // bytes. Synthetic payloads (Payload == nil) hash the length alone; the
 // corrupt flag models bit flips in bytes the simulation does not carry.
 func (m *Message) checksum() uint32 {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h = (h ^ uint32(v&0xFF)) * prime32
-			v >>= 8
-		}
-	}
-	mix(uint64(m.Src))
-	mix(uint64(m.Dst))
-	mix(uint64(m.Handler))
-	mix(uint64(m.PayloadLen))
-	mix(uint64(m.Channel))
-	mix(m.Arg)
-	mix(m.Seq)
+	h := uint32(fnvOffset32)
+	h = fnvMix64(h, uint64(m.Src))
+	h = fnvMix64(h, uint64(m.Dst))
+	h = fnvMix64(h, uint64(m.Handler))
+	h = fnvMix64(h, uint64(m.PayloadLen))
+	h = fnvMix64(h, uint64(m.Channel))
+	h = fnvMix64(h, m.Arg)
+	h = fnvMix64(h, m.Seq)
 	for _, b := range m.Payload {
-		h = (h ^ uint32(b)) * prime32
+		h = (h ^ uint32(b)) * fnvPrime32
 	}
 	return h
 }
@@ -197,11 +205,11 @@ func (m *Message) corruptedCopy(bitPos uint64) *Message {
 		var p []byte
 		if m.net != nil && m.net.cfg.Reliability.Enabled {
 			if cap(m.scratch) < len(m.Payload) {
-				m.scratch = make([]byte, len(m.Payload))
+				m.scratch = make([]byte, len(m.Payload)) //lint:allow noalloc once-per-message scratch, reused across every retransmission
 			}
 			p = m.scratch[:len(m.Payload)]
 		} else {
-			p = make([]byte, len(m.Payload))
+			p = make([]byte, len(m.Payload)) //lint:allow noalloc unreliable delivery hands the corrupted copy to the receiver, so the copy must own its bytes
 		}
 		copy(p, m.Payload)
 		i := int(bitPos/8) % len(p)
@@ -242,7 +250,7 @@ func (ep *Endpoint) armTimer(m *Message) {
 		t.Stop()
 	}
 	d := ep.net.cfg.Reliability.timeout(m.retx + 1)
-	ep.inflight[m] = ep.net.eng.AfterTimer(d, msgAckTimeout, m, 0)
+	ep.inflight[m] = ep.net.eng.AfterTimer(d, msgAckTimeout, m, 0) //lint:allow noalloc steady-state rewrite of a warm bucket; gated by TestReliableDeliveryPathAllocFree
 }
 
 // ackTimeout fires when a reliable send has gone unacknowledged for its
@@ -283,8 +291,8 @@ func (ep *Endpoint) abandon(m *Message, reason string) {
 	if ep.Stats != nil {
 		ep.Stats.DeliveryFailures++
 	}
-	err := &DeliveryError{Msg: m, Attempts: m.attempts, Time: ep.net.eng.Now(), Reason: reason}
-	ep.net.Failures = append(ep.net.Failures, err)
+	err := &DeliveryError{Msg: m, Attempts: m.attempts, Time: ep.net.eng.Now(), Reason: reason} //lint:allow noalloc at most one structured error per abandoned message, off the steady-state path
+	ep.net.Failures = append(ep.net.Failures, err)                                              //lint:allow noalloc failure log grows once per abandoned message, not per delivery
 	ep.releaseOut()
 	if ep.OnDeliveryError != nil {
 		ep.OnDeliveryError(err)

@@ -138,6 +138,8 @@ func (x *composed) Kind() Kind { return x.kind }
 func (x *composed) Spec() Spec { return x.spec }
 
 // Send implements NI.
+//
+//lint:hotpath
 func (x *composed) Send(pr *proc.Proc, m *netsim.Message) {
 	if x.spec.Send == CoherentEngine {
 		x.coh.send(pr, m)
@@ -153,6 +155,8 @@ func (x *composed) Send(pr *proc.Proc, m *netsim.Message) {
 }
 
 // Poll implements NI.
+//
+//lint:hotpath
 func (x *composed) Poll(pr *proc.Proc) (*netsim.Message, bool) {
 	if x.spec.Recv == CoherentEngine {
 		return x.coh.poll(pr)
@@ -170,11 +174,13 @@ func (x *composed) Poll(pr *proc.Proc) (*netsim.Message, bool) {
 }
 
 // Recv implements NI.
+//
+//lint:hotpath
 func (x *composed) Recv(pr *proc.Proc) *netsim.Message {
 	if x.spec.Recv == CoherentEngine {
 		return x.coh.recv(pr)
 	}
-	x.hw.waitForMessageServicing(pr, func(b *netsim.Message) { x.send.serviceRepush(pr, b) })
+	x.hw.waitForMessageServicing(pr, func(b *netsim.Message) { x.send.serviceRepush(pr, b) }) //lint:allow noalloc non-escaping service callback invoked synchronously; the composed gate proves the round stays alloc-free
 	x.recv.pollHit(pr)
 	m := x.recv.receive(pr)
 	if tr := x.env.Trace; tr != nil {
@@ -184,6 +190,8 @@ func (x *composed) Recv(pr *proc.Proc) *netsim.Message {
 }
 
 // Pending implements NI.
+//
+//lint:hotpath
 func (x *composed) Pending() bool {
 	if x.spec.Recv == CoherentEngine {
 		return x.coh.pending()
@@ -194,6 +202,8 @@ func (x *composed) Pending() bool {
 // CanSend implements NI: a coherent send side needs ring space (and, when
 // throttled, receiver credit); a fifo send side needs an outgoing
 // flow-control buffer.
+//
+//lint:hotpath
 func (x *composed) CanSend(m *netsim.Message) bool {
 	if x.spec.Send == CoherentEngine {
 		return x.coh.canSend(m)
@@ -203,17 +213,21 @@ func (x *composed) CanSend(m *netsim.Message) bool {
 
 // NeedsRetry implements NI: only FifoVM buffering involves the processor
 // in retrying bounced messages (Table 2); ring policies retry on the NI.
+//
+//lint:hotpath
 func (x *composed) NeedsRetry() bool {
 	return x.spec.Buffering == FifoVM && x.hw.hasBounced()
 }
 
 // RetryOne implements NI: consume the bounced message off the network with
 // the receive engine, then re-push it with the send engine.
+//
+//lint:hotpath
 func (x *composed) RetryOne(pr *proc.Proc) {
 	if x.spec.Buffering != FifoVM {
 		return
 	}
-	x.hw.retryOne(pr, func(b *netsim.Message) {
+	x.hw.retryOne(pr, func(b *netsim.Message) { //lint:allow noalloc non-escaping retry callback invoked synchronously; gated by TestAdmissionControlAllocFree
 		x.recv.retryConsume(pr, b)
 		x.send.retryRepush(pr, b)
 	})
@@ -221,6 +235,8 @@ func (x *composed) RetryOne(pr *proc.Proc) {
 
 // Idle implements NI: fifo-family sends complete synchronously inside
 // Send, so only a coherent send side can hold queued work.
+//
+//lint:hotpath
 func (x *composed) Idle() bool {
 	if x.spec.Send == CoherentEngine {
 		return x.coh.idle()

@@ -24,6 +24,7 @@ func newBlockBufEngine(env *Env, hw *fifoHW) *blockBufEngine {
 // send implements sendEngine: check status, then per 64-byte chunk copy the
 // payload into the block buffer and block-store it to the NI fifo; finally
 // ring the doorbell.
+//lint:hotpath
 func (b *blockBufEngine) send(pr *proc.Proc, m *netsim.Message) {
 	pr.Work(stats.Transfer, b.env.Cfg.BlkbufPathCycles)
 	pr.UncachedRead(stats.Transfer, RegStatus, 8)
@@ -56,18 +57,21 @@ func (b *blockBufEngine) push(pr *proc.Proc, m *netsim.Message) {
 }
 
 // pollMiss implements recvEngine.
+//lint:hotpath
 func (b *blockBufEngine) pollMiss(pr *proc.Proc) {
 	// Unsuccessful poll: monitoring cost attributable to buffering.
 	pr.UncachedRead(stats.Buffering, RegStatus, 8)
 }
 
 // pollHit implements recvEngine.
+//lint:hotpath
 func (b *blockBufEngine) pollHit(pr *proc.Proc) {
 	pr.UncachedRead(stats.Transfer, RegStatus, 8)
 }
 
 // receive implements recvEngine: per 64-byte chunk, load the block buffer
 // from the NI fifo (12-cycle overhead) and drain it into registers/cache.
+//lint:hotpath
 func (b *blockBufEngine) receive(pr *proc.Proc) *netsim.Message {
 	m := b.hw.head()
 	pr.Work(stats.Transfer, b.env.Cfg.BlkbufPathCycles)
@@ -86,10 +90,12 @@ func (b *blockBufEngine) receive(pr *proc.Proc) *netsim.Message {
 }
 
 // serviceRepush implements sendEngine.
+//lint:hotpath
 func (b *blockBufEngine) serviceRepush(pr *proc.Proc, m *netsim.Message) { b.push(pr, m) }
 
 // retryConsume implements recvEngine: the processor consumes the returned
 // message via block loads.
+//lint:hotpath
 func (b *blockBufEngine) retryConsume(pr *proc.Proc, m *netsim.Message) {
 	for remaining := m.Size(); remaining > 0; remaining -= membus.BlockSize {
 		pr.BlockRead(pr.P.Category, FifoBase, b.env.Cfg.BlockBufCycles)
@@ -97,6 +103,7 @@ func (b *blockBufEngine) retryConsume(pr *proc.Proc, m *netsim.Message) {
 }
 
 // retryRepush implements sendEngine: re-push through the block buffer.
+//lint:hotpath
 func (b *blockBufEngine) retryRepush(pr *proc.Proc, m *netsim.Message) { b.push(pr, m) }
 
 // reflectiveEngine is the Memory Channel-like send engine. Unlike the
@@ -120,6 +127,7 @@ const reflSendCycles = 30
 
 // send implements sendEngine: fill the block buffer and block-store each
 // 64-byte chunk into the mapped send window.
+//lint:hotpath
 func (r *reflectiveEngine) send(pr *proc.Proc, m *netsim.Message) {
 	pr.Work(stats.Transfer, reflSendCycles)
 	for !r.env.EP.TryAcquireOut() {
@@ -146,12 +154,14 @@ func (r *reflectiveEngine) push(pr *proc.Proc, m *netsim.Message) {
 // serviceRepush implements sendEngine: under FifoVM buffering a returned
 // message is simply streamed through the window again (reflective memory
 // has no doorbell or status protocol to replay).
+//lint:hotpath
 func (r *reflectiveEngine) serviceRepush(pr *proc.Proc, m *netsim.Message) {
 	pr.Work(stats.Transfer, reflSendCycles)
 	r.push(pr, m)
 }
 
 // retryRepush implements sendEngine.
+//lint:hotpath
 func (r *reflectiveEngine) retryRepush(pr *proc.Proc, m *netsim.Message) {
 	pr.Work(stats.Transfer, reflSendCycles)
 	r.push(pr, m)

@@ -145,7 +145,7 @@ func (c *coherent) SnooperName() string { return c.snoopName }
 // receive-queue blocks it holds, and watch the send queue for prefetch
 // opportunities.
 func (c *coherent) Snoop(t *membus.Transaction) membus.SnoopReply {
-	switch t.Kind {
+	switch t.Kind { //lint:allow exhaustive NI rings react only to reads and ownership requests; other snooped kinds pass unanswered
 	case membus.GetS:
 		if reply, ok := c.ring.snoopSupply(t.Addr); ok {
 			return reply
@@ -231,7 +231,7 @@ func (c *coherent) throttleWait(pr *proc.Proc, m *netsim.Message, nb int64) {
 	for c.outstanding[m.Dst]+nb > int64(c.env.Cfg.CNICacheBlocks) {
 		c.throttleCond.WaitAs(pr.P, stats.Buffering)
 	}
-	c.outstanding[m.Dst] += nb
+	c.outstanding[m.Dst] += nb //lint:allow noalloc per-destination credit map is sized by node count at warm-up; steady-state writes hit existing buckets
 }
 
 // sendEngine is the NI-side send state machine: fetch message blocks from
@@ -344,7 +344,7 @@ func (c *coherent) consume(pr *proc.Proc) *netsim.Message {
 	c.unconsumed -= e.nb
 	if c.peerFn != nil {
 		if sender := c.peerFn(m.Src); sender != nil && sender.throttle {
-			sender.outstanding[c.env.ID] -= e.nb
+			sender.outstanding[c.env.ID] -= e.nb //lint:allow noalloc credit return writes an existing per-node bucket, warmed at first send
 			sender.throttleCond.Broadcast()
 			// The credit return carries a head update, so the NI can
 			// reclaim dead blocks without waiting for a flush.

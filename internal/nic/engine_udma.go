@@ -86,6 +86,7 @@ func (u *udmaEngine) repush(pr *proc.Proc, m *netsim.Message) {
 }
 
 // send implements sendEngine.
+//lint:hotpath
 func (u *udmaEngine) send(pr *proc.Proc, m *netsim.Message) {
 	pr.Work(stats.Transfer, u.env.Cfg.FifoPathCycles)
 	pr.UncachedRead(stats.Transfer, RegStatus, 8)
@@ -115,20 +116,20 @@ func (u *udmaEngine) send(pr *proc.Proc, m *netsim.Message) {
 	// NI-managed DMA: coherent block reads of the source buffer, then
 	// injection. The software waits for completion (paper's simplification).
 	done := false
-	doneCond := sim.NewCond(u.env.Eng)
+	doneCond := sim.NewCond(u.env.Eng) //lint:allow noalloc NI-managed DMA allocates once per large transfer; the AllocsPerRun gate covers the sub-threshold word path
 	blocks := blocksFor(m)
 	var fetch func(i int)
-	fetch = func(i int) {
+	fetch = func(i int) { //lint:allow noalloc per-transfer DMA chain closure; large-message path is outside the gated hot set
 		if i == blocks {
 			u.env.EP.Inject(m)
 			done = true
 			doneCond.Broadcast()
 			return
 		}
-		u.env.Bus.Issue(&membus.Transaction{
+		u.env.Bus.Issue(&membus.Transaction{ //lint:allow noalloc DMA block reads are full split transactions, not scratch accesses; one per block per transfer
 			Kind: membus.GetS,
 			Addr: src + membus.Addr(i*membus.BlockSize),
-			Done: func() { fetch(i + 1) },
+			Done: func() { fetch(i + 1) }, //lint:allow noalloc continuation closure advancing the per-transfer DMA chain
 		})
 	}
 	fetch(0)
@@ -136,17 +137,20 @@ func (u *udmaEngine) send(pr *proc.Proc, m *netsim.Message) {
 }
 
 // pollMiss implements recvEngine.
+//lint:hotpath
 func (u *udmaEngine) pollMiss(pr *proc.Proc) {
 	// Unsuccessful poll: monitoring cost attributable to buffering.
 	pr.UncachedRead(stats.Buffering, RegStatus, 8)
 }
 
 // pollHit implements recvEngine.
+//lint:hotpath
 func (u *udmaEngine) pollHit(pr *proc.Proc) {
 	pr.UncachedRead(stats.Transfer, RegStatus, 8)
 }
 
 // receive implements recvEngine.
+//lint:hotpath
 func (u *udmaEngine) receive(pr *proc.Proc) *netsim.Message {
 	m := u.hw.head()
 	pr.Work(stats.Transfer, u.env.Cfg.FifoPathCycles)
@@ -169,19 +173,19 @@ func (u *udmaEngine) receive(pr *proc.Proc) *netsim.Message {
 	dst := u.staging()
 	u.initiate(pr)
 	done := false
-	doneCond := sim.NewCond(u.env.Eng)
+	doneCond := sim.NewCond(u.env.Eng) //lint:allow noalloc NI-managed DMA allocates once per large transfer; the AllocsPerRun gate covers the sub-threshold word path
 	blocks := blocksFor(m)
 	var store func(i int)
-	store = func(i int) {
+	store = func(i int) { //lint:allow noalloc per-transfer DMA chain closure; large-message path is outside the gated hot set
 		if i == blocks {
 			done = true
 			doneCond.Broadcast()
 			return
 		}
-		u.env.Bus.Issue(&membus.Transaction{
+		u.env.Bus.Issue(&membus.Transaction{ //lint:allow noalloc DMA block deposits are full split transactions, not scratch accesses; one per block per transfer
 			Kind: membus.WriteInvalidate,
 			Addr: dst + membus.Addr(i*membus.BlockSize),
-			Done: func() { store(i + 1) },
+			Done: func() { store(i + 1) }, //lint:allow noalloc continuation closure advancing the per-transfer DMA chain
 		})
 	}
 	store(0)
@@ -194,10 +198,12 @@ func (u *udmaEngine) receive(pr *proc.Proc) *netsim.Message {
 }
 
 // serviceRepush implements sendEngine.
+//lint:hotpath
 func (u *udmaEngine) serviceRepush(pr *proc.Proc, m *netsim.Message) { u.repush(pr, m) }
 
 // retryConsume implements recvEngine: the processor examines the returned
 // message in the window before re-pushing it.
+//lint:hotpath
 func (u *udmaEngine) retryConsume(pr *proc.Proc, m *netsim.Message) {
 	if !u.useDMA(m) {
 		words := wordsFor(m, u.env.Cfg.UncachedWordBytes)
@@ -211,4 +217,5 @@ func (u *udmaEngine) retryConsume(pr *proc.Proc, m *netsim.Message) {
 }
 
 // retryRepush implements sendEngine.
+//lint:hotpath
 func (u *udmaEngine) retryRepush(pr *proc.Proc, m *netsim.Message) { u.repush(pr, m) }

@@ -14,7 +14,7 @@ type queue[T any] struct {
 	head int
 }
 
-func (q *queue[T]) push(v T) { q.a = append(q.a, v) }
+func (q *queue[T]) push(v T) { q.a = append(q.a, v) } //lint:allow noalloc head-rewind reuse keeps the backing array at peak depth; gated by TestComposedSendRecvAllocFree
 
 func (q *queue[T]) len() int { return len(q.a) - q.head }
 

@@ -115,12 +115,16 @@ func (e *Engine) After(d Time, fn func()) {
 // call is allocation-free when recv is a pointer: the handler is shared,
 // the receiver is stored as a pointer in an interface word, and the event
 // record comes from the engine's free list.
+//
+//lint:hotpath
 func (e *Engine) AtEvent(t Time, h Handler, recv any, arg uint64) {
 	ev := e.schedule(t)
 	ev.h, ev.recv, ev.arg = h, recv, arg
 }
 
 // AfterEvent schedules the typed event h(recv, arg) d picoseconds from now.
+//
+//lint:hotpath
 func (e *Engine) AfterEvent(d Time, h Handler, recv any, arg uint64) {
 	checkDelay(d)
 	e.AtEvent(e.now+d, h, recv, arg)
@@ -128,6 +132,8 @@ func (e *Engine) AfterEvent(d Time, h Handler, recv any, arg uint64) {
 
 // AtTimer schedules the typed event h(recv, arg) at absolute time t and
 // returns a Timer that can cancel it before it fires.
+//
+//lint:hotpath
 func (e *Engine) AtTimer(t Time, h Handler, recv any, arg uint64) Timer {
 	ev := e.schedule(t)
 	ev.h, ev.recv, ev.arg = h, recv, arg
@@ -136,13 +142,19 @@ func (e *Engine) AtTimer(t Time, h Handler, recv any, arg uint64) Timer {
 
 // AfterTimer schedules the typed event h(recv, arg) d picoseconds from now
 // and returns a Timer that can cancel it before it fires.
+//
+//lint:hotpath
 func (e *Engine) AfterTimer(d Time, h Handler, recv any, arg uint64) Timer {
 	checkDelay(d)
 	return e.AtTimer(e.now+d, h, recv, arg)
 }
 
 // Step executes the next pending event, advancing time. It returns false if
-// the queue is empty or the engine has been stopped.
+// the queue is empty or the engine has been stopped. The dispatched handler
+// itself is a dynamic call, outside the static noalloc proof; typed-event
+// handlers are hot through their own scheduling sites instead.
+//
+//lint:hotpath
 func (e *Engine) Step() bool {
 	if e.stopped || e.pq.len() == 0 {
 		return false

@@ -71,6 +71,8 @@ func (t Timer) Active() bool {
 // reports whether it removed a pending event; a timer that already fired
 // or was already stopped returns false. Stopping is O(log n) and cannot
 // reorder the remaining events (see the determinism note above).
+//
+//lint:hotpath
 func (t Timer) Stop() bool {
 	if !t.Active() {
 		return false
@@ -84,7 +86,7 @@ func (t Timer) Stop() bool {
 func (e *Engine) alloc() *event {
 	ev := e.pool
 	if ev == nil {
-		return &event{idx: -1}
+		return &event{idx: -1} //lint:allow noalloc pool miss: fresh records are amortized to zero once the free list warms
 	}
 	e.pool = ev.next
 	e.pooled--
@@ -168,7 +170,7 @@ func (h *eventHeap) down(i int) bool {
 
 func (h *eventHeap) push(ev *event) {
 	ev.idx = len(h.a)
-	h.a = append(h.a, ev)
+	h.a = append(h.a, ev) //lint:allow noalloc heap backing array grows to the peak pending-event count, then is reused
 	h.up(ev.idx)
 }
 
@@ -214,7 +216,7 @@ const minHeapCap = 64
 // shrink is never immediately undone by the next push.
 func (h *eventHeap) maybeShrink() {
 	if c := cap(h.a); c > minHeapCap && len(h.a) <= c/4 {
-		na := make([]*event, len(h.a), c/2)
+		na := make([]*event, len(h.a), c/2) //lint:allow noalloc deliberate quarter-occupancy shrink so bursts do not pin their peak footprint
 		copy(na, h.a)
 		h.a = na
 	}
