@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-json race bench bench-smoke bench-json designspace-smoke chaos-smoke ci
+.PHONY: build test vet lint lint-json race bench bench-smoke bench-json designspace-smoke chaos-smoke scale-smoke ci
 
 build:
 	$(GO) build ./...
@@ -68,8 +68,22 @@ chaos-smoke: build
 	cmp chaos_serial.txt chaos_parallel.txt
 	rm -f chaos_serial.txt chaos_parallel.txt
 
+# scale-smoke is the CI gate on the partitioned engine (internal/sim/
+# partition, machine.Config.Shards): the shard byte-identity regressions
+# (workload stats, sweep canonical JSON, barrier stress), then the
+# cmd/scale -big grid run serial vs. four engine shards — the text tables
+# must be byte-identical — with the machine-readable nisim-sweep/v1 report
+# saved to scale_results.json for the CI artifact.
+scale-smoke: build
+	$(GO) test -run 'Sharded|PartitionedEngine|HotShard|TiePosts' -count=1 ./internal/sim/partition/ ./internal/workload/ .
+	$(GO) run ./cmd/scale -big -sizes 64 -scale 0.2 -shards 1 -jobs 1 > scale_serial.txt
+	$(GO) run ./cmd/scale -big -sizes 64 -scale 0.2 -shards 4 -jobs 1 -json scale_results.json > scale_sharded.txt
+	cmp scale_serial.txt scale_sharded.txt
+	rm -f scale_serial.txt scale_sharded.txt
+
 # ci is the full verification gate: compile everything, vet, enforce the
-# determinism invariants (all seven simlint passes plus the stale-escape
+# determinism invariants (all eight simlint passes plus the stale-escape
 # check), run the test suite under the race detector, and smoke the
-# design-space and chaos sweeps for worker-count invariance.
-ci: build vet lint race designspace-smoke chaos-smoke
+# design-space, chaos, and machine-scaling sweeps for worker-count and
+# shard-count invariance.
+ci: build vet lint race designspace-smoke chaos-smoke scale-smoke

@@ -38,7 +38,12 @@ func grid(quick bool) []sweep.Job {
 	jobs = append(jobs, macro.Fig3bGrid(p).Jobs()...)
 	jobs = append(jobs, macro.Fig4Grid(p).Jobs()...)
 	jobs = append(jobs, macro.Table4Jobs(p)...)
-	jobs = append(jobs, macro.ScaleJobs(workload.Dsmc, []int{4, 8, 16, 32}, p)...)
+	jobs = append(jobs, macro.ScaleJobs(workload.Dsmc, []int{4, 8, 16, 32}, 1, p)...)
+	// The large-machine scaling curve (EXPERIMENTS.md, "Scaling past 16
+	// nodes"): Figure 1 pairs at 64 and 256 nodes, partitioned across four
+	// engine shards. The shard count only affects wall-clock time — the
+	// partition determinism regression pins the metrics byte-identical.
+	jobs = append(jobs, macro.ScaleFigure1Jobs([]int{64, 256}, 4, p)...)
 	jobs = append(jobs, macro.AblateMechanismJobs(p)...)
 	jobs = append(jobs, macro.CacheSizeJobs([]int{4, 8, 16, 32, 64, 128}, p)...)
 	jobs = append(jobs, macro.UdmaThresholdJobs([]int{0, 32, 96, 248}, p)...)

@@ -1,16 +1,25 @@
 // Command scale studies machine-size scaling: the return-to-sender flow
 // control allocates buffers independently of the node count (§5.1.2's
 // scalability argument), so per-node execution time should stay roughly
-// flat as the machine grows. Runs one application across machine sizes for
-// a fifo NI and a coherent NI; the grid's cells are independent
-// simulations and fan out across CPUs (see -jobs, -timeout, and -json).
+// flat as the machine grows. The default mode runs one application across
+// small machine sizes for a fifo NI and a coherent NI. With -big it runs
+// the large-machine story instead: the Figure 1 transfer/buffering pairs
+// for the shard-safe applications at 64/256/1024 nodes plus the open-loop
+// overload workload at the same sizes, each cell partitioned across
+// -shards conservative engine shards (see DESIGN.md §10 and
+// EXPERIMENTS.md, "Scaling past 16 nodes"). The grid's cells are
+// independent simulations and fan out across CPUs (see -jobs, -timeout,
+// and -json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"nisim/internal/chaos"
 	"nisim/internal/macro"
 	"nisim/internal/report"
 	"nisim/internal/sweep"
@@ -18,19 +27,32 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "dsmc", "application")
+	app := flag.String("app", "dsmc", "application (default mode)")
 	scale := flag.Float64("scale", 0.5, "iteration scale")
+	shards := flag.Int("shards", 1, "engine shards per simulation (1 = serial engine)")
+	big := flag.Bool("big", false, "run the large-machine grid (Figure 1 pairs + open-loop overload at -sizes) instead of the small-size table")
+	sizesFlag := flag.String("sizes", "64,256,1024", "comma-separated machine sizes for -big")
 	var opts sweep.Options
 	opts.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *big {
+		sizes, err := parseSizes(*sizesFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scale:", err)
+			os.Exit(1)
+		}
+		runBig(opts, sizes, *shards, *scale)
+		return
+	}
+
 	a, err := workload.ByName(*app)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-
 	sizes := []int{4, 8, 16, 32}
-	results, rep := opts.Sweep("scale", 0, macro.ScaleJobs(a, sizes, workload.Params{Iters: *scale}))
+	results, rep := opts.Sweep("scale", 0, macro.ScaleJobs(a, sizes, *shards, workload.Params{Iters: *scale}))
 	fmt.Printf("machine-size scaling, %s, flow control buffers = 8\n", *app)
 	t := report.NewTable("nodes", "cm5 exec (us)", "cni32qm exec (us)")
 	i := 0
@@ -43,6 +65,75 @@ func main() {
 		t.Row(row...)
 	}
 	if _, err := t.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+	if err := opts.Emit(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "scale:", err)
+		os.Exit(1)
+	}
+}
+
+// parseSizes parses the -sizes list.
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -sizes entry %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+// runBig runs the large-machine grid: Figure 1 pairs (appbt, barnes; CM-5
+// NI with 1 vs infinite flow-control buffers) and the open-loop overload
+// cells, at each size. The chaos job IDs repeat per size, so each gets a
+// nodes= suffix here.
+func runBig(opts sweep.Options, sizes []int, shards int, scale float64) {
+	jobs := macro.ScaleFigure1Jobs(sizes, shards, workload.Params{Iters: scale})
+	fig1Cells := len(jobs)
+	for _, nodes := range sizes {
+		for _, j := range chaos.ScaleGrid(nodes, shards, 20).Jobs() {
+			j.ID = fmt.Sprintf("%s/nodes=%d", j.ID, nodes)
+			jobs = append(jobs, j)
+		}
+	}
+
+	results, rep := opts.Sweep("scalebig", 0, jobs)
+	// The header must not mention the shard count: scale-smoke cmp's the
+	// serial and sharded runs byte-for-byte, and sharding is an execution
+	// strategy, not an experiment parameter.
+	fmt.Println("large-machine scaling")
+	t := report.NewTable("nodes", "app", "cm5/1 exec (us)", "cm5/inf exec (us)", "buffering share")
+	for i := 0; i+1 < fig1Cells; i += 2 {
+		one, inf := results[i], results[i+1]
+		t1 := one.Metrics["exec_us"]
+		share := 0.0
+		if t1 > 0 {
+			if share = (t1 - inf.Metrics["exec_us"]) / t1; share < 0 {
+				share = 0
+			}
+		}
+		t.Row(one.Config["nodes"], one.Config["app"],
+			fmt.Sprintf("%.0f", t1), fmt.Sprintf("%.0f", inf.Metrics["exec_us"]),
+			fmt.Sprintf("%.2f", share))
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		panic(err)
+	}
+	ot := report.NewTable("nodes", "spec", "goodput (mb/s)", "p99 (us)", "completed")
+	for _, r := range results[fig1Cells:] {
+		if r.Err != "" {
+			ot.Row(r.Config["nodes"], r.Config["spec"], "err", "err", "err")
+			continue
+		}
+		ot.Row(r.Config["nodes"], r.Config["spec"],
+			fmt.Sprintf("%.1f", r.Metrics["goodput_mbps"]),
+			fmt.Sprintf("%.1f", r.Metrics["p99_us"]),
+			fmt.Sprintf("%.0f", r.Metrics["completed"]))
+	}
+	if _, err := ot.WriteTo(os.Stdout); err != nil {
 		panic(err)
 	}
 	if err := opts.Emit(rep); err != nil {

@@ -61,6 +61,12 @@ type GridSpec struct {
 	Nodes    int
 	Requests int // per client
 	Seed     uint64
+	// Shards partitions each cell's simulation across engine shards
+	// (machine.Config.Shards); zero or one runs the serial engine. Shards
+	// is an execution strategy, not an experiment parameter — results are
+	// byte-identical at any value (the partition determinism regression
+	// pins this), so it appears in neither job IDs nor config maps.
+	Shards int
 }
 
 // StandardGrid returns the full chaos grid: the nine named design points ×
@@ -154,7 +160,24 @@ func (g GridSpec) config(s nic.Spec, mx Mix) machine.Config {
 	cfg.Net.Reliability = mx.Reliability
 	cfg.Watchdog = true
 	cfg.StallHorizon = 200 * sim.Microsecond
+	cfg.Shards = g.Shards
 	return cfg
+}
+
+// ScaleGrid returns the overload grid's machine-scaling variant: the
+// open-loop workload on one fifo and one coherent NI, clean mix at the
+// mid load level, at a given machine size and shard count. It is the
+// chaos half of the cmd/scale -big sweep (EXPERIMENTS.md, "Scaling past
+// 16 nodes").
+func ScaleGrid(nodes, shards, requests int) GridSpec {
+	g := StandardGrid(true)
+	g.Specs = []nic.Spec{nic.SpecFor(nic.CM5), nic.SpecFor(nic.CNI32Qm)}
+	g.Loads = g.Loads[1:2] // mid
+	g.Mixes = g.Mixes[0:1] // clean
+	g.Nodes = nodes
+	g.Requests = requests
+	g.Shards = shards
+	return g
 }
 
 // params builds the open-loop workload parameters for one cell.

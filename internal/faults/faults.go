@@ -147,6 +147,18 @@ func New(cfg Config) *Injector {
 // Config returns the injector's configuration.
 func (in *Injector) Config() Config { return in.cfg }
 
+// Prefork eagerly creates the per-endpoint streams for endpoints 0..n-1.
+// Each stream is a pure function of the seed and the endpoint id, so
+// preforking draws nothing and changes no verdicts; it exists so a
+// partitioned simulation (machine.Config.Shards > 1) never mutates the
+// stream map lazily from two shards at once — after Prefork the map is
+// read-only and each stream has a single writing shard.
+func (in *Injector) Prefork(n int) {
+	for i := 0; i < n; i++ {
+		in.stream(i)
+	}
+}
+
 func (in *Injector) stream(endpoint int) *rng {
 	r := in.streams[endpoint]
 	if r == nil {

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ExportDoc requires a doc comment on every exported identifier —
+// functions, methods, types, constants, variables, and exported struct
+// fields — in the packages that opt in. Today that is the
+// conservative-parallel partition layer (internal/sim/partition): its API
+// is the contract between the serial kernel and the shard runtime, and an
+// undocumented export there is an undocumented concurrency obligation.
+// Packages opt in by path (see isExportDocPkgPath) rather than opting out,
+// so the pass stays silent on the rest of the tree until a package is
+// deliberately promoted to the documented-API tier.
+var ExportDoc = &Analyzer{
+	Name: "exportdoc",
+	Doc: "exported identifiers in documented-API packages (internal/sim/partition) " +
+		"must carry doc comments",
+	Skip: func(path string) bool { return !isExportDocPkgPath(path) },
+	Run:  runExportDoc,
+}
+
+// isExportDocPkgPath reports the packages held to the documented-API bar.
+// The bare path "exportdoc" is accepted so analysistest fixtures can stand
+// in for one.
+func isExportDocPkgPath(path string) bool {
+	return isPartitionPkgPath(path) || path == "exportdoc" || strings.HasSuffix(path, "/exportdoc")
+}
+
+func runExportDoc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					pass.Reportf(d.Name.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					checkSpec(pass, d, spec)
+				}
+			}
+		}
+	}
+}
+
+// checkSpec reports undocumented exported names in one spec of a
+// const/var/type declaration. A doc comment on the enclosing declaration
+// covers every spec in its block (the grouped-const idiom); a spec-level
+// doc comment covers that spec alone. Only preceding doc comments count —
+// trailing line comments are asides, not API documentation.
+func checkSpec(pass *Pass, d *ast.GenDecl, spec ast.Spec) {
+	covered := d.Doc != nil
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		if s.Name.IsExported() && !covered && s.Doc == nil {
+			pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+		}
+		if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+			for _, field := range st.Fields.List {
+				if field.Doc != nil {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.IsExported() {
+						pass.Reportf(name.Pos(), "exported field %s.%s has no doc comment", s.Name.Name, name.Name)
+					}
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		if covered || s.Doc != nil {
+			return
+		}
+		for _, name := range s.Names {
+			if name.IsExported() {
+				kind := "variable"
+				if d.Tok.String() == "const" {
+					kind = "constant"
+				}
+				pass.Reportf(name.Pos(), "exported %s %s has no doc comment", kind, name.Name)
+			}
+		}
+	}
+}

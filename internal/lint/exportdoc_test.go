@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nisim/internal/lint"
+	"nisim/internal/lint/analysistest"
+)
+
+// TestExportDoc proves the documented-API bar: undocumented exported
+// functions, methods, types, struct fields, constants, and variables are
+// findings in an opted-in package; unexported identifiers, block-doc
+// coverage of grouped constants, and spec-level docs are not. The real
+// partition-layer package (internal/sim/partition) is checked by `make
+// lint` directly.
+func TestExportDoc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ExportDoc, "exportdoc")
+}

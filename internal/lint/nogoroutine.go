@@ -11,8 +11,10 @@ import (
 // (sim.Engine.Spawn) with strict control handoff, which is what makes runs
 // deterministic. A stray goroutine, channel, or sync primitive in model
 // code reintroduces scheduler nondeterminism — and data races — that the
-// engine was built to exclude. Only internal/sim (the process runner) may
-// use go statements, channels, select, and the sync package.
+// engine was built to exclude. Only internal/sim (the process runner) and
+// internal/sim/partition (the conservative-parallel shard runtime, whose
+// barrier protocol is the one sanctioned cross-shard handoff) may use go
+// statements, channels, select, and the sync packages.
 //
 // The experiment orchestrator (internal/sweep) is the one other sanctioned
 // concurrency point, under a weaker contract checked by runOrchestration:
@@ -26,7 +28,7 @@ var NoGoroutine = &Analyzer{
 	Doc: "model code must not spawn goroutines or use channels/select/sync; " +
 		"concurrency belongs to the sim kernel's process API and, for fanning out " +
 		"whole simulations, the sweep orchestrator",
-	Skip: isSimPkgPath,
+	Skip: func(path string) bool { return isSimPkgPath(path) || isPartitionPkgPath(path) },
 	Run:  runNoGoroutine,
 }
 

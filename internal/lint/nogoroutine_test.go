@@ -13,6 +13,8 @@ func TestNoGoroutine(t *testing.T) {
 	// pass skips the kernel package. The third stands in for the sweep
 	// orchestrator, exercising the restricted mode: its worker-pool
 	// goroutines are accepted, but goroutines that reach the simulator are
-	// still rejected.
-	analysistest.Run(t, "testdata", lint.NoGoroutine, "nogoroutine", "internal/sim", "sweep")
+	// still rejected. The fourth is the partition layer — shard worker
+	// goroutines and sync/atomic are its subject matter, so it is skipped
+	// like the kernel.
+	analysistest.Run(t, "testdata", lint.NoGoroutine, "nogoroutine", "internal/sim", "sweep", "internal/sim/partition")
 }

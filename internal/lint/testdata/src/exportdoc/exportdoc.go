@@ -1,0 +1,46 @@
+// Package exportdoc stands in for a documented-API package (the real one
+// is internal/sim/partition): every exported identifier must carry a
+// preceding doc comment; unexported ones are nobody's business, and a
+// trailing line comment is an aside, not documentation.
+package exportdoc
+
+// Documented is a type with a doc comment: no finding.
+type Documented struct {
+	// Field carries a field doc: no finding.
+	Field int
+	Bare  int // want `exported field Documented.Bare has no doc comment`
+
+	unexported int
+}
+
+type Naked struct{} // want `exported type Naked has no doc comment`
+
+// Run carries a doc comment: no finding.
+func Run() {}
+
+func Launch() {} // want `exported function Launch has no doc comment`
+
+// String documents a method: no finding.
+func (Documented) String() string { return "" }
+
+func (Documented) Close() {} // want `exported method Close has no doc comment`
+
+func (Documented) privateMethod() {}
+
+// Grouped constants are covered by the block doc: no findings.
+const (
+	StateIdle = iota
+	StateBusy
+)
+
+const Loose = 3 // want `exported constant Loose has no doc comment`
+
+var (
+	// Inline carries a spec-level doc comment: no finding.
+	Inline  int
+	Unknown int // want `exported variable Unknown has no doc comment`
+)
+
+var hidden int
+
+func helper() { _ = hidden; _ = Documented{}.unexported; Documented{}.privateMethod(); helper() }

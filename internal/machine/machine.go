@@ -18,6 +18,7 @@ import (
 	"nisim/internal/nic"
 	"nisim/internal/proc"
 	"nisim/internal/sim"
+	"nisim/internal/sim/partition"
 	"nisim/internal/stats"
 	"nisim/internal/trace"
 )
@@ -76,6 +77,19 @@ type Config struct {
 	// Tracer, when non-nil, receives a structured event line per bus
 	// transaction (and any other subsystems wired to it). Off by default.
 	Tracer *trace.Tracer
+
+	// Shards splits the event engine into this many conservative-parallel
+	// partitions (internal/sim/partition): nodes are divided into
+	// contiguous shards, each driven by its own engine on its own worker
+	// goroutine, synchronized at time-window barriers sized by the network
+	// latency (the lookahead). 0 or 1 is today's serial engine,
+	// byte-for-byte. Values above Nodes are clamped; a machine whose NI
+	// needs instant cross-node state (nic.PeerAware, e.g. the throttled
+	// CNI32Qm) or whose Tracer is set falls back to serial automatically,
+	// as does a network with no positive latency to use as lookahead.
+	// Results are byte-identical across shard counts; only wall-clock time
+	// changes (see DESIGN.md §10).
+	Shards int
 }
 
 // DefaultStallHorizon is how long the fault-run watchdog waits for network
@@ -120,13 +134,44 @@ type Node struct {
 
 // Machine is an assembled system ready to run one program.
 type Machine struct {
-	Eng   *sim.Engine
-	Cfg   Config
-	Nodes []*Node
-	Net   *netsim.Network
-	Stats *stats.Machine
+	// Eng is the engine of shard 0 — the only engine when the machine is
+	// serial (Shards <= 1, the default).
+	Eng *sim.Engine
+	// Engines holds one engine per shard; Engines[0] == Eng. Serial
+	// machines have exactly one.
+	Engines []*sim.Engine
+	Cfg     Config
+	Nodes   []*Node
+	Net     *netsim.Network
+	Stats   *stats.Machine
 
-	ran bool
+	group   *partition.Group // nil when serial
+	shardOf []int            // node id -> shard index
+	ran     bool
+}
+
+// Shards returns the number of engine shards actually in use (1 for a
+// serial machine, even when Config.Shards requested more but the
+// configuration forced the serial fallback).
+func (m *Machine) Shards() int { return len(m.Engines) }
+
+// effectiveShards clamps the requested shard count to what the
+// configuration can partition: at most one shard per node, serial when the
+// network has no positive latency to serve as lookahead, and serial when a
+// tracer is attached (the tracer is a single shared event stream).
+// PeerAware NIs also force serial, detected after construction in build.
+func effectiveShards(cfg Config) int {
+	s := cfg.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s > cfg.Nodes {
+		s = cfg.Nodes
+	}
+	if cfg.Net.Latency <= 0 || cfg.Tracer != nil {
+		s = 1
+	}
+	return s
 }
 
 // New builds a machine per cfg.
@@ -134,14 +179,33 @@ func New(cfg Config) *Machine {
 	if cfg.Nodes < 1 {
 		panic("machine: need at least one node")
 	}
-	eng := sim.NewEngine()
+	return build(cfg, effectiveShards(cfg))
+}
+
+func build(cfg Config, shards int) *Machine {
+	engines := make([]*sim.Engine, shards)
+	for s := range engines {
+		engines[s] = sim.NewEngine()
+	}
+	// Contiguous balanced split: node i belongs to shard i*S/N.
+	shardOf := make([]int, cfg.Nodes)
+	for i := range shardOf {
+		shardOf[i] = i * shards / cfg.Nodes
+	}
 	m := &Machine{
-		Eng:   eng,
-		Cfg:   cfg,
-		Net:   netsim.New(eng, cfg.Net, cfg.Nodes, cfg.FlowBuffers),
-		Stats: stats.NewMachine(cfg.Nodes),
+		Eng:     engines[0],
+		Engines: engines,
+		shardOf: shardOf,
+		Cfg:     cfg,
+		Net:     netsim.New(engines[0], cfg.Net, cfg.Nodes, cfg.FlowBuffers),
+		Stats:   stats.NewMachine(cfg.Nodes),
+	}
+	if shards > 1 {
+		m.group = partition.New(engines, shardOf, cfg.Net.Latency)
+		m.Net.Partition(m.group, func(node int) *sim.Engine { return engines[shardOf[node]] })
 	}
 	for i := 0; i < cfg.Nodes; i++ {
+		eng := engines[shardOf[i]]
 		st := m.Stats.Nodes[i]
 		bus := membus.New(eng, cfg.Bus, st)
 		if cfg.Tracer != nil && cfg.Tracer.Enabled(trace.Bus) {
@@ -179,14 +243,31 @@ func New(cfg Config) *Machine {
 		node.EP = msglayer.New(pr, ni, cfg.Net, cfg.Msg)
 		m.Nodes = append(m.Nodes, node)
 	}
-	// Wire cross-node feedback for send-throttled NIs.
+	// Wire cross-node feedback for send-throttled NIs. A peer-coupled NI
+	// reads other nodes' NI state synchronously — zero lookahead — so its
+	// machine cannot be partitioned: rebuild serial. NIs that accept the
+	// lookup but never use it (nic.PeerCoupled reports false) partition
+	// freely.
+	peerCoupled := false
 	for _, n := range m.Nodes {
 		if pa, ok := n.NI.(nic.PeerAware); ok {
 			pa.SetPeerLookup(func(id int) nic.NI { return m.Nodes[id].NI })
+			if pc, ok := n.NI.(nic.PeerCoupled); !ok || pc.PeerCoupled() {
+				peerCoupled = true
+			}
 		}
 	}
+	if peerCoupled && shards > 1 {
+		m.group.Close()
+		return build(cfg, 1)
+	}
 	if !cfg.Faults.Zero() {
-		m.Net.SetFaultPlane(faults.New(cfg.Faults))
+		inj := faults.New(cfg.Faults)
+		// Fork every per-endpoint fault stream up front: stream creation is
+		// a pure function of seed and id, and eager forking keeps the
+		// stream map read-only once shards start running concurrently.
+		inj.Prefork(cfg.Nodes)
+		m.Net.SetFaultPlane(inj)
 	}
 	return m
 }
@@ -200,6 +281,9 @@ func (m *Machine) Run(prog func(n *Node)) *stats.Machine {
 	}
 	m.ran = true
 	m.registerBarrier()
+	if m.group != nil {
+		return m.runSharded(prog)
+	}
 
 	done := 0
 	for _, n := range m.Nodes {
@@ -290,6 +374,141 @@ func (m *Machine) Run(prog func(n *Node)) *stats.Machine {
 	m.Stats.ExecTime = m.Eng.Now()
 	m.Eng.Drain()
 	return m.Stats
+}
+
+// runSharded is Run on a partitioned machine: programs are spawned on
+// their nodes' shard engines and the partition group drives conservative
+// windows, with the watchdog and stall detection replicated at the window
+// barriers (windows are capped to land exactly on the watchdog's sampling
+// boundaries, so the sampled state matches the serial tick's). Completion,
+// stall, and starvation semantics — including the panic messages — are
+// identical to the serial path.
+func (m *Machine) runSharded(prog func(n *Node)) *stats.Machine {
+	N := len(m.Nodes)
+	// Per-shard completion counts and finish times: each is written only
+	// within its own shard's execution, and the coordinator reads them only
+	// at barriers.
+	done := make([]int, m.Shards())
+	doneAt := make([]sim.Time, m.Shards())
+	for _, n := range m.Nodes {
+		n := n
+		s := m.shardOf[n.ID]
+		eng := m.Engines[s]
+		p := eng.Spawn(fmt.Sprintf("app-%d", n.ID), func(p *sim.Process) {
+			prog(n)
+			done[s]++
+			doneAt[s] = eng.Now()
+		})
+		n.Proc.Bind(p)
+	}
+	total := func() int {
+		t := 0
+		for _, d := range done {
+			t += d
+		}
+		return t
+	}
+
+	stalled := ""
+	var ctrl partition.Control
+	if !m.Cfg.Faults.Zero() || m.Cfg.Watchdog {
+		horizon := m.Cfg.StallHorizon
+		if horizon <= 0 {
+			horizon = DefaultStallHorizon
+		}
+		starveAfter := int64(DefaultStarvationTicks)
+		if m.Cfg.StarvationHorizon > 0 {
+			starveAfter = int64(m.Cfg.StarvationHorizon / horizon)
+			if m.Cfg.StarvationHorizon%horizon != 0 {
+				starveAfter++
+			}
+			if starveAfter < 1 {
+				starveAfter = 1
+			}
+		}
+		last, lastDel := int64(-1), int64(-1)
+		starvedTicks := int64(0)
+		nextTick := horizon
+		// Cap windows at the next sampling boundary so barriers land on the
+		// exact sim times the serial watchdog ticks at.
+		ctrl.CapWindow = func(now, proposed sim.Time) sim.Time {
+			if proposed > nextTick {
+				return nextTick
+			}
+			return proposed
+		}
+		ctrl.AfterWindow = func(end sim.Time) bool {
+			if total() >= N {
+				return false
+			}
+			if end == nextTick {
+				nextTick += horizon
+				act, del := m.Net.Progress()
+				switch {
+				case act == last:
+					if r := m.Eng.StallReport(); r != "" {
+						stalled = fmt.Sprintf("machine: no network progress for %v with %d/%d nodes finished at %v\n%s",
+							horizon, total(), N, end, r)
+						return false
+					}
+				case del == lastDel:
+					starvedTicks++
+					if starvedTicks >= starveAfter {
+						if r := m.Net.StarvationReport(); r != "" {
+							stalled = fmt.Sprintf("machine: sustained overload starvation — network churning for %v without a delivery, %d/%d nodes finished at %v\n%s",
+								sim.Time(starvedTicks)*horizon, total(), N, end, r)
+							return false
+						}
+					}
+				default:
+					starvedTicks = 0
+				}
+				last, lastDel = act, del
+			}
+			return true
+		}
+	} else {
+		ctrl.AfterWindow = func(end sim.Time) bool { return total() < N }
+	}
+
+	// Close on every exit path, panics included: an escaped panic must not
+	// leave shard workers spinning on the barrier epoch. Close is
+	// idempotent, so the failure path inside the group closing first is
+	// fine.
+	finished := func() bool {
+		defer m.group.Close()
+		return m.group.Run(ctrl)
+	}()
+	if stalled != "" {
+		m.drainAll()
+		panic(stalled)
+	}
+	if !finished && total() < N {
+		// Every shard's queue drained with nodes still running: a lost
+		// message, ack, or bounce stranded them — same diagnosis as the
+		// serial path.
+		report := m.Eng.StallReport()
+		now := m.Eng.Now()
+		m.drainAll()
+		panic(fmt.Sprintf("machine: simulation stalled with %d/%d nodes finished at %v\n%s",
+			total(), N, now, report))
+	}
+	exec := sim.Time(0)
+	for _, t := range doneAt {
+		if t > exec {
+			exec = t
+		}
+	}
+	m.Stats.ExecTime = exec
+	m.drainAll()
+	return m.Stats
+}
+
+// drainAll kills every shard's live processes.
+func (m *Machine) drainAll() {
+	for _, eng := range m.Engines {
+		eng.Drain()
+	}
 }
 
 // Reserved messaging-layer handler ids (applications use ids below 200).

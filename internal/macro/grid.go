@@ -189,10 +189,46 @@ func Table4Jobs(p workload.Params) []sweep.Job {
 	return jobs
 }
 
+// ScaleFigure1Jobs returns the Figure 1 transfer/buffering pairs at large
+// machine sizes for the shard-safe applications (appbt and barnes — see
+// workload.Shardable): per size and application, the CM-5-like NI with one
+// flow-control buffer and with infinite buffering, in that order, so
+// Figure1Rows reassembles the bars unchanged. Each cell's simulation is
+// partitioned across shards engine shards. Shards is an execution
+// strategy, not an experiment parameter — results are byte-identical at
+// any value (the partition determinism regression pins it) — so it appears
+// in neither the job IDs nor the config maps.
+func ScaleFigure1Jobs(sizes []int, shards int, p workload.Params) []sweep.Job {
+	var jobs []sweep.Job
+	for _, nodes := range sizes {
+		for _, app := range []workload.App{workload.Appbt, workload.Barnes} {
+			for _, bufs := range []int{1, netsim.Infinite} {
+				nodes, app, bufs := nodes, app, bufs
+				jobs = append(jobs, sweep.Job{
+					ID: fmt.Sprintf("scalefig1/%s/nodes=%d/bufs=%s/%s",
+						nic.CM5.ShortName(), nodes, BufName(bufs), app),
+					Config: map[string]string{
+						"experiment": "scalefig1", "ni": nic.CM5.ShortName(),
+						"bufs": BufName(bufs), "nodes": fmt.Sprint(nodes), "app": string(app),
+					},
+					Run: func() sweep.Outcome {
+						cfg := machine.DefaultConfig(nic.CM5, bufs)
+						cfg.Nodes = nodes
+						cfg.Shards = shards
+						return sweep.Outcome{Metrics: workload.Run(cfg, app, p).Metrics()}
+					},
+				})
+			}
+		}
+	}
+	return jobs
+}
+
 // ScaleJobs returns the machine-size scaling grid: the application on a
 // fifo NI and a coherent NI across machine sizes, eight flow-control
-// buffers.
-func ScaleJobs(app workload.App, sizes []int, p workload.Params) []sweep.Job {
+// buffers. shards partitions each cell's engine (serial when the
+// application is not workload.Shardable; see Config.Shards).
+func ScaleJobs(app workload.App, sizes []int, shards int, p workload.Params) []sweep.Job {
 	var jobs []sweep.Job
 	for _, nodes := range sizes {
 		for _, kind := range []nic.Kind{nic.CM5, nic.CNI32Qm} {
@@ -206,6 +242,7 @@ func ScaleJobs(app workload.App, sizes []int, p workload.Params) []sweep.Job {
 				Run: func() sweep.Outcome {
 					cfg := machine.DefaultConfig(kind, 8)
 					cfg.Nodes = nodes
+					cfg.Shards = shards
 					return sweep.Outcome{Metrics: workload.Run(cfg, app, p).Metrics()}
 				},
 			})

@@ -62,6 +62,22 @@ type Message struct {
 	net *Network
 	// scratch is the reusable corruption buffer (see corruptedCopy).
 	scratch []byte
+	// orig, on a cross-shard transit copy under the reliability layer,
+	// points at the sender-owned original (the retransmission buffer). The
+	// receiver's acks and bounces settle the original, never the copy; see
+	// origin.
+	orig *Message
+}
+
+// origin resolves the sender-owned message a control reply must settle:
+// the original behind a cross-shard transit copy, or m itself.
+//
+//lint:hotpath
+func (m *Message) origin() *Message {
+	if m.orig != nil {
+		return m.orig
+	}
+	return m
 }
 
 // NewMessage builds a message with the given payload bytes.
@@ -111,22 +127,43 @@ func DefaultConfig() Config {
 	}
 }
 
+// Router carries cross-shard event handoff for a partitioned simulation.
+// It is the netsim-side view of internal/sim/partition: ShardOf names the
+// shard owning a node, and Post schedules a typed event on another shard's
+// engine as if the posting shard's engine had scheduled it at time schedAt
+// (the caller's clock). Implementations must only be driven between
+// conservative windows; netsim endpoints call Post only for events at
+// least one network latency ahead, which is what makes the windows safe.
+type Router interface {
+	// ShardOf returns the shard index owning node id.
+	ShardOf(node int) int
+	// Post schedules h(recv, arg) at absolute time at on the shard owning
+	// dst, stamped as scheduled at schedAt by src's shard with src's
+	// per-node post sequence seq (the content-based tie-break; see
+	// sim.AtEventPosted).
+	Post(src, dst int, at, schedAt sim.Time, seq uint64, h sim.Handler, recv any, arg uint64)
+}
+
 // Network connects a fixed set of endpoints.
 type Network struct {
-	eng *sim.Engine
-	cfg Config
-	eps []*Endpoint
+	eng    *sim.Engine
+	cfg    Config
+	eps    []*Endpoint
+	router Router // nil when the whole network lives on one engine
+}
 
-	// Delivered counts accepted data messages network-wide.
-	Delivered int64
-	// activity counts protocol progress events (injections, accept/bounce
-	// decisions, buffer releases); a stall watchdog can sample it to tell a
-	// livelocked simulation (spinning software, no network progress) from a
-	// merely busy one.
-	activity int64
-	// Failures records sends abandoned by the reliability layer after
-	// exhausting their retransmission budget.
-	Failures []*DeliveryError
+// Partition rebinds every endpoint to the engine of its shard and installs
+// the router that carries cross-shard traffic between windows. engOf maps
+// a node id to its shard's engine; r.ShardOf must agree with it. Call once,
+// after New and before any traffic. With no Partition call the network
+// runs exactly as before: every endpoint on the construction engine, no
+// router, byte-identical behavior.
+func (nw *Network) Partition(r Router, engOf func(node int) *sim.Engine) {
+	nw.router = r
+	for _, ep := range nw.eps {
+		ep.eng = engOf(ep.id)
+		ep.shard = r.ShardOf(ep.id)
+	}
 }
 
 // New creates a network with n endpoints, each with bufs flow-control
@@ -135,7 +172,7 @@ func New(eng *sim.Engine, cfg Config, n, bufs int) *Network {
 	nw := &Network{eng: eng, cfg: cfg}
 	for i := 0; i < n; i++ {
 		ep := &Endpoint{
-			net: nw, id: i,
+			net: nw, id: i, eng: eng,
 			outFree: bufs, inFree: bufs, bufs: bufs,
 			outCond: sim.NewCond(eng),
 		}
@@ -157,11 +194,30 @@ func (nw *Network) Size() int { return len(nw.eps) }
 // Config returns the network configuration.
 func (nw *Network) Config() Config { return nw.cfg }
 
-// Activity returns a monotonic count of protocol progress events. Two equal
+// Delivered returns the count of accepted data messages network-wide. The
+// count lives per endpoint (each written only by its owning shard) and is
+// summed here; read it only from serial context or between windows.
+func (nw *Network) Delivered() int64 {
+	var d int64
+	for _, ep := range nw.eps {
+		d += ep.delivered
+	}
+	return d
+}
+
+// Activity returns a monotonic count of protocol progress events
+// (injections, accept/bounce decisions, buffer releases). Two equal
 // samples a long interval apart mean the network made no progress between
 // them — with held buffers, a lost-message stall even if processors are
-// still spinning.
-func (nw *Network) Activity() int64 { return nw.activity }
+// still spinning. Like Delivered, the count is kept per endpoint and
+// summed on read.
+func (nw *Network) Activity() int64 {
+	var a int64
+	for _, ep := range nw.eps {
+		a += ep.activity
+	}
+	return a
+}
 
 // Progress returns the two watchdog counters together: protocol activity
 // (injections, decisions, buffer releases) and accepted deliveries. Rising
@@ -170,7 +226,22 @@ func (nw *Network) Activity() int64 { return nw.activity }
 // the network without ever landing a message — which is distinct from
 // livelock (flat activity: nothing moves at all).
 func (nw *Network) Progress() (activity, delivered int64) {
-	return nw.activity, nw.Delivered
+	for _, ep := range nw.eps {
+		activity += ep.activity
+		delivered += ep.delivered
+	}
+	return activity, delivered
+}
+
+// Failures returns every send abandoned by the reliability layer after
+// exhausting its retransmission budget or missing its deadline, grouped by
+// abandoning endpoint in node-id order (chronological within a node).
+func (nw *Network) Failures() []*DeliveryError {
+	var out []*DeliveryError
+	for _, ep := range nw.eps {
+		out = append(out, ep.failures...)
+	}
+	return out
 }
 
 // Typed-event handlers for the message hot path. Each is one shared
@@ -212,6 +283,47 @@ func epNotifyOutFree(recv any, _ uint64) {
 	}
 }
 
+// post schedules the typed event h(recv, arg) at absolute time at on the
+// engine owning node dst: locally when dst shares this endpoint's shard
+// (or the network is unpartitioned), through the Router seam otherwise.
+// Every call site posts at least one network latency ahead of now — the
+// conservative-lookahead contract that makes partitioned windows safe
+// (DESIGN.md §10).
+//
+//lint:hotpath
+func (ep *Endpoint) post(dst int, at sim.Time, h sim.Handler, recv any, arg uint64) {
+	ep.postSeq++
+	r := ep.net.router
+	if r == nil || r.ShardOf(dst) == ep.shard {
+		ep.eng.AtEventPosted(at, ep.id, ep.postSeq, h, recv, arg)
+		return
+	}
+	r.Post(ep.id, dst, at, ep.eng.Now(), ep.postSeq, h, recv, arg)
+}
+
+// crossShard reports whether node dst lives on a different shard than this
+// endpoint (always false on an unpartitioned network).
+//
+//lint:hotpath
+func (ep *Endpoint) crossShard(dst int) bool {
+	r := ep.net.router
+	return r != nil && r.ShardOf(dst) != ep.shard
+}
+
+// transitCopy returns the receiver-owned copy of m used for cross-shard
+// delivery under the reliability layer: the original stays at the sender
+// as the retransmission buffer (and may be re-injected concurrently with
+// the copy's delivery on the other shard), so the two sides must not share
+// a mutable object. Control replies settle the original via origin. The
+// copy drops the corruption scratch so concurrent transits never share
+// bytes either.
+func (m *Message) transitCopy() *Message {
+	c := *m //lint:allow noalloc one copy per cross-shard reliable transit; the shards would otherwise share a mutable message
+	c.orig = m.origin()
+	c.scratch = nil
+	return &c
+}
+
 func (nw *Network) serialization(bytes int) sim.Time {
 	if nw.cfg.BytesPerNS <= 0 {
 		return 0
@@ -228,6 +340,24 @@ type Endpoint struct {
 	net  *Network
 	id   int
 	bufs int
+
+	// eng is the engine this endpoint's events run on: the network's
+	// construction engine, or the endpoint's shard engine after
+	// Network.Partition. shard is meaningful only when a router is
+	// installed.
+	eng   *sim.Engine
+	shard int
+
+	// Watchdog/diagnostic counters, kept per endpoint so each is written
+	// only by its owning shard (see Network.Delivered, Activity, Failures).
+	delivered int64
+	activity  int64
+	failures  []*DeliveryError
+
+	// postSeq numbers this endpoint's posts; together with the endpoint id
+	// it is the content-based tie-break slotting each post into the engine
+	// heap independently of scheduling-call interleaving (sim.AtEventPosted).
+	postSeq uint64
 
 	outFree int
 	inFree  int
@@ -330,11 +460,11 @@ func (ep *Endpoint) releaseOut() {
 	if ep.outFree >= ep.bufs {
 		return
 	}
-	ep.net.activity++
+	ep.activity++
 	ep.outFree++
 	ep.outCond.Broadcast()
 	if ep.OnOutFree != nil {
-		ep.net.eng.AfterEvent(0, epNotifyOutFree, ep, 0)
+		ep.eng.AfterEvent(0, epNotifyOutFree, ep, 0)
 	}
 }
 
@@ -358,15 +488,15 @@ func (ep *Endpoint) Inject(m *Message) {
 			ep.seq++
 			m.Seq = ep.seq
 			if d := ep.net.cfg.Reliability.Deadline; d > 0 {
-				m.deadline = ep.net.eng.Now() + d
+				m.deadline = ep.eng.Now() + d
 			}
 		}
 		m.SealChecksum()
 	}
 	m.net = ep.net
 	m.attempts++
-	ep.net.activity++
-	eng := ep.net.eng
+	ep.activity++
+	eng := ep.eng
 	start := eng.Now()
 	if ep.nextInjectAt > start {
 		start = ep.nextInjectAt
@@ -377,6 +507,14 @@ func (ep *Endpoint) Inject(m *Message) {
 		ep.armTimer(m)
 	}
 	arriveAt := injectEnd + ep.net.cfg.Latency
+	// Cross-shard reliable sends deliver a transit copy: the original stays
+	// here as the retransmission buffer. Lossless sends hand over the
+	// message itself — ownership transfers to the receiver and returns only
+	// via a bounce, itself a lookahead away.
+	arr := m
+	if ep.net.cfg.Reliability.Enabled && ep.crossShard(m.Dst) {
+		arr = m.transitCopy()
+	}
 	if ep.Fault != nil {
 		v := ep.Fault.Inject(eng.Now(), m)
 		switch {
@@ -399,23 +537,22 @@ func (ep *Endpoint) Inject(m *Message) {
 			}
 			arriveAt += v.Delay
 		}
-		arr := m
 		if v.Corrupt {
 			if ep.Stats != nil {
 				ep.Stats.FaultCorruptions++
 			}
-			arr = m.corruptedCopy(uint64(arriveAt))
+			arr = arr.corruptedCopy(uint64(arriveAt))
 		}
-		eng.AtEvent(arriveAt, msgArrive, arr, 0)
+		ep.post(m.Dst, arriveAt, msgArrive, arr, 0)
 		if v.Duplicate {
 			if ep.Stats != nil {
 				ep.Stats.FaultDuplicates++
 			}
-			eng.AtEvent(arriveAt+ep.net.serialization(m.Size()), msgArrive, arr, 0)
+			ep.post(m.Dst, arriveAt+ep.net.serialization(m.Size()), msgArrive, arr, 0)
 		}
 		return
 	}
-	eng.AtEvent(arriveAt, msgArrive, m, 0)
+	ep.post(m.Dst, arriveAt, msgArrive, arr, 0)
 }
 
 // InjectWait acquires an outgoing buffer (blocking p) and injects m.
@@ -427,7 +564,7 @@ func (ep *Endpoint) InjectWait(p *sim.Process, m *Message) {
 // arrive handles a data message reaching this endpoint: serialize ejection,
 // then accept or bounce. The eject point is the receiver-side fault hook.
 func (ep *Endpoint) arrive(m *Message) {
-	eng := ep.net.eng
+	eng := ep.eng
 	if ep.Fault != nil {
 		v := ep.Fault.Eject(eng.Now(), m)
 		if v.Drop {
@@ -448,7 +585,7 @@ func (ep *Endpoint) arrive(m *Message) {
 }
 
 func (ep *Endpoint) eject(m *Message) {
-	eng := ep.net.eng
+	eng := ep.eng
 	start := eng.Now()
 	if ep.nextEjectAt > start {
 		start = ep.nextEjectAt
@@ -461,7 +598,7 @@ func (ep *Endpoint) eject(m *Message) {
 // dropControl asks this endpoint's fault plane whether the ack/bounce it
 // is about to emit for m is destroyed in flight.
 func (ep *Endpoint) dropControl(kind ControlKind, m *Message) bool {
-	if ep.Fault == nil || !ep.Fault.DropControl(ep.net.eng.Now(), kind, m) {
+	if ep.Fault == nil || !ep.Fault.DropControl(ep.eng.Now(), kind, m) {
 		return false
 	}
 	if ep.Stats != nil {
@@ -491,8 +628,8 @@ const (
 )
 
 func (ep *Endpoint) decide(m *Message) {
-	ep.net.activity++
-	eng := ep.net.eng
+	ep.activity++
+	eng := ep.eng
 	src := ep.net.eps[m.Src]
 	reliable := ep.net.cfg.Reliability.Enabled
 	if reliable && !m.ChecksumOK() {
@@ -517,20 +654,22 @@ func (ep *Endpoint) decide(m *Message) {
 			if ep.dropControl(BounceControl, m) {
 				return
 			}
-			eng.AfterEvent(ep.net.cfg.Latency+ep.net.serialization(m.Size()), msgBounced, m, 0)
+			ep.post(m.Src, eng.Now()+ep.net.cfg.Latency+ep.net.serialization(m.Size()), msgBounced, m.origin(), 0)
 			return
 		}
 	}
 	if ep.inFree > 0 {
 		ep.inFree--
 		m.ArriveTime = eng.Now()
-		ep.net.Delivered++
-		// Acknowledgment returns on the (uncongested) control network.
+		ep.delivered++
+		// Acknowledgment returns on the (uncongested) control network. The
+		// reply settles the sender-owned original (== m except for a
+		// cross-shard transit copy) on the sender's shard.
 		if !ep.dropControl(AckControl, m) {
 			if reliable {
-				eng.AfterEvent(ep.net.cfg.Latency, msgAcked, m, 0)
+				ep.post(m.Src, eng.Now()+ep.net.cfg.Latency, msgAcked, m.origin(), 0)
 			} else {
-				eng.AfterEvent(ep.net.cfg.Latency, epReleaseOut, src, 0)
+				ep.post(m.Src, eng.Now()+ep.net.cfg.Latency, epReleaseOut, src, 0)
 			}
 		}
 		if ep.OnAccept == nil {
@@ -543,7 +682,7 @@ func (ep *Endpoint) decide(m *Message) {
 	if ep.dropControl(BounceControl, m) {
 		return
 	}
-	eng.AfterEvent(ep.net.cfg.Latency+ep.net.serialization(m.Size()), msgBounced, m, 0)
+	ep.post(m.Src, eng.Now()+ep.net.cfg.Latency+ep.net.serialization(m.Size()), msgBounced, m.origin(), 0)
 }
 
 func (ep *Endpoint) bounced(m *Message) {
@@ -565,7 +704,7 @@ func (ep *Endpoint) bounced(m *Message) {
 		// The deadline does bound bounce retries: it is what keeps a bounce
 		// storm (an overloaded or admission-refusing receiver returning
 		// every attempt) from spinning the sender forever.
-		if m.deadline > 0 && ep.net.eng.Now() >= m.deadline {
+		if m.deadline > 0 && ep.eng.Now() >= m.deadline {
 			if ep.Stats != nil {
 				ep.Stats.Bounces++
 			}
@@ -597,7 +736,7 @@ func (ep *Endpoint) bounced(m *Message) {
 	if d > ep.net.cfg.RetryCap {
 		d = ep.net.cfg.RetryCap
 	}
-	ep.net.eng.AfterEvent(d, msgRetryInject, m, 0)
+	ep.eng.AfterEvent(d, msgRetryInject, m, 0)
 }
 
 // ReleaseIn frees one incoming flow-control buffer; the NI calls it when it

@@ -250,7 +250,7 @@ func (ep *Endpoint) armTimer(m *Message) {
 		t.Stop()
 	}
 	d := ep.net.cfg.Reliability.timeout(m.retx + 1)
-	ep.inflight[m] = ep.net.eng.AfterTimer(d, msgAckTimeout, m, 0) //lint:allow noalloc steady-state rewrite of a warm bucket; gated by TestReliableDeliveryPathAllocFree
+	ep.inflight[m] = ep.eng.AfterTimer(d, msgAckTimeout, m, 0) //lint:allow noalloc steady-state rewrite of a warm bucket; gated by TestReliableDeliveryPathAllocFree
 }
 
 // ackTimeout fires when a reliable send has gone unacknowledged for its
@@ -269,7 +269,7 @@ func (ep *Endpoint) ackTimeout(m *Message) {
 		ep.abandon(m, ReasonBudget)
 		return
 	}
-	if m.deadline > 0 && ep.net.eng.Now() >= m.deadline {
+	if m.deadline > 0 && ep.eng.Now() >= m.deadline {
 		ep.abandon(m, ReasonDeadline)
 		return
 	}
@@ -291,8 +291,8 @@ func (ep *Endpoint) abandon(m *Message, reason string) {
 	if ep.Stats != nil {
 		ep.Stats.DeliveryFailures++
 	}
-	err := &DeliveryError{Msg: m, Attempts: m.attempts, Time: ep.net.eng.Now(), Reason: reason} //lint:allow noalloc at most one structured error per abandoned message, off the steady-state path
-	ep.net.Failures = append(ep.net.Failures, err)                                              //lint:allow noalloc failure log grows once per abandoned message, not per delivery
+	err := &DeliveryError{Msg: m, Attempts: m.attempts, Time: ep.eng.Now(), Reason: reason} //lint:allow noalloc at most one structured error per abandoned message, off the steady-state path
+	ep.failures = append(ep.failures, err)                                                 //lint:allow noalloc failure log grows once per abandoned message, not per delivery
 	ep.releaseOut()
 	if ep.OnDeliveryError != nil {
 		ep.OnDeliveryError(err)

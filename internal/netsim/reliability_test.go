@@ -105,8 +105,8 @@ func TestDropThenRetransmitRecovers(t *testing.T) {
 	if sender.OutFree() != 4 {
 		t.Fatalf("out buffer not freed after recovery: %d/4", sender.OutFree())
 	}
-	if len(nw.Failures) != 0 {
-		t.Fatalf("unexpected delivery failures: %v", nw.Failures)
+	if len(nw.Failures()) != 0 {
+		t.Fatalf("unexpected delivery failures: %v", nw.Failures())
 	}
 }
 
@@ -244,8 +244,8 @@ func TestMaxAttemptsSurfacesDeliveryError(t *testing.T) {
 	if gotErr.Attempts != 4 {
 		t.Fatalf("attempts = %d, want 4", gotErr.Attempts)
 	}
-	if len(nw.Failures) != 1 || nw.Failures[0] != gotErr {
-		t.Fatalf("network failure log = %v", nw.Failures)
+	if len(nw.Failures()) != 1 || nw.Failures()[0] != gotErr {
+		t.Fatalf("network failure log = %v", nw.Failures())
 	}
 	if st.DeliveryFailures != 1 || st.Retransmits != 3 {
 		t.Fatalf("failures=%d retransmits=%d, want 1/3", st.DeliveryFailures, st.Retransmits)
@@ -290,8 +290,8 @@ func TestBouncesDoNotCountTowardRetransmissionBudget(t *testing.T) {
 	if st.Bounces <= 3 {
 		t.Fatalf("bounces = %d, want far more than MaxAttempts=3", st.Bounces)
 	}
-	if len(nw.Failures) != 0 || st.DeliveryFailures != 0 {
-		t.Fatalf("contended send falsely abandoned: %v", nw.Failures)
+	if len(nw.Failures()) != 0 || st.DeliveryFailures != 0 {
+		t.Fatalf("contended send falsely abandoned: %v", nw.Failures())
 	}
 }
 

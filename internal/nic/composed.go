@@ -244,6 +244,13 @@ func (x *composed) Idle() bool {
 	return true
 }
 
+// PeerCoupled implements the machine layer's partitioning probe: only the
+// software credit scheme (CNI_32Q_m+Throttle) actually reads peer state
+// synchronously; every other spec leaves the peer lookup unused.
+func (x *composed) PeerCoupled() bool {
+	return x.coh != nil && x.coh.throttle
+}
+
 // SetPeerLookup implements PeerAware: cross-node visibility for the
 // coherent engine's software credit scheme (CNI_32Q_m+Throttle). A no-op
 // for specs without a coherent side.

@@ -109,7 +109,7 @@ func TestSpecConformance(t *testing.T) {
 					// Drain: service software retries until the whole batch has
 					// been delivered network-wide, then wait for the send side
 					// to go idle.
-					for r.net.Delivered < count {
+					for r.net.Delivered() < count {
 						if ni.NeedsRetry() {
 							if !fifoVM {
 								t.Error("ring-buffered NI reported processor retry work")
@@ -255,9 +255,9 @@ func TestSpecConformanceBounceStorm(t *testing.T) {
 					}
 					// Every send must terminate in a delivery error: service
 					// software bounce retries until the deadline abandons them.
-					for spin := 0; len(r.net.Failures) < count; spin++ {
+					for spin := 0; len(r.net.Failures()) < count; spin++ {
 						if spin > 100000 {
-							t.Errorf("only %d/%d sends abandoned under the storm", len(r.net.Failures), count)
+							t.Errorf("only %d/%d sends abandoned under the storm", len(r.net.Failures()), count)
 							return
 						}
 						if ni.NeedsRetry() {
@@ -279,13 +279,13 @@ func TestSpecConformanceBounceStorm(t *testing.T) {
 						pr.P.SleepAs(stats.Compute, 1*sim.Microsecond)
 					}
 				})
-			if r.net.Delivered != 0 {
-				t.Errorf("%d messages delivered through a total bounce storm", r.net.Delivered)
+			if r.net.Delivered() != 0 {
+				t.Errorf("%d messages delivered through a total bounce storm", r.net.Delivered())
 			}
-			if len(r.net.Failures) != count {
-				t.Fatalf("%d delivery errors, want %d", len(r.net.Failures), count)
+			if len(r.net.Failures()) != count {
+				t.Fatalf("%d delivery errors, want %d", len(r.net.Failures()), count)
 			}
-			for _, e := range r.net.Failures {
+			for _, e := range r.net.Failures() {
 				if e.Reason != netsim.ReasonDeadline {
 					t.Errorf("send abandoned for %q, want %q", e.Reason, netsim.ReasonDeadline)
 				}

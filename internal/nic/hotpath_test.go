@@ -114,7 +114,7 @@ func TestAdmissionControlAllocFree(t *testing.T) {
 				ni.Send(pr, m)
 			}
 			// Service the refused send's bounce until both land.
-			for r.net.Delivered < int64(2*(i+1)) {
+			for r.net.Delivered() < int64(2*(i+1)) {
 				if ni.NeedsRetry() {
 					ni.RetryOne(pr)
 				} else {

@@ -425,3 +425,12 @@ func Catalog() []CatalogEntry {
 type PeerAware interface {
 	SetPeerLookup(fn func(node int) NI)
 }
+
+// PeerCoupled refines PeerAware: it reports whether this NI instance will
+// actually read another node's state synchronously (zero lookahead). The
+// machine layer partitions freely when every NI answers false; a PeerAware
+// NI that does not implement PeerCoupled is conservatively treated as
+// coupled.
+type PeerCoupled interface {
+	PeerCoupled() bool
+}

@@ -86,7 +86,7 @@ func (r *twoNodes) sendN(count, payload int) func(pr *proc.Proc, ni NI) {
 			}
 			ni.Send(pr, m)
 		}
-		for r.net.Delivered < int64(count) {
+		for r.net.Delivered() < int64(count) {
 			if ni.NeedsRetry() {
 				ni.RetryOne(pr)
 			} else {
@@ -385,7 +385,7 @@ func TestAnyPayloadSizeDelivered(t *testing.T) {
 				}
 				r.nis[0].Send(r.procs[0], m)
 			}
-			for r.net.Delivered < int64(count) {
+			for r.net.Delivered() < int64(count) {
 				if r.nis[0].NeedsRetry() {
 					r.nis[0].RetryOne(r.procs[0])
 				} else {

@@ -130,6 +130,18 @@ func (p *Protocol) HomeOf(gblock int64) int {
 	return int(gblock % int64(len(p.nodes)))
 }
 
+// Reserve pre-sizes the protocol's node table for n nodes. Call it in
+// serial context (when building the program, before machine.Run) on a
+// partitioned machine: Register then performs only a disjoint per-node
+// element write, safe even when every node registers concurrently from its
+// own shard at time zero. Serial machines may skip it; Register grows the
+// table lazily.
+func (p *Protocol) Reserve(n int) {
+	for len(p.nodes) < n {
+		p.nodes = append(p.nodes, nil)
+	}
+}
+
 // Register wires node n into the protocol and installs its handlers. Call
 // once per node, inside the node's program, before any Access.
 func (p *Protocol) Register(n *machine.Node) *Node {

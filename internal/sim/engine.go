@@ -83,12 +83,19 @@ func (e *Engine) Pending() int { return e.pq.len() }
 // enqueues it. Scheduling in the past panics: a discrete-event simulation
 // must never travel backwards.
 func (e *Engine) schedule(t Time) *event {
+	return e.scheduleKeyed(t, e.now, 0, 0)
+}
+
+// scheduleKeyed is schedule with the full explicit heap key: the schedule
+// stamp plus the network-post ordinal pair (see the heap order note in
+// event.go). The key fields must be in place before the push.
+func (e *Engine) scheduleKeyed(t, schedAt Time, ord, ordSeq uint64) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
 	e.seq++
-	ev.at, ev.seq = t, e.seq
+	ev.at, ev.schedAt, ev.ord, ev.ordSeq, ev.seq = t, schedAt, ord, ordSeq, e.seq
 	e.pq.push(ev)
 	return ev
 }
@@ -120,6 +127,64 @@ func (e *Engine) After(d Time, fn func()) {
 func (e *Engine) AtEvent(t Time, h Handler, recv any, arg uint64) {
 	ev := e.schedule(t)
 	ev.h, ev.recv, ev.arg = h, recv, arg
+}
+
+// AtEventPosted schedules the typed event h(recv, arg) at absolute time t
+// as a network post from node src with per-node sequence postSeq. Posts
+// carry their posting node's identity in the heap key, so two posts that
+// tie on (time, schedule stamp) order by (src, postSeq) — a pure function
+// of the simulation's content — instead of by engine insertion order. The
+// netsim endpoints use this for every message-derived event, which is what
+// keeps a partitioned run (machine.Config.Shards > 1) byte-identical to
+// the serial engine: a cross-shard post integrated at a window barrier
+// lands in exactly the slot this method would have given it locally.
+//
+//lint:hotpath
+func (e *Engine) AtEventPosted(t Time, src int, postSeq uint64, h Handler, recv any, arg uint64) {
+	ev := e.scheduleKeyed(t, e.now, uint64(src)+1, postSeq)
+	ev.h, ev.recv, ev.arg = h, recv, arg
+}
+
+// AtEventStamped schedules the typed event h(recv, arg) at absolute time t
+// carrying an explicit schedule stamp instead of the engine clock, plus the
+// posting node's (src, postSeq) ordinal pair. It exists for the partitioned
+// runtime (internal/sim/partition): when a cross-shard event is integrated
+// at a window barrier, the destination engine's clock is the window
+// boundary, not the instant the source shard scheduled the event — passing
+// the source's clock as schedAt and the source node's post ordinal slots
+// the event into the heap exactly where the serial engine's AtEventPosted
+// would have placed it. schedAt must not exceed t.
+func (e *Engine) AtEventStamped(t, schedAt Time, src int, postSeq uint64, h Handler, recv any, arg uint64) {
+	if schedAt > t {
+		panic(fmt.Sprintf("sim: event at %v stamped from the future %v", t, schedAt))
+	}
+	ev := e.scheduleKeyed(t, schedAt, uint64(src)+1, postSeq)
+	ev.h, ev.recv, ev.arg = h, recv, arg
+}
+
+// NextEventAt returns the timestamp of the earliest pending event. ok is
+// false when the queue is empty. The partitioned runtime uses this at each
+// barrier to size the next conservative window.
+func (e *Engine) NextEventAt() (t Time, ok bool) {
+	if e.pq.len() == 0 {
+		return 0, false
+	}
+	return e.pq.a[0].at, true
+}
+
+// RunWindow executes every pending event with a timestamp strictly before
+// end, then advances the clock to end. It is the per-shard step of the
+// partitioned runtime: the window end is a time no cross-shard event can
+// precede (guaranteed by the network-latency lookahead), so everything
+// before it is safe to run without coordination. An empty window just
+// advances the clock.
+func (e *Engine) RunWindow(end Time) {
+	for !e.stopped && e.pq.len() > 0 && e.pq.a[0].at < end {
+		e.Step()
+	}
+	if !e.stopped && e.now < end {
+		e.now = end
+	}
 }
 
 // AfterEvent schedules the typed event h(recv, arg) d picoseconds from now.
@@ -248,3 +313,4 @@ func (e *Engine) Drain() {
 	}
 	e.procs = make(map[*Process]struct{})
 }
+

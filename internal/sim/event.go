@@ -39,8 +39,11 @@ type Handler func(recv any, arg uint64)
 // cancellation they return to the engine's free list and are reused, with
 // gen bumped so stale Timer handles can never act on a recycled record.
 type event struct {
-	at  Time
-	seq uint64
+	at      Time
+	schedAt Time   // engine clock when the event was scheduled; see heap order note
+	ord     uint64 // posting-node ordinal (node id + 1); 0 for node-local events
+	ordSeq  uint64 // per-posting-node sequence; 0 when ord is 0
+	seq     uint64
 
 	fn   func()  // closure event (At/After); nil on the typed path
 	h    Handler // typed event (AtEvent and friends); nil on the closure path
@@ -113,11 +116,23 @@ func (e *Engine) release(ev *event) {
 	e.pooled++
 }
 
-// eventHeap is a hand-rolled binary min-heap over (at, seq). It is not a
-// container/heap implementation on purpose: the interface-based API boxes
-// every pushed element, which was one allocation per scheduled event.
-// Records carry their heap index so cancellation can remove them in
-// O(log n).
+// eventHeap is a hand-rolled binary min-heap over (at, schedAt, ord,
+// ordSeq, seq). It is not a container/heap implementation on purpose: the
+// interface-based API boxes every pushed element, which was one allocation
+// per scheduled event. Records carry their heap index so cancellation can
+// remove them in O(log n).
+//
+// Heap order note: on a serial engine schedAt (the clock at schedule time)
+// is nondecreasing in seq, so among plain events (ord 0) the full key pops
+// in exactly the same order as the original (at, seq) key. The ord/ordSeq
+// pair is the network-post tie-break: events posted through a netsim
+// endpoint (AtEventPosted, AtEventStamped) carry their posting node's
+// ordinal and per-node sequence, so two posts that tie on (at, schedAt)
+// order by posting node rather than by which engine's schedule call
+// happened to run first. That makes the pop order a pure function of the
+// simulation's content — the property that lets a partitioned run
+// (internal/sim/partition) integrate cross-shard events at window barriers
+// and still pop them exactly where the serial engine would have.
 type eventHeap struct {
 	a []*event
 }
@@ -127,6 +142,15 @@ func (h *eventHeap) len() int { return len(h.a) }
 func (h *eventHeap) less(i, j int) bool {
 	if h.a[i].at != h.a[j].at {
 		return h.a[i].at < h.a[j].at
+	}
+	if h.a[i].schedAt != h.a[j].schedAt {
+		return h.a[i].schedAt < h.a[j].schedAt
+	}
+	if h.a[i].ord != h.a[j].ord {
+		return h.a[i].ord < h.a[j].ord
+	}
+	if h.a[i].ordSeq != h.a[j].ordSeq {
+		return h.a[i].ordSeq < h.a[j].ordSeq
 	}
 	return h.a[i].seq < h.a[j].seq
 }

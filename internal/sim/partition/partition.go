@@ -1,0 +1,305 @@
+// Package partition runs one simulation across several sim.Engine shards
+// using conservative time windows. The network's fixed minimum latency is
+// the lookahead: because every cross-shard event is scheduled at least one
+// lookahead after the instant that produced it, all shards can execute a
+// window of that width completely independently, exchange the events they
+// generated for each other at a barrier, and repeat — no rollback, no
+// speculation, bit-identical results (see DESIGN.md §10).
+//
+// This package is the one sanctioned home for cross-shard communication in
+// the simulation core (the chanconfine and nogoroutine lint passes
+// whitelist it): worker goroutines own their shard's engine exclusively
+// between barriers, and every handoff between them rides this package's
+// barrier protocol. Windows arrive hundreds of thousands of times per run,
+// so the barrier is a spin protocol on three atomics — an epoch the
+// coordinator bumps to open a window, a published window end, and an
+// arrival counter the workers bump to close it — rather than a channel
+// ping-pong, whose scheduler wakeups would cost more than the windows
+// themselves. The atomics carry the same happens-before edges a channel
+// would, so the construction stays race-free (the race detector agrees).
+// Cross-shard events never ride the barrier itself — they accumulate in
+// per-shard outboxes written only by their source shard's worker and
+// drained only by the coordinator between windows.
+package partition
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"nisim/internal/sim"
+)
+
+// Record is one cross-shard event handoff: a typed event captured by the
+// source shard's outbox during a window and integrated into the destination
+// shard's queue at the next barrier. At and SchedAt reproduce the exact
+// heap key a serial engine would have used ((at, schedAt, ord, ordSeq) —
+// see sim.AtEventStamped); Src and Seq make the barrier merge order total
+// and deterministic.
+type Record struct {
+	// At is the absolute firing time; always >= the window end (the
+	// lookahead guarantee).
+	At sim.Time
+	// SchedAt is the source engine's clock when the event was produced.
+	SchedAt sim.Time
+	// Src and Dst are the source and destination node ids.
+	Src, Dst int
+	// Seq is the source node's per-node post sequence (netsim's postSeq),
+	// the final merge tie-break and the ordSeq half of the destination
+	// engine's heap key (see sim.AtEventPosted).
+	Seq uint64
+	// H is the typed event's handler, exactly as a serial engine would
+	// schedule it.
+	H sim.Handler
+	// Recv is the event's receiver, passed to H when it fires.
+	Recv any
+	// Arg is the event's packed argument, passed to H when it fires.
+	Arg uint64
+}
+
+// byKey orders records by (At, SchedAt, Src, Seq) — the serial heap key
+// extended with a total deterministic tie-break, so the barrier merge is
+// independent of outbox traversal order.
+func byKey(a, b Record) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.SchedAt != b.SchedAt {
+		return a.SchedAt < b.SchedAt
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+
+// Control customizes a Run loop at its barriers. The zero value runs
+// windows at the maximum width the lookahead allows until the group goes
+// dry.
+type Control struct {
+	// CapWindow, if non-nil, may lower the proposed end of the next window
+	// (e.g. to land a barrier exactly on a watchdog sampling boundary). It
+	// must return a time in (now, proposed]; returning proposed unchanged
+	// is always legal.
+	CapWindow func(now, proposed sim.Time) sim.Time
+	// AfterWindow, if non-nil, runs on the coordinator at each barrier,
+	// after every shard has settled at the window end and all cross-shard
+	// events have been integrated. Returning false stops the run. Reading
+	// any shard's state is safe here: the barrier is a happens-before
+	// edge.
+	AfterWindow func(end sim.Time) bool
+}
+
+// Group drives a fixed set of engine shards through conservative windows.
+// Create with New, run with Run, release the worker goroutines with Close.
+// A Group is not safe for concurrent use by multiple coordinators.
+type Group struct {
+	engines   []*sim.Engine
+	shardOf   []int // node id -> shard index
+	lookahead sim.Time
+
+	out   [][][]Record // [srcShard][dstShard]: outboxes, single-writer per window
+	merge []Record     // reusable barrier merge buffer
+
+	// The spin barrier. The coordinator publishes the next window by
+	// storing end and bumping epoch; each worker spins on epoch, runs its
+	// shard's window, and bumps arrived. Shard 0 is run inline by the
+	// coordinator itself, so a group of S shards keeps exactly S goroutines
+	// hot. fail[s] is shard s's recovered panic for the current window,
+	// written before the arrived bump and read only after the barrier
+	// settles (both edges carried by the atomics).
+	epoch   atomic.Uint64
+	end     atomic.Int64
+	arrived atomic.Int32
+	stop    atomic.Bool
+	fail    []any
+
+	closed bool
+}
+
+// New builds a group over engines. shardOf maps every node id to its
+// engine's index; lookahead is the minimum cross-shard scheduling distance
+// (the network latency) and must be positive. New spawns one worker
+// goroutine per engine beyond the first (shard 0 runs on the coordinating
+// goroutine); the engines must not be touched except through the group (or
+// from AfterWindow) until Close.
+func New(engines []*sim.Engine, shardOf []int, lookahead sim.Time) *Group {
+	if len(engines) == 0 {
+		panic("partition: need at least one engine")
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("partition: non-positive lookahead %v", lookahead))
+	}
+	for n, s := range shardOf {
+		if s < 0 || s >= len(engines) {
+			panic(fmt.Sprintf("partition: node %d mapped to shard %d of %d", n, s, len(engines)))
+		}
+	}
+	g := &Group{
+		engines:   engines,
+		shardOf:   shardOf,
+		lookahead: lookahead,
+		fail:      make([]any, len(engines)),
+	}
+	g.out = make([][][]Record, len(engines))
+	for s := range g.out {
+		g.out[s] = make([][]Record, len(engines))
+	}
+	for s := 1; s < len(engines); s++ {
+		go g.worker(s) // one long-lived worker per shard; it owns its engine exclusively between barriers
+	}
+	return g
+}
+
+// Shards returns the number of engine shards.
+func (g *Group) Shards() int { return len(g.engines) }
+
+// Lookahead returns the conservative window lookahead.
+func (g *Group) Lookahead() sim.Time { return g.lookahead }
+
+// ShardOf returns the shard index owning node id. Together with Post it
+// satisfies netsim.Router.
+func (g *Group) ShardOf(node int) int { return g.shardOf[node] }
+
+// Post records a cross-shard typed event: h(recv, arg) fires at time at on
+// the shard owning node dst, exactly as if the source shard's engine had
+// posted it at time schedAt with node src's per-node post sequence seq.
+// Post must only be called from the source shard's worker during a window
+// (netsim endpoints do this through the Router seam); the record is
+// integrated at the next barrier. at must be at least one lookahead past
+// schedAt — that distance is what makes the window safe — and integration
+// enforces it by panicking on an event that would land before the barrier.
+//
+//lint:hotpath
+func (g *Group) Post(src, dst int, at, schedAt sim.Time, seq uint64, h sim.Handler, recv any, arg uint64) {
+	s := g.shardOf[src]
+	d := g.shardOf[dst]
+	g.out[s][d] = append(g.out[s][d], Record{ //lint:allow noalloc outbox backing arrays grow to the per-window peak, then are reused across barriers
+		At: at, SchedAt: schedAt, Src: src, Dst: dst, Seq: seq,
+		H: h, Recv: recv, Arg: arg,
+	})
+}
+
+// worker is the per-shard goroutine for shards 1..S-1: it spins on the
+// barrier epoch, executes one window per bump, and reports its arrival.
+// Yielding inside the spin keeps oversubscribed hosts live; on a machine
+// with a core per shard the loop observes the next epoch within a few
+// hundred nanoseconds, which is what makes sub-microsecond windows worth
+// parallelizing at all.
+func (g *Group) worker(s int) {
+	seen := uint64(0)
+	for {
+		for g.epoch.Load() == seen {
+			if g.stop.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+		seen++
+		g.window(s)
+		g.arrived.Add(1)
+	}
+}
+
+// window runs one shard's window to the published end, converting a panic
+// into a barrier arrival carrying the failure.
+func (g *Group) window(s int) {
+	defer func() {
+		g.fail[s] = recover()
+	}()
+	g.engines[s].RunWindow(sim.Time(g.end.Load())) //lint:allow simtime the atomic barrier slot stores a sim.Time round-tripped through int64, not a raw duration
+}
+
+// nextEventTime returns the earliest pending event across all shards; ok
+// is false when every queue is empty (outboxes are always empty between
+// windows, so empty queues mean the group has gone dry).
+func (g *Group) nextEventTime() (t sim.Time, ok bool) {
+	for _, e := range g.engines {
+		if et, eok := e.NextEventAt(); eok && (!ok || et < t) {
+			t, ok = et, true
+		}
+	}
+	return t, ok
+}
+
+// runWindow drives every shard through one window to end and waits for the
+// barrier: publish the window, run shard 0 inline, spin until the other
+// shards arrive. A panic on any shard is re-raised here (lowest shard id
+// wins, deterministically) after the barrier settles, with the group
+// closed so no goroutine is left behind.
+func (g *Group) runWindow(end sim.Time) {
+	g.end.Store(int64(end))
+	g.epoch.Add(1)
+	g.window(0)
+	others := int32(len(g.engines) - 1)
+	for g.arrived.Load() != others {
+		runtime.Gosched()
+	}
+	g.arrived.Store(0)
+	for s := range g.engines {
+		if f := g.fail[s]; f != nil {
+			g.Close()
+			panic(f)
+		}
+	}
+}
+
+// integrate drains every outbox into the destination shards' queues in
+// (At, SchedAt, Src, Seq) order. Called by the coordinator between
+// windows, when no worker is running.
+func (g *Group) integrate() {
+	buf := g.merge[:0]
+	for s := range g.out {
+		for d := range g.out[s] {
+			buf = append(buf, g.out[s][d]...)
+			g.out[s][d] = g.out[s][d][:0]
+		}
+	}
+	sort.Slice(buf, func(i, j int) bool { return byKey(buf[i], buf[j]) })
+	for i := range buf {
+		r := &buf[i]
+		g.engines[g.shardOf[r.Dst]].AtEventStamped(r.At, r.SchedAt, r.Src, r.Seq, r.H, r.Recv, r.Arg)
+		r.Recv = nil // the queue owns the reference now; don't pin it from the spare buffer
+	}
+	g.merge = buf
+}
+
+// Run executes conservative windows until ctrl.AfterWindow stops the run
+// (returning true) or every shard's queue goes dry (returning false — the
+// caller decides whether dry means finished or stranded). Each iteration:
+// find the earliest pending event M anywhere, run every shard to
+// M+lookahead (optionally capped by ctrl.CapWindow), integrate the
+// outboxes, then consult ctrl.AfterWindow at the barrier.
+func (g *Group) Run(ctrl Control) bool {
+	for {
+		m, ok := g.nextEventTime()
+		if !ok {
+			return false
+		}
+		now := g.engines[0].Now()
+		end := m + g.lookahead
+		if ctrl.CapWindow != nil {
+			end = ctrl.CapWindow(now, end)
+		}
+		if end <= now {
+			panic(fmt.Sprintf("partition: window end %v not after now %v", end, now))
+		}
+		g.runWindow(end)
+		g.integrate()
+		if ctrl.AfterWindow != nil && !ctrl.AfterWindow(end) {
+			return true
+		}
+	}
+}
+
+// Close releases the worker goroutines. The engines remain valid (e.g. for
+// draining processes); the group must not be used afterwards. Close is
+// idempotent.
+func (g *Group) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	g.stop.Store(true)
+}

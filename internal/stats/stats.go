@@ -270,6 +270,18 @@ func (q *Quantiles) Add(v sim.Time) {
 // Count returns the number of recorded samples.
 func (q *Quantiles) Count() int { return len(q.samples) }
 
+// Merge folds every sample of o into q. Quantiles are order statistics
+// over the sorted sample set, so merge order cannot change any At result —
+// which is what lets a partitioned run keep per-shard accumulators and
+// merge them once at the end.
+func (q *Quantiles) Merge(o *Quantiles) {
+	if len(o.samples) == 0 {
+		return
+	}
+	q.samples = append(q.samples, o.samples...)
+	q.sorted = false
+}
+
 // At returns the p-quantile (p in [0, 1]) using the nearest-rank method,
 // or 0 with no samples. At(0.5) is the median; At(0.99) the p99.
 func (q *Quantiles) At(p float64) sim.Time {

@@ -18,7 +18,7 @@ import (
 // recalls nothing remote; the writer's update invalidates the reader), and
 // blocks homed at their reader (the writer's update is a remote write miss;
 // the reader's miss recalls from the writer).
-func appbtProgram(p Params) func(n *machine.Node) {
+func appbtProgram(p Params, nodes int) func(n *machine.Node) {
 	iters := p.scale(6)
 	const (
 		writerHomed    = 6 // per neighbor: blocks homed at the writer
@@ -29,6 +29,7 @@ func appbtProgram(p Params) func(n *machine.Node) {
 	cfg := shmem.DefaultConfig()
 	cfg.DataBytes = 24 // 32-byte data messages
 	proto := shmem.New(cfg)
+	proto.Reserve(nodes)
 
 	// Block naming: the k-th boundary block homed at node h for the face
 	// toward neighbor nb. HomeOf(g) == g mod N, so g = slot*N + h.

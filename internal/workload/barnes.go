@@ -13,7 +13,7 @@ import (
 // ids. The Table 4 mix emerges from the protocol: 12-byte requests,
 // invalidations, and acks (67%), 140-byte cell-data transfers (29%), and
 // 16-byte exclusive upgrades for read-modify-write cells (4%).
-func barnesProgram(p Params) func(n *machine.Node) {
+func barnesProgram(p Params, nodes int) func(n *machine.Node) {
 	iters := p.scale(5)
 	const (
 		pureReads      = 14 // tree-cell reads per iteration
@@ -23,6 +23,7 @@ func barnesProgram(p Params) func(n *machine.Node) {
 		blk            = int64(membus.BlockSize)
 	)
 	proto := shmem.New(shmem.DefaultConfig()) // 132-byte data -> 140-byte messages
+	proto.Reserve(nodes)
 
 	// treeBlock names the k-th shared tree cell homed at node h.
 	treeBlock := func(h, k, N int) int64 {

@@ -89,18 +89,26 @@ const noRecovery = -1 * sim.Picosecond
 func (r *OpenLoopResult) P50() sim.Time { return r.Latency.At(0.50) }
 func (r *OpenLoopResult) P99() sim.Time { return r.Latency.At(0.99) }
 
-// olState is the shared state of one open-loop run.
+// olState is the shared state of one open-loop run. All mutable fields are
+// shard-confined: done is written only by the node-0 server, and every
+// client's counters live in its own clients slot (pre-sized at program
+// construction, so no client ever grows a shared structure). Node 0 merges
+// the per-client results in finish, after the final barrier — the barrier
+// message chain is what publishes each client's writes to node 0's shard.
 type olState struct {
-	p    OpenLoopParams
-	res  *OpenLoopResult
-	done int // clients finished (server-side count)
+	p       OpenLoopParams
+	res     *OpenLoopResult
+	clients []*olClient // indexed by node id; nil at the server slot
+	done    int         // clients finished (server-side count)
 }
 
-// olClient is one client's bookkeeping.
+// olClient is one client's bookkeeping, written only by its own node.
 type olClient struct {
 	sched      []sim.Time // scheduled arrival instant per request index
+	issued     int64
 	completed  int64
 	firstAfter sim.Time // first completion at/after the outage end; 0 = none
+	latency    stats.Quantiles
 }
 
 // expGap draws an exponential gap with mean m from a splitmix64 stream.
@@ -118,11 +126,16 @@ func expGap(s *uint64, m sim.Time) sim.Time {
 	return g
 }
 
-// OpenLoopProgram returns the per-node program for one open-loop run,
-// filling res when the run completes. Like Program, each invocation must
-// drive exactly one machine.Run.
-func OpenLoopProgram(p OpenLoopParams, res *OpenLoopResult) func(n *machine.Node) {
-	st := &olState{p: p, res: res}
+// OpenLoopProgram returns the per-node program for one open-loop run on a
+// machine of nodes nodes, filling res when the run completes. Like
+// Program, each invocation must drive exactly one machine.Run. The client
+// table is pre-sized here, in serial context, so a partitioned run never
+// mutates shared state from two shards.
+func OpenLoopProgram(p OpenLoopParams, res *OpenLoopResult, nodes int) func(n *machine.Node) {
+	st := &olState{p: p, res: res, clients: make([]*olClient, nodes)}
+	for i := 1; i < nodes; i++ {
+		st.clients[i] = &olClient{sched: make([]sim.Time, p.Requests)}
+	}
 	res.Recovery = noRecovery
 	return func(n *machine.Node) {
 		if n.ID == 0 {
@@ -159,8 +172,8 @@ func (st *olState) server(n *machine.Node) {
 // whose instant has passed is sent as soon as Send unblocks.
 func (st *olState) client(n *machine.Node) {
 	const pollQuantum = 200 * sim.Nanosecond
-	c := &olClient{sched: make([]sim.Time, st.p.Requests)}
-	cs := &st.res.Latency
+	c := st.clients[n.ID]
+	cs := &c.latency
 	n.EP.Register(hOLReply, func(ep *msglayer.Endpoint, m *msglayer.Message) {
 		idx := int(m.Arg & 0xFFFFFFFF)
 		now := n.Proc.P.Now()
@@ -201,26 +214,38 @@ func (st *olState) client(n *machine.Node) {
 			n.Proc.P.SleepAs(stats.Compute, pollQuantum)
 		}
 	}
-	st.res.Issued += int64(st.p.Requests)
-	st.res.Completed += c.completed
-	// Run-wide recovery is the earliest post-outage completion anywhere.
-	if c.firstAfter > 0 {
-		rec := c.firstAfter - st.p.OutageEnd
-		if st.res.Recovery < 0 || rec < st.res.Recovery {
-			st.res.Recovery = rec
-		}
-	}
+	c.issued = int64(st.p.Requests)
 	n.EP.Send(0, hOLDone, 4, 0)
 	n.Barrier()
 	n.SettleSends()
 	st.finish(n)
 }
 
-// finish derives the run-wide rates once, on node 0 after the final
-// barrier (every counter is settled by then).
+// finish merges the per-client counters and derives the run-wide rates
+// once, on node 0 after the final barrier (every client published its
+// counters before sending its done message, so everything is settled — and,
+// on a partitioned machine, visible — by then). The merge walks clients in
+// node-id order; the latency merge is order-insensitive by construction
+// (see stats.Quantiles.Merge), so the result matches the serial run's
+// chronological accumulation exactly.
 func (st *olState) finish(n *machine.Node) {
 	if n.ID != 0 {
 		return
+	}
+	for _, c := range st.clients {
+		if c == nil {
+			continue
+		}
+		st.res.Issued += c.issued
+		st.res.Completed += c.completed
+		st.res.Latency.Merge(&c.latency)
+		// Run-wide recovery is the earliest post-outage completion anywhere.
+		if c.firstAfter > 0 {
+			rec := c.firstAfter - st.p.OutageEnd
+			if st.res.Recovery < 0 || rec < st.res.Recovery {
+				st.res.Recovery = rec
+			}
+		}
 	}
 	st.res.Elapsed = n.Proc.P.Now()
 	if st.res.Elapsed > 0 {
@@ -235,6 +260,6 @@ func (st *olState) finish(n *machine.Node) {
 func RunOpenLoop(cfg machine.Config, p OpenLoopParams) (*OpenLoopResult, *stats.Machine) {
 	var res OpenLoopResult
 	m := machine.New(cfg)
-	st := m.Run(OpenLoopProgram(p, &res))
+	st := m.Run(OpenLoopProgram(p, &res, cfg.Nodes))
 	return &res, st
 }

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"nisim/internal/machine"
+	"nisim/internal/nic"
+)
+
+// TestShardedRunIsByteIdentical is the workload-level half of the
+// partition determinism gate: for every NI kind, the shard-safe
+// applications must produce a stats.Machine deeply equal to the serial
+// engine's at every shard count — same counters, same times, same
+// histograms, nothing averaged or approximated. The throttled CNI is
+// included deliberately: it is peer-coupled (nic.PeerCoupled), so the
+// machine must fall back to the serial engine and still match trivially.
+// Under `make ci` this also runs with the race detector watching the shard
+// workers.
+func TestShardedRunIsByteIdentical(t *testing.T) {
+	kinds := []nic.Kind{
+		nic.CM5, nic.CM5SingleCycle, nic.UDMA, nic.AP3000, nic.StarTJR,
+		nic.MemoryChannel, nic.CNI512Q, nic.CNI32Qm, nic.CNI32QmThrottle,
+	}
+	p := Params{Iters: 0.3}
+	for _, kind := range kinds {
+		for _, app := range []App{Appbt, Barnes} {
+			cfg := machine.DefaultConfig(kind, 8)
+			serial := Run(cfg, app, p)
+			for _, shards := range []int{2, 4} {
+				c := cfg
+				c.Shards = shards
+				if got := Run(c, app, p); !reflect.DeepEqual(serial, got) {
+					t.Errorf("%s/%s shards=%d: stats differ from serial", kind.ShortName(), app, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRunSerialOnlyAppsClamp pins the safety clamp: an application
+// whose program shares plain Go state across nodes (not Shardable) must
+// run serially even when shards are requested — and therefore trivially
+// match the serial run.
+func TestShardedRunSerialOnlyAppsClamp(t *testing.T) {
+	if Shardable(Dsmc) || Shardable(Em3d) || Shardable(Moldyn) || Shardable(Spsolve) || Shardable(Unstructured) {
+		t.Fatal("a runState-sharing app reports Shardable")
+	}
+	if !Shardable(Appbt) || !Shardable(Barnes) {
+		t.Fatal("a shard-safe app reports not Shardable")
+	}
+	cfg := machine.DefaultConfig(nic.CM5, 8)
+	p := Params{Iters: 0.2}
+	serial := Run(cfg, Dsmc, p)
+	c := cfg
+	c.Shards = 4
+	if got := Run(c, Dsmc, p); !reflect.DeepEqual(serial, got) {
+		t.Error("dsmc with shards requested differs from serial (clamp broken)")
+	}
+}
+
+// TestShardedOpenLoopIsByteIdentical covers the open-loop overload
+// workload: both the service-level result (latency quantiles, goodput,
+// recovery) and the machine statistics must be deeply equal to the serial
+// run's when the simulation is partitioned.
+func TestShardedOpenLoopIsByteIdentical(t *testing.T) {
+	for _, kind := range []nic.Kind{nic.UDMA, nic.CNI32Qm} {
+		cfg := machine.DefaultConfig(kind, 8)
+		p := DefaultOpenLoop()
+		serialRes, serialStats := RunOpenLoop(cfg, p)
+		for _, shards := range []int{2, 4} {
+			c := cfg
+			c.Shards = shards
+			res, st := RunOpenLoop(c, p)
+			if !reflect.DeepEqual(serialStats, st) {
+				t.Errorf("%s shards=%d: open-loop stats differ from serial", kind.ShortName(), shards)
+			}
+			if !reflect.DeepEqual(serialRes, res) {
+				t.Errorf("%s shards=%d: open-loop result differs from serial:\nserial: %+v\nsharded: %+v",
+					kind.ShortName(), shards, serialRes, res)
+			}
+		}
+	}
+}

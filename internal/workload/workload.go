@@ -65,15 +65,18 @@ func (p Params) scale(n int) int {
 	return v
 }
 
-// Program returns the per-node program for app. Each invocation creates a
-// fresh shared run state, so a Program value must drive exactly one
-// machine.Run.
-func Program(app App, p Params) func(n *machine.Node) {
+// Program returns the per-node program for app on a machine of nodes
+// nodes. Each invocation creates a fresh shared run state, so a Program
+// value must drive exactly one machine.Run. The node count lets the
+// shared-memory kernels pre-size their protocol tables in serial context,
+// which is what makes them safe on a partitioned machine
+// (machine.Config.Shards > 1).
+func Program(app App, p Params, nodes int) func(n *machine.Node) {
 	switch app {
 	case Appbt:
-		return appbtProgram(p)
+		return appbtProgram(p, nodes)
 	case Barnes:
-		return barnesProgram(p)
+		return barnesProgram(p, nodes)
 	case Dsmc:
 		return dsmcProgram(p)
 	case Em3d:
@@ -89,11 +92,26 @@ func Program(app App, p Params) func(n *machine.Node) {
 	}
 }
 
+// Shardable reports whether app's program tolerates a partitioned machine
+// (machine.Config.Shards > 1). The shared-memory kernels (appbt, barnes)
+// confine all cross-node interaction to messages and pre-sized protocol
+// tables, so their nodes may run on different shard goroutines; the other
+// five share plain Go counters across nodes (the runState quiescence
+// count) and must stay on the serial engine.
+func Shardable(app App) bool {
+	return app == Appbt || app == Barnes
+}
+
 // Run builds a machine with cfg, runs app on it, and returns the
-// statistics.
+// statistics. For an app that is not Shardable the shard request is
+// clamped to the serial engine — the program's shared state is the
+// coupling the partition lookahead cannot see.
 func Run(cfg machine.Config, app App, p Params) *stats.Machine {
+	if !Shardable(app) {
+		cfg.Shards = 1
+	}
 	m := machine.New(cfg)
-	return m.Run(Program(app, p))
+	return m.Run(Program(app, p, cfg.Nodes))
 }
 
 // Application handler ids (must stay below the machine-reserved range).

@@ -1,0 +1,59 @@
+package nisim
+
+import (
+	"bytes"
+	"testing"
+
+	"nisim/internal/chaos"
+	"nisim/internal/macro"
+	"nisim/internal/sweep"
+	"nisim/internal/workload"
+)
+
+// canonicalJSON runs jobs serially through the orchestrator and returns
+// the report's canonical (timing-stripped) JSON.
+func canonicalJSON(t *testing.T, experiment string, jobs []sweep.Job, rev float64) []byte {
+	t.Helper()
+	results := sweep.Run(sweep.Config{Jobs: 1}, jobs)
+	for _, r := range results {
+		if r.TimedOut || r.Err != "" {
+			t.Fatalf("%s: timed_out=%v err=%q", r.ID, r.TimedOut, r.Err)
+		}
+	}
+	b, err := sweep.NewReport(experiment, 0, sweep.Config{Jobs: 1}, results, rev).
+		Canonical().MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestPartitionedEngineIsDeterministic is the engine-sharding counterpart
+// of TestParallelSweepIsDeterministic: where that test varies the number
+// of orchestrator workers around serial simulations, this one varies the
+// number of engine shards inside each simulation. The partitioned engine
+// (machine.Config.Shards, internal/sim/partition) must be byte-identical
+// to the serial engine — the shard count appears in neither job IDs nor
+// config maps precisely so the canonical reports can be compared
+// byte-for-byte. Two grids are pinned: the Figure 1 transfer/buffering
+// pairs (shared-memory kernels) and the open-loop overload grid (the
+// chaos workload). Under `make ci` this also runs with the race detector
+// watching the shard workers and the barrier protocol.
+func TestPartitionedEngineIsDeterministic(t *testing.T) {
+	p := workload.Params{Iters: 0.3}
+	sizes := []int{16, 32}
+
+	serialFig1 := canonicalJSON(t, "scalefig1", macro.ScaleFigure1Jobs(sizes, 1, p), 1)
+	shardedFig1 := canonicalJSON(t, "scalefig1", macro.ScaleFigure1Jobs(sizes, 4, p), 1)
+	if !bytes.Equal(serialFig1, shardedFig1) {
+		t.Errorf("sharded Figure 1 canonical JSON differs from serial:\nserial:\n%s\nsharded:\n%s",
+			serialFig1, shardedFig1)
+	}
+
+	serialChaos := canonicalJSON(t, "chaos-scale", chaos.ScaleGrid(16, 1, 12).Jobs(), 1)
+	shardedChaos := canonicalJSON(t, "chaos-scale", chaos.ScaleGrid(16, 4, 12).Jobs(), 1)
+	if !bytes.Equal(serialChaos, shardedChaos) {
+		t.Errorf("sharded chaos canonical JSON differs from serial:\nserial:\n%s\nsharded:\n%s",
+			serialChaos, shardedChaos)
+	}
+}
