@@ -75,9 +75,9 @@ chaos-smoke: build
 # must be byte-identical — with the machine-readable nisim-sweep/v1 report
 # saved to scale_results.json for the CI artifact.
 scale-smoke: build
-	$(GO) test -run 'Sharded|PartitionedEngine|HotShard|TiePosts' -count=1 ./internal/sim/partition/ ./internal/workload/ .
+	$(GO) test -run 'Sharded|PartitionedEngine|HotShard|TiePosts|EverythingShardable|WindowEnds|AdaptiveWindows' -count=1 ./internal/sim/partition/ ./internal/workload/ .
 	$(GO) run ./cmd/scale -big -sizes 64 -scale 0.2 -shards 1 -jobs 1 > scale_serial.txt
-	$(GO) run ./cmd/scale -big -sizes 64 -scale 0.2 -shards 4 -jobs 1 -json scale_results.json > scale_sharded.txt
+	$(GO) run ./cmd/scale -big -sizes 64 -scale 0.2 -shards 4 -jobs 1 -baseline -json scale_results.json > scale_sharded.txt
 	cmp scale_serial.txt scale_sharded.txt
 	rm -f scale_serial.txt scale_sharded.txt
 

@@ -4,15 +4,17 @@
 // flat as the machine grows. The default mode runs one application across
 // small machine sizes for a fifo NI and a coherent NI. With -big it runs
 // the large-machine story instead: the Figure 1 transfer/buffering pairs
-// for the shard-safe applications at 64/256/1024 nodes plus the open-loop
-// overload workload at the same sizes, each cell partitioned across
-// -shards conservative engine shards (see DESIGN.md §10 and
-// EXPERIMENTS.md, "Scaling past 16 nodes"). The grid's cells are
-// independent simulations and fan out across CPUs (see -jobs, -timeout,
-// and -json).
+// for appbt, barnes, and dsmc at 64/256/1024 nodes plus the open-loop
+// overload workload (including the send-throttled coherent spec) at the
+// same sizes, each cell partitioned across -shards conservative engine
+// shards (see DESIGN.md §10 and EXPERIMENTS.md, "Scaling past 16 nodes").
+// The grid's cells are independent simulations and fan out across CPUs
+// (see -jobs, -timeout, and -json); -baseline reruns the grid serially,
+// gates byte-identity, and records the measured shard speedup.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +33,8 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "iteration scale")
 	shards := flag.Int("shards", 1, "engine shards per simulation (1 = serial engine)")
 	big := flag.Bool("big", false, "run the large-machine grid (Figure 1 pairs + open-loop overload at -sizes) instead of the small-size table")
+	baseline := flag.Bool("baseline", false,
+		"with -big: also run the grid on the serial engine (shards=1), verify canonical-JSON identity, and record the shard speedup")
 	sizesFlag := flag.String("sizes", "64,256,1024", "comma-separated machine sizes for -big")
 	var opts sweep.Options
 	opts.Register(flag.CommandLine)
@@ -42,7 +46,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "scale:", err)
 			os.Exit(1)
 		}
-		runBig(opts, sizes, *shards, *scale)
+		runBig(opts, sizes, *shards, *scale, *baseline)
 		return
 	}
 
@@ -86,21 +90,46 @@ func parseSizes(s string) ([]int, error) {
 	return sizes, nil
 }
 
-// runBig runs the large-machine grid: Figure 1 pairs (appbt, barnes; CM-5
-// NI with 1 vs infinite flow-control buffers) and the open-loop overload
-// cells, at each size. The chaos job IDs repeat per size, so each gets a
-// nodes= suffix here.
-func runBig(opts sweep.Options, sizes []int, shards int, scale float64) {
-	jobs := macro.ScaleFigure1Jobs(sizes, shards, workload.Params{Iters: scale})
-	fig1Cells := len(jobs)
-	for _, nodes := range sizes {
-		for _, j := range chaos.ScaleGrid(nodes, shards, 20).Jobs() {
-			j.ID = fmt.Sprintf("%s/nodes=%d", j.ID, nodes)
-			jobs = append(jobs, j)
+// runBig runs the large-machine grid: Figure 1 pairs (appbt, barnes, and
+// the message-counting dsmc; CM-5 NI with 1 vs infinite flow-control
+// buffers) and the open-loop overload cells — including the send-throttled
+// coherent spec — at each size. The chaos job IDs repeat per size, so each
+// gets a nodes= suffix here. With baseline, the same grid runs again on
+// the serial engine: the two canonical reports must match byte for byte
+// (sharding is an execution strategy, not an experiment parameter), and
+// the serial timing plus the measured shard speedup land in the report's
+// timing sidecar so scale_results.json shows real multicore scaling.
+func runBig(opts sweep.Options, sizes []int, shards int, scale float64, baseline bool) {
+	buildJobs := func(sh int) []sweep.Job {
+		jobs := macro.ScaleFigure1Jobs(sizes, sh, workload.Params{Iters: scale})
+		for _, nodes := range sizes {
+			for _, j := range chaos.ScaleGrid(nodes, sh, 20).Jobs() {
+				j.ID = fmt.Sprintf("%s/nodes=%d", j.ID, nodes)
+				jobs = append(jobs, j)
+			}
 		}
+		return jobs
 	}
+	jobs := buildJobs(shards)
+	fig1Cells := len(macro.ScaleFigure1Jobs(sizes, shards, workload.Params{Iters: scale}))
 
 	results, rep := opts.Sweep("scalebig", 0, jobs)
+	if baseline {
+		_, serialRep := opts.Sweep("scalebig", 0, buildJobs(1))
+		shd, err1 := rep.Canonical().MarshalIndentJSON()
+		ser, err2 := serialRep.Canonical().MarshalIndentJSON()
+		if err1 != nil || err2 != nil || !bytes.Equal(shd, ser) {
+			fmt.Fprintln(os.Stderr, "scale: sharded and serial canonical reports differ — determinism violation")
+			os.Exit(1)
+		}
+		rep.Baseline = serialRep.Timing
+		if rep.Timing.WallMS > 0 {
+			rep.Timing.Speedup = serialRep.Timing.WallMS / rep.Timing.WallMS
+		}
+		// stderr, not stdout: scale-smoke cmp's serial and sharded stdout.
+		fmt.Fprintf(os.Stderr, "scale: shards=%d %.0f ms vs serial %.0f ms, %.2fx on %d cpus\n",
+			shards, rep.Timing.WallMS, rep.Baseline.WallMS, rep.Timing.Speedup, rep.Timing.NumCPU)
+	}
 	// The header must not mention the shard count: scale-smoke cmp's the
 	// serial and sharded runs byte-for-byte, and sharding is an execution
 	// strategy, not an experiment parameter.

@@ -165,13 +165,15 @@ func (g GridSpec) config(s nic.Spec, mx Mix) machine.Config {
 }
 
 // ScaleGrid returns the overload grid's machine-scaling variant: the
-// open-loop workload on one fifo and one coherent NI, clean mix at the
-// mid load level, at a given machine size and shard count. It is the
+// open-loop workload on one fifo NI, one coherent NI, and the
+// send-throttled coherent NI (whose credit returns cross shards as lagged
+// messages — the spec that used to force a serial rebuild), clean mix at
+// the mid load level, at a given machine size and shard count. It is the
 // chaos half of the cmd/scale -big sweep (EXPERIMENTS.md, "Scaling past
 // 16 nodes").
 func ScaleGrid(nodes, shards, requests int) GridSpec {
 	g := StandardGrid(true)
-	g.Specs = []nic.Spec{nic.SpecFor(nic.CM5), nic.SpecFor(nic.CNI32Qm)}
+	g.Specs = []nic.Spec{nic.SpecFor(nic.CM5), nic.SpecFor(nic.CNI32Qm), nic.SpecFor(nic.CNI32QmThrottle)}
 	g.Loads = g.Loads[1:2] // mid
 	g.Mixes = g.Mixes[0:1] // clean
 	g.Nodes = nodes

@@ -83,12 +83,13 @@ type Config struct {
 	// contiguous shards, each driven by its own engine on its own worker
 	// goroutine, synchronized at time-window barriers sized by the network
 	// latency (the lookahead). 0 or 1 is today's serial engine,
-	// byte-for-byte. Values above Nodes are clamped; a machine whose NI
-	// needs instant cross-node state (nic.PeerAware, e.g. the throttled
-	// CNI32Qm) or whose Tracer is set falls back to serial automatically,
-	// as does a network with no positive latency to use as lookahead.
-	// Results are byte-identical across shard counts; only wall-clock time
-	// changes (see DESIGN.md §10).
+	// byte-for-byte. Values above Nodes are clamped; a machine whose
+	// Tracer is set falls back to serial automatically (the tracer is one
+	// shared event stream), as does a network with no positive latency to
+	// use as lookahead. Every NI spec partitions — including the throttled
+	// CNI32Qm, whose credit returns ride the message layer — and so does
+	// every workload. Results are byte-identical across shard counts; only
+	// wall-clock time changes (see DESIGN.md §10).
 	Shards int
 }
 
@@ -159,7 +160,6 @@ func (m *Machine) Shards() int { return len(m.Engines) }
 // configuration can partition: at most one shard per node, serial when the
 // network has no positive latency to serve as lookahead, and serial when a
 // tracer is attached (the tracer is a single shared event stream).
-// PeerAware NIs also force serial, detected after construction in build.
 func effectiveShards(cfg Config) int {
 	s := cfg.Shards
 	if s < 1 {
@@ -243,23 +243,14 @@ func build(cfg Config, shards int) *Machine {
 		node.EP = msglayer.New(pr, ni, cfg.Net, cfg.Msg)
 		m.Nodes = append(m.Nodes, node)
 	}
-	// Wire cross-node feedback for send-throttled NIs. A peer-coupled NI
-	// reads other nodes' NI state synchronously — zero lookahead — so its
-	// machine cannot be partitioned: rebuild serial. NIs that accept the
-	// lookup but never use it (nic.PeerCoupled reports false) partition
-	// freely.
-	peerCoupled := false
+	// Wire peer-NI identity resolution for send-throttled NIs. The lookup
+	// carries no synchronous state access — credit returns ride the message
+	// layer with one network latency of lag (nic.PeerAware) — so throttled
+	// specs partition as freely as every other design point.
 	for _, n := range m.Nodes {
 		if pa, ok := n.NI.(nic.PeerAware); ok {
 			pa.SetPeerLookup(func(id int) nic.NI { return m.Nodes[id].NI })
-			if pc, ok := n.NI.(nic.PeerCoupled); !ok || pc.PeerCoupled() {
-				peerCoupled = true
-			}
 		}
-	}
-	if peerCoupled && shards > 1 {
-		m.group.Close()
-		return build(cfg, 1)
 	}
 	if !cfg.Faults.Zero() {
 		inj := faults.New(cfg.Faults)

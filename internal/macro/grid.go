@@ -190,18 +190,20 @@ func Table4Jobs(p workload.Params) []sweep.Job {
 }
 
 // ScaleFigure1Jobs returns the Figure 1 transfer/buffering pairs at large
-// machine sizes for the shard-safe applications (appbt and barnes — see
-// workload.Shardable): per size and application, the CM-5-like NI with one
-// flow-control buffer and with infinite buffering, in that order, so
-// Figure1Rows reassembles the bars unchanged. Each cell's simulation is
-// partitioned across shards engine shards. Shards is an execution
-// strategy, not an experiment parameter — results are byte-identical at
-// any value (the partition determinism regression pins it) — so it appears
-// in neither the job IDs nor the config maps.
+// machine sizes for a representative application mix — the shared-memory
+// kernels (appbt, barnes) plus the message-counting dsmc, which until the
+// quiescence ledger went message-confined could not shard at all: per size
+// and application, the CM-5-like NI with one flow-control buffer and with
+// infinite buffering, in that order, so Figure1Rows reassembles the bars
+// unchanged. Each cell's simulation is partitioned across shards engine
+// shards. Shards is an execution strategy, not an experiment parameter —
+// results are byte-identical at any value (the partition determinism
+// regression pins it) — so it appears in neither the job IDs nor the
+// config maps.
 func ScaleFigure1Jobs(sizes []int, shards int, p workload.Params) []sweep.Job {
 	var jobs []sweep.Job
 	for _, nodes := range sizes {
-		for _, app := range []workload.App{workload.Appbt, workload.Barnes} {
+		for _, app := range []workload.App{workload.Appbt, workload.Barnes, workload.Dsmc} {
 			for _, bufs := range []int{1, netsim.Infinite} {
 				nodes, app, bufs := nodes, app, bufs
 				jobs = append(jobs, sweep.Job{
@@ -226,8 +228,8 @@ func ScaleFigure1Jobs(sizes []int, shards int, p workload.Params) []sweep.Job {
 
 // ScaleJobs returns the machine-size scaling grid: the application on a
 // fifo NI and a coherent NI across machine sizes, eight flow-control
-// buffers. shards partitions each cell's engine (serial when the
-// application is not workload.Shardable; see Config.Shards).
+// buffers. shards partitions each cell's engine (every application
+// shards; see Config.Shards).
 func ScaleJobs(app workload.App, sizes []int, shards int, p workload.Params) []sweep.Job {
 	var jobs []sweep.Job
 	for _, nodes := range sizes {

@@ -301,6 +301,20 @@ func (ep *Endpoint) post(dst int, at sim.Time, h sim.Handler, recv any, arg uint
 	r.Post(ep.id, dst, at, ep.eng.Now(), ep.postSeq, h, recv, arg)
 }
 
+// PostControl schedules the typed control event h(recv, arg) one network
+// latency from now on the engine owning node dst, stamped with this
+// endpoint's post sequence so its ordering against data traffic is
+// deterministic. It is the NI layer's seam for cross-node control
+// exchange that must not ride shared Go state — the throttled coherent
+// NI's credit return uses it — and the fixed one-latency lag is what
+// satisfies the conservative-lookahead contract that makes partitioned
+// windows safe (DESIGN.md §10).
+//
+//lint:hotpath
+func (ep *Endpoint) PostControl(dst int, h sim.Handler, recv any, arg uint64) {
+	ep.post(dst, ep.eng.Now()+ep.net.cfg.Latency, h, recv, arg)
+}
+
 // crossShard reports whether node dst lives on a different shard than this
 // endpoint (always false on an unpartitioned network).
 //

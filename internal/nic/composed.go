@@ -244,16 +244,10 @@ func (x *composed) Idle() bool {
 	return true
 }
 
-// PeerCoupled implements the machine layer's partitioning probe: only the
-// software credit scheme (CNI_32Q_m+Throttle) actually reads peer state
-// synchronously; every other spec leaves the peer lookup unused.
-func (x *composed) PeerCoupled() bool {
-	return x.coh != nil && x.coh.throttle
-}
-
-// SetPeerLookup implements PeerAware: cross-node visibility for the
-// coherent engine's software credit scheme (CNI_32Q_m+Throttle). A no-op
-// for specs without a coherent side.
+// SetPeerLookup implements PeerAware: peer-NI identity resolution for the
+// coherent engine's software credit scheme (CNI_32Q_m+Throttle), whose
+// credit returns are addressed to the sending NI's ledger. A no-op for
+// specs without a coherent side.
 func (x *composed) SetPeerLookup(fn func(node int) NI) {
 	if x.coh == nil {
 		return

@@ -57,12 +57,15 @@ type coherent struct {
 	// Send throttling (CNI_32Q_m+Throttle): a software credit scheme that
 	// keeps, per destination, no more unconsumed blocks outstanding than the
 	// receiver's NI cache holds. outstanding is the sender-side ledger;
-	// consume at the receiver returns the credit via peerFn.
+	// consume at the receiver returns the credit as a control message that
+	// lands here one network latency later (creditReturn).
 	outstanding  map[int]int64
 	throttleCond *sim.Cond
 
-	// peerFn resolves the coherent engine at another node. Set by the
-	// machine layer through the composed NI's SetPeerLookup.
+	// peerFn resolves the coherent engine at another node — identity only,
+	// to learn whether the sender throttles and to address its ledger; no
+	// peer state is ever read or written synchronously. Set by the machine
+	// layer through the composed NI's SetPeerLookup.
 	peerFn func(node int) *coherent
 }
 
@@ -234,6 +237,26 @@ func (c *coherent) throttleWait(pr *proc.Proc, m *netsim.Message, nb int64) {
 	c.outstanding[m.Dst] += nb //lint:allow noalloc per-destination credit map is sized by node count at warm-up; steady-state writes hit existing buckets
 }
 
+// Credit-return messages pack (consuming node, blocks) into the event arg.
+const (
+	creditNodeShift = 32
+	creditBlockMask = 1<<creditNodeShift - 1
+)
+
+// creditReturn is the typed handler for a throttle credit arriving back at
+// the sending NI, one network latency after the receiver consumed: arg
+// packs the consuming node's id and the number of blocks freed. It runs on
+// the sender's own engine (netsim routes it across the partition seam when
+// the two nodes live on different shards), so the ledger write and the
+// wakeup stay shard-local.
+//
+//lint:hotpath
+func creditReturn(recv any, arg uint64) {
+	c := recv.(*coherent)
+	c.outstanding[int(arg>>creditNodeShift)] -= int64(arg & creditBlockMask) //lint:allow noalloc credit return writes an existing per-node bucket, warmed at first send
+	c.throttleCond.Broadcast()
+}
+
 // sendEngine is the NI-side send state machine: fetch message blocks from
 // the processor's cache (or memory) with coherent reads, then inject.
 func (c *coherent) sendEngine(p *sim.Process) {
@@ -344,10 +367,16 @@ func (c *coherent) consume(pr *proc.Proc) *netsim.Message {
 	c.unconsumed -= e.nb
 	if c.peerFn != nil {
 		if sender := c.peerFn(m.Src); sender != nil && sender.throttle {
-			sender.outstanding[c.env.ID] -= e.nb //lint:allow noalloc credit return writes an existing per-node bucket, warmed at first send
-			sender.throttleCond.Broadcast()
-			// The credit return carries a head update, so the NI can
-			// reclaim dead blocks without waiting for a flush.
+			// The credit rides back to the sender as a control message, one
+			// network latency out — the same lag as an ack — rather than a
+			// same-instant write into the peer NI's ledger. On a partitioned
+			// machine the sender may live on another shard, so the only
+			// legal channel is the message seam (DESIGN.md §10.1); keeping
+			// the identical lag on the serial engine keeps serial and
+			// sharded runs byte-identical.
+			c.env.EP.PostControl(m.Src, creditReturn, sender, uint64(c.env.ID)<<creditNodeShift|uint64(e.nb))
+			// The consume carries a head update, so the NI can reclaim dead
+			// blocks without waiting for a flush.
 			c.ring.reclaim()
 		}
 	}

@@ -419,18 +419,13 @@ func Catalog() []CatalogEntry {
 	}
 }
 
-// PeerAware is implemented by NIs that need cross-node visibility (the
-// send-throttled CNI_32Q_m's software credit scheme). The machine layer
-// wires it after all nodes exist.
+// PeerAware is implemented by NIs that need to resolve a reference to
+// another node's NI (the send-throttled CNI_32Q_m's software credit
+// scheme names the sender NI a consumed message's credit flows back to).
+// The machine layer wires it after all nodes exist. The lookup resolves
+// identity only — all cross-node state exchange rides the message layer
+// (Endpoint.PostControl), never a synchronous read of peer state, which
+// is what lets every spec run partitioned (machine.Config.Shards).
 type PeerAware interface {
 	SetPeerLookup(fn func(node int) NI)
-}
-
-// PeerCoupled refines PeerAware: it reports whether this NI instance will
-// actually read another node's state synchronously (zero lookahead). The
-// machine layer partitions freely when every NI answers false; a PeerAware
-// NI that does not implement PeerCoupled is conservatively treated as
-// coupled.
-type PeerCoupled interface {
-	PeerCoupled() bool
 }

@@ -6,6 +6,13 @@
 // generated for each other at a barrier, and repeat — no rollback, no
 // speculation, bit-identical results (see DESIGN.md §10).
 //
+// Windows are adaptive and per-shard (see WindowEnds): a shard whose next
+// pending event is far in the future — a compute phase, an idle client —
+// gets a window bounded only by what its peers could send it, not by the
+// single global minimum. The policy never admits an event before its
+// conservative bound, so results stay byte-identical to the serial engine;
+// it only changes how much simulated time each barrier round covers.
+//
 // This package is the one sanctioned home for cross-shard communication in
 // the simulation core (the chanconfine and nogoroutine lint passes
 // whitelist it): worker goroutines own their shard's engine exclusively
@@ -80,14 +87,18 @@ func byKey(a, b Record) bool {
 type Control struct {
 	// CapWindow, if non-nil, may lower the proposed end of the next window
 	// (e.g. to land a barrier exactly on a watchdog sampling boundary). It
-	// must return a time in (now, proposed]; returning proposed unchanged
-	// is always legal.
+	// is consulted once per shard per round with that shard's own clock and
+	// proposed end; it must return a time in [now, proposed] (a shard whose
+	// peers have already reached the cap may legitimately get a zero-width
+	// window), and returning proposed unchanged is always legal.
 	CapWindow func(now, proposed sim.Time) sim.Time
 	// AfterWindow, if non-nil, runs on the coordinator at each barrier,
-	// after every shard has settled at the window end and all cross-shard
-	// events have been integrated. Returning false stops the run. Reading
-	// any shard's state is safe here: the barrier is a happens-before
-	// edge.
+	// after every shard has settled at its window end and all cross-shard
+	// events have been integrated. end is the minimum window end across
+	// shards — the time every shard is guaranteed to have reached, i.e.
+	// the group's conservative global clock. Returning false stops the
+	// run. Reading any shard's state is safe here: the barrier is a
+	// happens-before edge.
 	AfterWindow func(end sim.Time) bool
 }
 
@@ -102,15 +113,22 @@ type Group struct {
 	out   [][][]Record // [srcShard][dstShard]: outboxes, single-writer per window
 	merge []Record     // reusable barrier merge buffer
 
+	// Per-round scratch for Run: each shard's next pending event time and
+	// its computed window end (see WindowEnds). Allocated once in New.
+	next []sim.Time
+	has  []bool
+	endv []sim.Time
+
 	// The spin barrier. The coordinator publishes the next window by
-	// storing end and bumping epoch; each worker spins on epoch, runs its
-	// shard's window, and bumps arrived. Shard 0 is run inline by the
-	// coordinator itself, so a group of S shards keeps exactly S goroutines
-	// hot. fail[s] is shard s's recovered panic for the current window,
-	// written before the arrived bump and read only after the barrier
-	// settles (both edges carried by the atomics).
+	// storing each shard's end and bumping epoch; each worker spins on
+	// epoch, runs its shard's window to its own end slot, and bumps
+	// arrived. Shard 0 is run inline by the coordinator itself, so a group
+	// of S shards keeps exactly S goroutines hot. fail[s] is shard s's
+	// recovered panic for the current window, written before the arrived
+	// bump and read only after the barrier settles (both edges carried by
+	// the atomics).
 	epoch   atomic.Uint64
-	end     atomic.Int64
+	ends    []atomic.Int64
 	arrived atomic.Int32
 	stop    atomic.Bool
 	fail    []any
@@ -140,6 +158,10 @@ func New(engines []*sim.Engine, shardOf []int, lookahead sim.Time) *Group {
 		engines:   engines,
 		shardOf:   shardOf,
 		lookahead: lookahead,
+		next:      make([]sim.Time, len(engines)),
+		has:       make([]bool, len(engines)),
+		endv:      make([]sim.Time, len(engines)),
+		ends:      make([]atomic.Int64, len(engines)),
 		fail:      make([]any, len(engines)),
 	}
 	g.out = make([][][]Record, len(engines))
@@ -202,34 +224,24 @@ func (g *Group) worker(s int) {
 	}
 }
 
-// window runs one shard's window to the published end, converting a panic
+// window runs one shard's window to its published end, converting a panic
 // into a barrier arrival carrying the failure.
 func (g *Group) window(s int) {
 	defer func() {
 		g.fail[s] = recover()
 	}()
-	g.engines[s].RunWindow(sim.Time(g.end.Load())) //lint:allow simtime the atomic barrier slot stores a sim.Time round-tripped through int64, not a raw duration
+	g.engines[s].RunWindow(sim.Time(g.ends[s].Load())) //lint:allow simtime the atomic barrier slot stores a sim.Time round-tripped through int64, not a raw duration
 }
 
-// nextEventTime returns the earliest pending event across all shards; ok
-// is false when every queue is empty (outboxes are always empty between
-// windows, so empty queues mean the group has gone dry).
-func (g *Group) nextEventTime() (t sim.Time, ok bool) {
-	for _, e := range g.engines {
-		if et, eok := e.NextEventAt(); eok && (!ok || et < t) {
-			t, ok = et, true
-		}
+// runWindow drives every shard through one window to its slot in g.endv
+// and waits for the barrier: publish the per-shard ends, run shard 0
+// inline, spin until the other shards arrive. A panic on any shard is
+// re-raised here (lowest shard id wins, deterministically) after the
+// barrier settles, with the group closed so no goroutine is left behind.
+func (g *Group) runWindow() {
+	for s := range g.endv {
+		g.ends[s].Store(int64(g.endv[s]))
 	}
-	return t, ok
-}
-
-// runWindow drives every shard through one window to end and waits for the
-// barrier: publish the window, run shard 0 inline, spin until the other
-// shards arrive. A panic on any shard is re-raised here (lowest shard id
-// wins, deterministically) after the barrier settles, with the group
-// closed so no goroutine is left behind.
-func (g *Group) runWindow(end sim.Time) {
-	g.end.Store(int64(end))
 	g.epoch.Add(1)
 	g.window(0)
 	others := int32(len(g.engines) - 1)
@@ -265,29 +277,101 @@ func (g *Group) integrate() {
 	g.merge = buf
 }
 
+// WindowEnds computes the adaptive per-shard window ends for one barrier
+// round. next[s] is shard s's earliest pending event time, valid only when
+// has[s]; ends[s] receives shard s's window end. At least one shard must
+// have a pending event.
+//
+// The bound for shard d is
+//
+//	ends[d] = min(lookahead + min_{r≠d} next[r],  m1 + 2·lookahead)
+//
+// where m1 is the global minimum of next (absent peers contribute nothing
+// to the first term). Safety: any event another shard r executes this
+// round fires at or after next[r], so anything it posts to d arrives at or
+// after next[r]+lookahead ≥ ends[d] — integration never lands an event in
+// d's past. The second term caps how far the quietest shard may run ahead:
+// without it a lone busy shard could outrun the replies its own posts
+// provoke (a message at t+lookahead answered at t+2·lookahead must still
+// find its destination's clock at or below t+2·lookahead). The cap also
+// makes the bound the greatest fixpoint of the mutual-recurrence
+// F_d = min(next[d], min_{r≠d} F_r + lookahead) shifted by one lookahead —
+// no wider correct window exists under these inputs.
+//
+// For every shard other than the minimum's owner the first term reduces to
+// m1+lookahead, the classic global conservative window; the owner itself
+// gets min(m2+lookahead, m1+2·lookahead) where m2 is the runner-up, which
+// is strictly wider whenever its peers lag — that widening is what shrinks
+// barrier counts on compute phases. Ends never regress across rounds, and
+// the minimum's owner always gets a window strictly past its own event, so
+// the group makes progress even when other shards' windows are zero-width.
+func WindowEnds(next []sim.Time, has []bool, lookahead sim.Time, ends []sim.Time) {
+	d1 := -1
+	for s := range next {
+		if has[s] && (d1 < 0 || next[s] < next[d1]) {
+			d1 = s
+		}
+	}
+	if d1 < 0 {
+		panic("partition: WindowEnds with no pending events")
+	}
+	m1 := next[d1]
+	m2, has2 := sim.Time(0), false
+	for s := range next {
+		if s != d1 && has[s] && (!has2 || next[s] < m2) {
+			m2, has2 = next[s], true
+		}
+	}
+	bounce := m1 + lookahead + lookahead // the 2·lookahead bounce-back cap
+	for d := range ends {
+		other, ok := m1, true
+		if d == d1 {
+			other, ok = m2, has2
+		}
+		end := bounce
+		if ok && other+lookahead < end {
+			end = other + lookahead
+		}
+		ends[d] = end
+	}
+}
+
 // Run executes conservative windows until ctrl.AfterWindow stops the run
 // (returning true) or every shard's queue goes dry (returning false — the
 // caller decides whether dry means finished or stranded). Each iteration:
-// find the earliest pending event M anywhere, run every shard to
-// M+lookahead (optionally capped by ctrl.CapWindow), integrate the
-// outboxes, then consult ctrl.AfterWindow at the barrier.
+// gather every shard's earliest pending event, derive per-shard window
+// ends (WindowEnds, optionally capped per shard by ctrl.CapWindow), run
+// every shard to its own end, integrate the outboxes, then consult
+// ctrl.AfterWindow at the barrier with the minimum end.
 func (g *Group) Run(ctrl Control) bool {
 	for {
-		m, ok := g.nextEventTime()
-		if !ok {
+		any := false
+		for s, e := range g.engines {
+			g.next[s], g.has[s] = e.NextEventAt()
+			any = any || g.has[s]
+		}
+		if !any {
 			return false
 		}
-		now := g.engines[0].Now()
-		end := m + g.lookahead
-		if ctrl.CapWindow != nil {
-			end = ctrl.CapWindow(now, end)
+		WindowEnds(g.next, g.has, g.lookahead, g.endv)
+		minEnd := sim.Time(0)
+		for s := range g.endv {
+			now := g.engines[s].Now()
+			end := g.endv[s]
+			if ctrl.CapWindow != nil {
+				end = ctrl.CapWindow(now, end)
+			}
+			if end < now {
+				panic(fmt.Sprintf("partition: shard %d window end %v before now %v", s, end, now))
+			}
+			g.endv[s] = end
+			if s == 0 || end < minEnd {
+				minEnd = end
+			}
 		}
-		if end <= now {
-			panic(fmt.Sprintf("partition: window end %v not after now %v", end, now))
-		}
-		g.runWindow(end)
+		g.runWindow()
 		g.integrate()
-		if ctrl.AfterWindow != nil && !ctrl.AfterWindow(end) {
+		if ctrl.AfterWindow != nil && !ctrl.AfterWindow(minEnd) {
 			return true
 		}
 	}

@@ -211,6 +211,112 @@ func TestWindowPanicPropagates(t *testing.T) {
 	t.Fatal("Run returned; expected a propagated panic")
 }
 
+// TestWindowEndsNeverAdmitsEarly is the adaptive-window safety property,
+// checked exhaustively over a deterministic grid of shard states: for
+// every shard d, the computed end must not exceed lookahead plus the
+// earliest event any other shard could execute this round — which is
+// itself bounded by that shard's own window, so the recursive bound
+// closes as min(next[r], m1+lookahead)+lookahead. Growth is also pinned:
+// the minimum's owner must get a window strictly wider than the classic
+// global m1+lookahead whenever its peers lag by more than the gap, and
+// no shard's window may ever be narrower than the classic one.
+func TestWindowEndsNeverAdmitsEarly(t *testing.T) {
+	const L = lookahead
+	// A deterministic pseudo-random walk over next-event layouts: values
+	// chosen to hit ties, absent shards, large gaps, and near-gaps.
+	vals := []sim.Time{0, 1, 39, 40, 41, 80, 81, 1000}
+	for _, shards := range []int{2, 3, 4} {
+		next := make([]sim.Time, shards)
+		has := make([]bool, shards)
+		ends := make([]sim.Time, shards)
+		rng := uint64(12345)
+		for iter := 0; iter < 20000; iter++ {
+			any := false
+			for s := range next {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				pick := int(rng>>33) % (len(vals) + 1)
+				if pick == len(vals) {
+					has[s] = false
+				} else {
+					has[s], next[s] = true, vals[pick]*sim.Nanosecond
+				}
+				any = any || has[s]
+			}
+			if !any {
+				continue
+			}
+			partition.WindowEnds(next, has, L, ends)
+			m1 := sim.Time(0)
+			first := true
+			for s := range next {
+				if has[s] && (first || next[s] < m1) {
+					m1, first = next[s], false
+				}
+			}
+			for d := range ends {
+				// Conservative bound: nothing another shard executes this
+				// round fires before min(next[r], m1+L), so nothing it posts
+				// to d arrives before that +L.
+				bound := m1 + 2*L
+				for r := range next {
+					if r == d || !has[r] {
+						continue
+					}
+					if b := min(next[r], m1+L) + L; b < bound {
+						bound = b
+					}
+				}
+				if ends[d] > bound {
+					t.Fatalf("next=%v has=%v: shard %d end %v exceeds conservative bound %v",
+						next, has, d, ends[d], bound)
+				}
+				if ends[d] < m1+L {
+					t.Fatalf("next=%v has=%v: shard %d end %v narrower than the global window %v",
+						next, has, d, ends[d], m1+L)
+				}
+				// The minimum's owner always makes progress past its event.
+				if has[d] && next[d] == m1 && ends[d] <= m1 {
+					t.Fatalf("next=%v has=%v: minimum owner %d got a stalled window %v", next, has, d, ends[d])
+				}
+			}
+		}
+	}
+	// Growth, pinned on a concrete layout: shard 0 at 10ns, shard 1 idle
+	// at 500ns. The classic policy would stop shard 0 at 10+L; the
+	// adaptive one runs it to the bounce-back cap 10+2L, and shard 1 only
+	// to what shard 0 could send it.
+	next := []sim.Time{10 * sim.Nanosecond, 500 * sim.Nanosecond}
+	has := []bool{true, true}
+	ends := make([]sim.Time, 2)
+	partition.WindowEnds(next, has, L, ends)
+	if want := 10*sim.Nanosecond + 2*L; ends[0] != want {
+		t.Errorf("busy-shard end %v, want the widened %v", ends[0], want)
+	}
+	if want := 10*sim.Nanosecond + L; ends[1] != want {
+		t.Errorf("lagging-shard end %v, want the classic %v", ends[1], want)
+	}
+}
+
+// TestAdaptiveWindowsShrinkBarrierCount runs the hot-shard chain with no
+// cross-shard traffic at all: the idle shards' queues stay empty, so the
+// busy shard's windows grow to the 2·lookahead bounce-back cap and the
+// run takes roughly half the barriers the classic global window would.
+func TestAdaptiveWindowsShrinkBarrierCount(t *testing.T) {
+	h := newHarness(2, 1)
+	defer h.g.Close()
+	hot := h.nodes[0]
+	hot.chain = 8000 // 8000 events at 1 ns spacing: ~8 µs of simulated time
+	hot.eng.AtEvent(0, step, hot, 1)
+
+	windows := 0
+	h.g.Run(partition.Control{AfterWindow: func(sim.Time) bool { windows++; return true }})
+	classic := 8000 / int(lookahead/sim.Nanosecond) // one barrier per lookahead
+	if windows > classic/2+2 {
+		t.Fatalf("saw %d windows for an isolated 8000 ns chain; adaptive windows should need ~%d (classic %d)",
+			windows, classic/2, classic)
+	}
+}
+
 // TestNewValidates covers the constructor's contract checks.
 func TestNewValidates(t *testing.T) {
 	engines := []*sim.Engine{sim.NewEngine()}

@@ -10,8 +10,8 @@ import (
 // owner via fine-grain one-way active messages in a producer-consumer
 // pattern — 12-byte movement notices (45%), 44-byte single-particle
 // payloads (25%), and 140-byte batched payloads (26%), Table 4.
-func dsmcProgram(p Params) func(n *machine.Node) {
-	rs := &runState{}
+func dsmcProgram(p Params, nodes int) func(n *machine.Node) {
+	rs := newRunState(nodes)
 	iters := p.scale(8)
 	const (
 		noticesPerIter = 20
@@ -38,6 +38,7 @@ func dsmcProgram(p Params) func(n *machine.Node) {
 			ep.Proc().Compute(60 + int64(m.PayloadLen/4)*8)
 		})
 		n.EP.Register(hOneWay, handler)
+		rs.install(n)
 
 		for it := 0; it < iters; it++ {
 			// Move phase: local computation.

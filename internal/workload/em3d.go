@@ -11,8 +11,8 @@ import (
 // remote edges through a custom update protocol, with a couple of 12-byte
 // control messages (2%). Many updates are in flight at once — the bursty
 // traffic that makes em3d's performance hinge on NI buffering (§6.2.1).
-func em3dProgram(p Params) func(n *machine.Node) {
-	rs := &runState{}
+func em3dProgram(p Params, nodes int) func(n *machine.Node) {
+	rs := newRunState(nodes)
 	iters := p.scale(10)
 	const (
 		updatesPerIter = 120
@@ -47,6 +47,7 @@ func em3dProgram(p Params) func(n *machine.Node) {
 			ep.Proc().Compute(handlerCycles)
 		}))
 		n.EP.Register(hControl, rs.counted(nil))
+		rs.install(n)
 
 		for it := 0; it < iters; it++ {
 			// Local E/H field update.

@@ -11,8 +11,8 @@ import (
 // virtual channels (the 3084-byte messages, 2% of count but most of the
 // bytes), alongside 140-byte partial updates (27%) and many 12-byte
 // control messages (65%), Table 4.
-func moldynProgram(p Params) func(n *machine.Node) {
-	rs := &runState{}
+func moldynProgram(p Params, nodes int) func(n *machine.Node) {
+	rs := newRunState(nodes)
 	iters := p.scale(5)
 	const (
 		controlPerIter = 33
@@ -24,13 +24,12 @@ func moldynProgram(p Params) func(n *machine.Node) {
 		tinyPayload    = 0    // 8-byte message
 		computePerIter = 130000
 	)
-	type shared struct{ bulkGot []int }
-	sh := &shared{}
+	// One bulk-arrival counter per node, pre-sized in serial context; each
+	// slot is written only by its owning node's handler, so the table is
+	// safe on a partitioned machine.
+	bulkGot := make([]int, nodes)
 	return func(n *machine.Node) {
 		N := n.Size()
-		if sh.bulkGot == nil {
-			sh.bulkGot = make([]int, N)
-		}
 		r := rng(Moldyn, n.ID)
 		right := (n.ID + 1) % N
 		dest := func() int {
@@ -43,12 +42,13 @@ func moldynProgram(p Params) func(n *machine.Node) {
 		n.EP.Register(hBulk, func(ep *msglayer.Endpoint, m *msglayer.Message) {
 			// Accumulate the partial forces into the local array.
 			ep.Proc().Compute(int64(m.PayloadLen / 8 * 2))
-			sh.bulkGot[ep.NodeID()]++
+			bulkGot[ep.NodeID()]++
 		})
 		n.EP.Register(hOneWay, rs.counted(func(ep *msglayer.Endpoint, m *msglayer.Message) {
 			ep.Proc().Compute(70)
 		}))
 		n.EP.Register(hControl, rs.counted(nil))
+		rs.install(n)
 
 		for it := 0; it < iters; it++ {
 			// Non-bonded force computation.
@@ -72,7 +72,7 @@ func moldynProgram(p Params) func(n *machine.Node) {
 			// neighbor's.
 			target := it + 1
 			n.EP.Send(right, hBulk, bulkPayload, 0)
-			n.EP.WaitUntil(func() bool { return sh.bulkGot[n.ID] >= target })
+			n.EP.WaitUntil(func() bool { return bulkGot[n.ID] >= target })
 			n.Barrier()
 		}
 		n.Barrier()

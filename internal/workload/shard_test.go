@@ -9,12 +9,12 @@ import (
 )
 
 // TestShardedRunIsByteIdentical is the workload-level half of the
-// partition determinism gate: for every NI kind, the shard-safe
+// partition determinism gate: for every NI kind, the shared-memory
 // applications must produce a stats.Machine deeply equal to the serial
 // engine's at every shard count — same counters, same times, same
 // histograms, nothing averaged or approximated. The throttled CNI is
-// included deliberately: it is peer-coupled (nic.PeerCoupled), so the
-// machine must fall back to the serial engine and still match trivially.
+// included deliberately: its credit returns cross shards as lagged
+// control messages, the one NI-level cross-node coupling in the system.
 // Under `make ci` this also runs with the race detector watching the shard
 // workers.
 func TestShardedRunIsByteIdentical(t *testing.T) {
@@ -38,24 +38,31 @@ func TestShardedRunIsByteIdentical(t *testing.T) {
 	}
 }
 
-// TestShardedRunSerialOnlyAppsClamp pins the safety clamp: an application
-// whose program shares plain Go state across nodes (not Shardable) must
-// run serially even when shards are requested — and therefore trivially
-// match the serial run.
-func TestShardedRunSerialOnlyAppsClamp(t *testing.T) {
-	if Shardable(Dsmc) || Shardable(Em3d) || Shardable(Moldyn) || Shardable(Spsolve) || Shardable(Unstructured) {
-		t.Fatal("a runState-sharing app reports Shardable")
+// TestEverythingShardable pins the property that retired the old serial
+// fallback: every macrobenchmark confines its cross-node state to
+// messages and per-node tables, so Shardable is total, and the formerly
+// serial-only kernels — message-counting quiescence apps and the
+// throttled CNI's credit coupling — now run partitioned byte-identically
+// to serial. The grid here crosses the five formerly-unshardable apps
+// with a plain kind and the throttle spec that used to force the
+// fallback.
+func TestEverythingShardable(t *testing.T) {
+	for _, app := range Apps() {
+		if !Shardable(app) {
+			t.Fatalf("%s reports not Shardable; the predicate must be total now", app)
+		}
 	}
-	if !Shardable(Appbt) || !Shardable(Barnes) {
-		t.Fatal("a shard-safe app reports not Shardable")
-	}
-	cfg := machine.DefaultConfig(nic.CM5, 8)
 	p := Params{Iters: 0.2}
-	serial := Run(cfg, Dsmc, p)
-	c := cfg
-	c.Shards = 4
-	if got := Run(c, Dsmc, p); !reflect.DeepEqual(serial, got) {
-		t.Error("dsmc with shards requested differs from serial (clamp broken)")
+	for _, kind := range []nic.Kind{nic.CM5, nic.CNI32QmThrottle} {
+		for _, app := range []App{Dsmc, Em3d, Moldyn, Spsolve, Unstructured} {
+			cfg := machine.DefaultConfig(kind, 8)
+			serial := Run(cfg, app, p)
+			c := cfg
+			c.Shards = 4
+			if got := Run(c, app, p); !reflect.DeepEqual(serial, got) {
+				t.Errorf("%s/%s shards=4: stats differ from serial", kind.ShortName(), app)
+			}
+		}
 	}
 }
 
@@ -64,7 +71,7 @@ func TestShardedRunSerialOnlyAppsClamp(t *testing.T) {
 // recovery) and the machine statistics must be deeply equal to the serial
 // run's when the simulation is partitioned.
 func TestShardedOpenLoopIsByteIdentical(t *testing.T) {
-	for _, kind := range []nic.Kind{nic.UDMA, nic.CNI32Qm} {
+	for _, kind := range []nic.Kind{nic.UDMA, nic.CNI32Qm, nic.CNI32QmThrottle} {
 		cfg := machine.DefaultConfig(kind, 8)
 		p := DefaultOpenLoop()
 		serialRes, serialStats := RunOpenLoop(cfg, p)

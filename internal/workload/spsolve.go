@@ -15,8 +15,8 @@ import (
 // 20-byte messages (91%) make the receive side — and NI buffering — the
 // bottleneck (§6.2.1). 8-byte (6%) and 12-byte (3%) control messages round
 // out the mix, Table 4.
-func spsolveProgram(p Params) func(n *machine.Node) {
-	rs := &runState{}
+func spsolveProgram(p Params, nodes int) func(n *machine.Node) {
+	rs := newRunState(nodes)
 	levels := p.scale(12)
 	const (
 		verticesPerLevel = 30
@@ -65,6 +65,7 @@ func spsolveProgram(p Params) func(n *machine.Node) {
 			got[int(m.Arg)]++
 		}))
 		n.EP.Register(hControl, rs.counted(nil))
+		rs.install(n)
 
 		r := rng(Spsolve, n.ID)
 		for l := 0; l < levels; l++ {

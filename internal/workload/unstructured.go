@@ -11,8 +11,8 @@ import (
 // one distinct peak at 8 bytes (35%), the remainder a spread of 12-1812
 // bytes averaging 351. Streaming bulk transfer is what this application
 // rewards (§6.2.2).
-func unstructuredProgram(p Params) func(n *machine.Node) {
-	rs := &runState{}
+func unstructuredProgram(p Params, nodes int) func(n *machine.Node) {
+	rs := newRunState(nodes)
 	iters := p.scale(8)
 	// Batched update sizes: messages of 12..1524 bytes averaging ~351
 	// (payload = size - 8).
@@ -36,6 +36,7 @@ func unstructuredProgram(p Params) func(n *machine.Node) {
 			ep.Proc().Compute(120 + int64(m.PayloadLen/8)*3)
 		}))
 		n.EP.Register(hControl, rs.counted(nil))
+		rs.install(n)
 
 		for it := 0; it < iters; it++ {
 			// Continuous streaming: computation, production, and consumption

@@ -78,38 +78,32 @@ func Program(app App, p Params, nodes int) func(n *machine.Node) {
 	case Barnes:
 		return barnesProgram(p, nodes)
 	case Dsmc:
-		return dsmcProgram(p)
+		return dsmcProgram(p, nodes)
 	case Em3d:
-		return em3dProgram(p)
+		return em3dProgram(p, nodes)
 	case Moldyn:
-		return moldynProgram(p)
+		return moldynProgram(p, nodes)
 	case Spsolve:
-		return spsolveProgram(p)
+		return spsolveProgram(p, nodes)
 	case Unstructured:
-		return unstructuredProgram(p)
+		return unstructuredProgram(p, nodes)
 	default:
 		panic(fmt.Sprintf("workload: unknown app %q", app))
 	}
 }
 
 // Shardable reports whether app's program tolerates a partitioned machine
-// (machine.Config.Shards > 1). The shared-memory kernels (appbt, barnes)
-// confine all cross-node interaction to messages and pre-sized protocol
-// tables, so their nodes may run on different shard goroutines; the other
-// five share plain Go counters across nodes (the runState quiescence
-// count) and must stay on the serial engine.
-func Shardable(app App) bool {
-	return app == Appbt || app == Barnes
-}
+// (machine.Config.Shards > 1) — today, always true. Every kernel confines
+// its cross-node interaction to messages and pre-sized per-node tables
+// (the runState quiescence ledger keeps one slot per node, reconciled by
+// hQuiesce count reports), so any node may run on any shard goroutine. The
+// predicate survives as the documented property new kernels must keep,
+// and tests assert it stays total.
+func Shardable(App) bool { return true }
 
 // Run builds a machine with cfg, runs app on it, and returns the
-// statistics. For an app that is not Shardable the shard request is
-// clamped to the serial engine — the program's shared state is the
-// coupling the partition lookahead cannot see.
+// statistics.
 func Run(cfg machine.Config, app App, p Params) *stats.Machine {
-	if !Shardable(app) {
-		cfg.Shards = 1
-	}
 	m := machine.New(cfg)
 	return m.Run(Program(app, p, cfg.Nodes))
 }
@@ -123,23 +117,71 @@ const (
 	hControl            // small control message
 )
 
-// runState is the shared state of one application run: completion counters
-// used for quiescence, and per-node scratch.
+// hQuiesce carries a per-destination sent-count report (runState.quiesce).
+// Like the machine's barrier messages it is runtime-internal traffic, not
+// part of the application's Table 4 message mix, so it lives in the
+// reserved handler range (excluded from the size histogram and given
+// control priority under admission-controlled specs). The machine layer
+// owns ids from 250 up.
+const hQuiesce = msglayer.ReservedHandlerBase + 10
+
+// runState is the quiescence ledger of one application run. Every mutable
+// field lives in the slot of the node that writes it, so a partitioned
+// machine never has two shard goroutines touching the same memory: a
+// node's own counted sends (with a per-destination breakdown) go in its
+// slot, as do the deliveries its handlers dispatched. Global agreement is
+// reached by messages alone — quiesce has each node report its
+// per-destination send counts to the destinations themselves, and each
+// node drains until every peer has reported and everything promised to it
+// has arrived. This is the message-confined replacement for the old
+// shared {sent, recvd} pair, which only the serial engine could host.
 type runState struct {
-	sent, recvd int64 // one-way messages: sent vs dispatched
+	nodes []nodeCounts
+}
+
+// nodeCounts is one node's shard-confined slot: sent/sentTo are written
+// only by the owning node's sends, recvd only by its delivery handlers,
+// expect/reports only by its hQuiesce handler.
+type nodeCounts struct {
+	sent   int64   // counted one-way messages issued by this node
+	sentTo []int64 // ...broken down by destination
+	recvd  int64   // counted deliveries dispatched on this node
+	expect int64   // counted messages peers promised this node (hQuiesce)
+	report int     // peers that have reported (hQuiesce)
+}
+
+// newRunState sizes the ledger for a machine of nodes nodes.
+func newRunState(nodes int) *runState {
+	rs := &runState{nodes: make([]nodeCounts, nodes)}
+	for i := range rs.nodes {
+		rs.nodes[i].sentTo = make([]int64, nodes)
+	}
+	return rs
+}
+
+// install registers the quiescence report handler on n's endpoint. Call
+// once per node, alongside the app's own handler registrations.
+func (rs *runState) install(n *machine.Node) {
+	n.EP.Register(hQuiesce, func(ep *msglayer.Endpoint, m *msglayer.Message) {
+		c := &rs.nodes[ep.NodeID()]
+		c.report++
+		c.expect += int64(m.Arg)
+	})
 }
 
 // countedSend sends a one-way message that participates in the quiescence
 // count.
 func (rs *runState) countedSend(n *machine.Node, dst, handler, payload int, arg uint64) {
-	rs.sent++
+	c := &rs.nodes[n.ID]
+	c.sent++
+	c.sentTo[dst]++
 	n.EP.Send(dst, handler, payload, arg)
 }
 
 // counted wraps a handler so its deliveries are counted for quiescence.
 func (rs *runState) counted(h msglayer.Handler) msglayer.Handler {
 	return func(ep *msglayer.Endpoint, m *msglayer.Message) {
-		rs.recvd++
+		rs.nodes[ep.NodeID()].recvd++
 		if h != nil {
 			h(ep, m)
 		}
@@ -148,9 +190,21 @@ func (rs *runState) counted(h msglayer.Handler) msglayer.Handler {
 
 // quiesce drives the run to global delivery of all counted one-way
 // messages, then synchronizes. Call after a barrier that guarantees no new
-// counted sends will be issued.
+// counted sends will be issued: each node reports its final per-destination
+// send counts to the destinations (hQuiesce), then drains until all N-1
+// peers have reported and every promised message has been dispatched. The
+// exit condition depends only on message arrivals, so it fires at the same
+// simulated instant on a serial and a partitioned machine.
 func (rs *runState) quiesce(n *machine.Node) {
-	for rs.recvd < rs.sent {
+	c := &rs.nodes[n.ID]
+	for dst := range rs.nodes {
+		if dst != n.ID {
+			// Header-only (8-byte) report: the count rides in the Arg word,
+			// like the machine barrier's own control messages.
+			n.EP.Send(dst, hQuiesce, 0, uint64(c.sentTo[dst]))
+		}
+	}
+	for c.report < len(rs.nodes)-1 || c.recvd < c.expect {
 		if !n.EP.PollOne() {
 			n.Proc.P.SleepAs(stats.Compute, 500*sim.Nanosecond)
 		}
