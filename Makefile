@@ -33,7 +33,7 @@ bench:
 # iteration (an execute-smoke, not a measurement), with the output saved
 # to bench_smoke.txt for the CI artifact.
 bench-smoke: build
-	$(GO) test -run 'AllocFree' -count=1 ./internal/sim/ ./internal/netsim/ ./internal/nic/
+	$(GO) test -run 'AllocFree' -count=1 ./internal/sim/ ./internal/netsim/ ./internal/nic/ ./internal/msglayer/
 	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/sim/ | tee bench_smoke.txt
 
 # bench-json regenerates BENCH_results.json: the whole evaluation grid run
@@ -43,20 +43,23 @@ bench-smoke: build
 bench-json: build
 	$(GO) run ./cmd/benchdump -quick -baseline -timeout 300s
 
-# designspace-smoke is the CI gate on the NI composition layer: the
-# cross-Kind conformance suite over every named and cross-product spec,
-# the in-process sweep determinism regression, then the cmd/designspace
-# binary itself run serial vs. eight workers — the text tables must be
+# designspace-smoke is the CI gate on the NI composition layer and the
+# protocol layer above it: the cross-Kind conformance suite over every
+# named and cross-product spec, the RDMA engine and rendezvous-protocol
+# suites, the in-process sweep determinism regression (which includes the
+# eager-vs-rendezvous crossover cells), then the cmd/designspace binary
+# itself run serial vs. eight workers — the text tables must be
 # byte-identical.
 designspace-smoke: build
-	$(GO) test -run 'SpecConformance|CrossSpecCount|Designspace|StandardGrid' -count=1 ./internal/nic/ ./internal/designspace/
+	$(GO) test -run 'SpecConformance|CrossSpecCount|Designspace|StandardGrid|Crossover|RDMA|Rendezvous' -count=1 ./internal/nic/ ./internal/designspace/ ./internal/msglayer/
 	$(GO) run ./cmd/designspace -quick -jobs 1 > designspace_serial.txt
 	$(GO) run ./cmd/designspace -quick -jobs 8 > designspace_parallel.txt
 	cmp designspace_serial.txt designspace_parallel.txt
 	rm -f designspace_serial.txt designspace_parallel.txt
 
 # chaos-smoke is the CI gate on the overload plane: the chaos-grid
-# regression tests (matrix coverage, determinism, measured degradation)
+# regression tests (matrix coverage, determinism, measured degradation,
+# the hysteresis mix, and the eager-vs-rendezvous protocol sub-grid)
 # plus the open-loop workload suite, then the cmd/chaossweep binary run
 # serial vs. eight workers on the quick grid — the text tables must be
 # byte-identical — with the machine-readable nisim-sweep/v1 report saved
@@ -70,10 +73,13 @@ chaos-smoke: build
 
 # scale-smoke is the CI gate on the partitioned engine (internal/sim/
 # partition, machine.Config.Shards): the shard byte-identity regressions
-# (workload stats, sweep canonical JSON, barrier stress), then the
-# cmd/scale -big grid run serial vs. four engine shards — the text tables
-# must be byte-identical — with the machine-readable nisim-sweep/v1 report
-# saved to scale_results.json for the CI artifact.
+# (workload stats, sweep canonical JSON, barrier stress, and the
+# rendezvous protocol's RTS/CTS + one-sided put frames crossing shard
+# boundaries), then the cmd/scale -big grid — which includes the
+# eager-vs-rendezvous cells on the RDMA design — run serial vs. four
+# engine shards; the text tables must be byte-identical, with the
+# machine-readable nisim-sweep/v1 report saved to scale_results.json for
+# the CI artifact.
 scale-smoke: build
 	$(GO) test -run 'Sharded|PartitionedEngine|HotShard|TiePosts|EverythingShardable|WindowEnds|AdaptiveWindows' -count=1 ./internal/sim/partition/ ./internal/workload/ .
 	$(GO) run ./cmd/scale -big -sizes 64 -scale 0.2 -shards 1 -jobs 1 > scale_serial.txt

@@ -7,6 +7,10 @@
 // Cells are independent simulations and fan out across CPUs; see -jobs,
 // -timeout, and -json. A cell that starves or livelocks terminates with a
 // watchdog diagnostic (shown in its row) rather than hanging the sweep.
+// After the main grid, the protocol sub-grid drives the RDMA design point
+// across the same load ladder once per transfer protocol — eager vs
+// rendezvous — so the overload value of keeping bulk payloads out of the
+// receive queue is measured under the same workload.
 package main
 
 import (
@@ -25,8 +29,14 @@ func main() {
 	flag.Parse()
 
 	grid := chaos.StandardGrid(*quick)
-	results, rep := opts.Sweep("chaos", grid.Seed, grid.Jobs())
-	fmt.Print(chaos.Format(grid, grid.Rows(results)))
+	pgrid := chaos.ProtocolGrid(*quick)
+	jobs := grid.Jobs()
+	split := len(jobs)
+	jobs = append(jobs, pgrid.Jobs()...)
+	results, rep := opts.Sweep("chaos", grid.Seed, jobs)
+	fmt.Print(chaos.Format(grid, grid.Rows(results[:split])))
+	fmt.Println()
+	fmt.Print(chaos.Format(pgrid, pgrid.Rows(results[split:])))
 	if err := opts.Emit(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "chaossweep:", err)
 		os.Exit(1)

@@ -25,6 +25,7 @@ func main() {
 	grid := designspace.StandardGrid(*quick)
 	results, rep := opts.Sweep("designspace", 0, grid.Jobs())
 	fmt.Print(designspace.Format(grid.Rows(results)))
+	fmt.Print(designspace.FormatCrossover(grid, grid.CrossoverRows(results)))
 	if err := opts.Emit(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "designspace:", err)
 		os.Exit(1)

@@ -107,6 +107,12 @@ func runBig(opts sweep.Options, sizes []int, shards int, scale float64, baseline
 				j.ID = fmt.Sprintf("%s/nodes=%d", j.ID, nodes)
 				jobs = append(jobs, j)
 			}
+			// The rendezvous cells: RTS/CTS and one-sided put frames
+			// crossing shard boundaries must stay byte-identical too.
+			for _, j := range chaos.ScaleProtocolGrid(nodes, sh, 20).Jobs() {
+				j.ID = fmt.Sprintf("%s/nodes=%d", j.ID, nodes)
+				jobs = append(jobs, j)
+			}
 		}
 		return jobs
 	}
@@ -153,11 +159,15 @@ func runBig(opts sweep.Options, sizes []int, shards int, scale float64, baseline
 	}
 	ot := report.NewTable("nodes", "spec", "goodput (mb/s)", "p99 (us)", "completed")
 	for _, r := range results[fig1Cells:] {
+		spec := r.Config["spec"]
+		if r.Config["protocol"] == "rendezvous" {
+			spec += "+rdv"
+		}
 		if r.Err != "" {
-			ot.Row(r.Config["nodes"], r.Config["spec"], "err", "err", "err")
+			ot.Row(r.Config["nodes"], spec, "err", "err", "err")
 			continue
 		}
-		ot.Row(r.Config["nodes"], r.Config["spec"],
+		ot.Row(r.Config["nodes"], spec,
 			fmt.Sprintf("%.1f", r.Metrics["goodput_mbps"]),
 			fmt.Sprintf("%.1f", r.Metrics["p99_us"]),
 			fmt.Sprintf("%.0f", r.Metrics["completed"]))

@@ -161,11 +161,7 @@ func (c *Cache) Snoop(t *membus.Transaction) membus.SnoopReply {
 func (c *Cache) evict(p *sim.Process, l *line) {
 	if l.state.Dirty() {
 		c.Writebacks++
-		c.bus.IssueAndWait(p, &membus.Transaction{ //lint:allow noalloc writeback is a full split transaction on the miss path, outside the gated hit path
-			Kind:      membus.Writeback,
-			Addr:      l.tag,
-			Requester: c,
-		})
+		c.bus.AccessFrom(p, c, membus.Writeback, l.tag, 0)
 	}
 	l.state = Invalid
 }
@@ -225,11 +221,7 @@ func (c *Cache) access(p *sim.Process, a membus.Addr, size int, write bool) {
 	if hit && write {
 		// Shared or Owned: upgrade in place.
 		c.Hits++
-		c.bus.IssueAndWait(p, &membus.Transaction{ //lint:allow noalloc upgrade is a full split transaction with snoop participation, outside the gated hit path
-			Kind:      membus.Upgrade,
-			Addr:      block,
-			Requester: c,
-		})
+		c.bus.AccessFrom(p, c, membus.Upgrade, block, 0)
 		// Re-check: a racing snoop may have invalidated us while upgrading.
 		if l.state.Valid() && l.tag == block {
 			l.state = Modified
@@ -247,12 +239,11 @@ func (c *Cache) access(p *sim.Process, a membus.Addr, size int, write bool) {
 	if write {
 		kind = membus.GetX
 	}
-	t := &membus.Transaction{Kind: kind, Addr: block, Requester: c} //lint:allow noalloc miss fill is a full split transaction; the AllocsPerRun gates cover the hit path
-	c.bus.IssueAndWait(p, t)
+	shared, fromCache := c.bus.FillFrom(p, c, kind, block)
 	l.tag = block
 	if write {
 		l.state = Modified
-	} else if t.Shared || t.FromCache {
+	} else if shared || fromCache {
 		l.state = Shared
 	} else {
 		l.state = Exclusive

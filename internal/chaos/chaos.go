@@ -42,6 +42,12 @@ type Mix struct {
 	Reliability netsim.ReliabilityConfig
 	// Overload is the admission policy installed on every node's NI.
 	Overload nic.OverloadPolicy
+	// Protocol selects the messaging layer's transfer protocol for the
+	// cell (zero value = eager, the baseline); RdvThreshold, when
+	// positive, overrides the rendezvous size threshold. On specs without
+	// an RDMA send engine a rendezvous mix falls back to eager.
+	Protocol     msglayer.ProtocolKind
+	RdvThreshold int
 	// OutageEnd, when positive, marks when the mix's outage window lifts,
 	// enabling the recovery-time column.
 	OutageEnd sim.Time
@@ -55,12 +61,19 @@ const (
 
 // GridSpec parameterizes a chaos grid.
 type GridSpec struct {
+	// Title heads the formatted table; empty means the standard overload
+	// sweep heading.
+	Title    string
 	Specs    []nic.Spec
 	Loads    []Load
 	Mixes    []Mix
 	Nodes    int
 	Requests int // per client
-	Seed     uint64
+	// ReqBytes and RespBytes are the request and response payload sizes
+	// (the standard grid's small-RPC mix is 32/128; the protocol grid
+	// flips the bulk direction toward the overloaded server).
+	ReqBytes, RespBytes int
+	Seed                uint64
 	// Shards partitions each cell's simulation across engine shards
 	// (machine.Config.Shards); zero or one runs the serial engine. Shards
 	// is an execution strategy, not an experiment parameter — results are
@@ -135,10 +148,24 @@ func StandardGrid(quick bool) GridSpec {
 				},
 				OutageEnd: outageEnd,
 			},
+			{
+				// The clean mix again, but the watermark has hysteresis:
+				// refusal starts at 75% occupancy and does not lift until
+				// the queue drains to 40%, so the policy sheds load in
+				// bursts instead of flapping admit/refuse around a single
+				// watermark. The "vs clean" column isolates what the
+				// drain-down costs (or saves) each design.
+				Name: "hyst",
+				Overload: nic.OverloadPolicy{
+					AdmitPct: 75, ResumePct: 40, Refuse: nic.RefuseBounce,
+					ControlBase: msglayer.ReservedHandlerBase,
+				},
+			},
 		},
 		Nodes:    4,
 		Requests: 60,
-		Seed:     seed,
+		ReqBytes: 32, RespBytes: 128,
+		Seed: seed,
 	}
 	if quick {
 		g.Requests = 20
@@ -158,6 +185,10 @@ func (g GridSpec) config(s nic.Spec, mx Mix) machine.Config {
 	cfg.NISpec = &spec
 	cfg.Faults = mx.Faults
 	cfg.Net.Reliability = mx.Reliability
+	cfg.Msg.Protocol = mx.Protocol
+	if mx.RdvThreshold > 0 {
+		cfg.Msg.RendezvousThreshold = mx.RdvThreshold
+	}
 	cfg.Watchdog = true
 	cfg.StallHorizon = 200 * sim.Microsecond
 	cfg.Shards = g.Shards
@@ -182,13 +213,58 @@ func ScaleGrid(nodes, shards, requests int) GridSpec {
 	return g
 }
 
+// rdmaSpec is the one-sided design point the protocol grids drive: the
+// RDMA send engine over the coherent receive side with a memory-homed
+// ring — the composition the rendezvous protocol targets.
+func rdmaSpec() nic.Spec {
+	return nic.Spec{Send: nic.RDMAEngine, Recv: nic.CoherentEngine, Buffering: nic.MemoryRing}
+}
+
+// ProtocolGrid returns the eager-vs-rendezvous overload grid: the RDMA
+// design point across the load ladder, clean wire, once per protocol,
+// with the bulk direction flipped toward the server — 2 KB ingest
+// requests, 32-byte acks. Under the eager mix every request is a run of
+// fragments through the server's admission-controlled receive queue;
+// under the rendezvous mix (threshold 1024) the same requests go RTS/CTS
+// plus one-sided puts that can neither bounce nor be refused, so the
+// cells measure exactly what moving bulk payload out of the receive
+// queue buys at saturation. The eager mix comes first: it is the
+// baseline of the "vs" column.
+func ProtocolGrid(quick bool) GridSpec {
+	g := StandardGrid(quick)
+	clean := g.Mixes[0].Overload
+	g.Title = "Protocol sweep: eager vs rendezvous on the RDMA design, clean wire"
+	g.Specs = []nic.Spec{rdmaSpec()}
+	g.ReqBytes, g.RespBytes = 2048, 32
+	g.Mixes = []Mix{
+		{Name: "eager", Overload: clean},
+		{Name: "rdv", Overload: clean, Protocol: msglayer.Rendezvous, RdvThreshold: 1024},
+	}
+	return g
+}
+
+// ScaleProtocolGrid is the protocol grid's machine-scaling variant (the
+// rendezvous half of the cmd/scale -big sweep): mid load only, at a given
+// machine size and shard count. Its cells put the RTS/CTS handshake and
+// the one-sided put frames on the lagged-control discipline across shard
+// boundaries, so cmd/scale's serial-vs-sharded byte-identity gate covers
+// the rendezvous protocol.
+func ScaleProtocolGrid(nodes, shards, requests int) GridSpec {
+	g := ProtocolGrid(true)
+	g.Loads = g.Loads[1:2] // mid
+	g.Nodes = nodes
+	g.Requests = requests
+	g.Shards = shards
+	return g
+}
+
 // params builds the open-loop workload parameters for one cell.
 func (g GridSpec) params(ld Load, mx Mix) workload.OpenLoopParams {
 	return workload.OpenLoopParams{
 		MeanGap:    ld.Gap,
 		Requests:   g.Requests,
-		ReqBytes:   32,
-		RespBytes:  128,
+		ReqBytes:   g.ReqBytes,
+		RespBytes:  g.RespBytes,
 		Seed:       g.Seed,
 		DrainGrace: 80 * sim.Microsecond,
 		OutageEnd:  mx.OutageEnd,
@@ -209,7 +285,7 @@ func (g GridSpec) Jobs() []sweep.Job {
 						"experiment": "chaos", "spec": s.Name(),
 						"load": ld.Name, "gap_ns": fmt.Sprint(ld.Gap.Nanoseconds()),
 						"mix": mx.Name, "requests": fmt.Sprint(g.Requests),
-						"nodes": fmt.Sprint(g.Nodes),
+						"nodes": fmt.Sprint(g.Nodes), "protocol": mx.Protocol.String(),
 					},
 					Run: func() sweep.Outcome {
 						res, st := workload.RunOpenLoop(g.config(s, mx), g.params(ld, mx))
@@ -272,20 +348,25 @@ func (g GridSpec) Rows(results []sweep.Result) []Row {
 	return rows
 }
 
-// Format renders the grid as a text table. The "vs clean" column is the
-// cell's goodput relative to the clean mix at the same (spec, load) —
-// the degradation the fault mix inflicted on that design.
+// Format renders the grid as a text table. The "vs base" column is the
+// cell's goodput relative to the grid's first mix at the same (spec,
+// load) — the degradation the fault mix (or protocol switch) inflicted
+// on that design.
 func Format(g GridSpec, rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Chaos sweep: open-loop request/response, %d nodes, %d requests/client\n",
-		g.Nodes, g.Requests)
+	title := g.Title
+	if title == "" {
+		title = "Chaos sweep: open-loop request/response"
+	}
+	fmt.Fprintf(&b, "%s, %d nodes, %d requests/client\n", title, g.Nodes, g.Requests)
 	fmt.Fprintln(&b, "(goodput = delivered response payload; latency from scheduled arrival; recovery from outage end)")
+	baseline := g.Mixes[0].Name
 	fmt.Fprintf(&b, "%-18s %-4s %-7s %9s %9s %8s %8s %9s %7s %8s %9s\n",
-		"spec", "load", "mix", "done", "MB/s", "vs clean", "p99(us)", "drops", "evict", "bounces", "rec(us)")
-	clean := make(map[string]float64, len(rows))
+		"spec", "load", "mix", "done", "MB/s", "vs "+baseline, "p99(us)", "drops", "evict", "bounces", "rec(us)")
+	base := make(map[string]float64, len(rows))
 	for _, r := range rows {
-		if r.Mix.Name == "clean" && r.Err == "" {
-			clean[r.Spec.Name()+"/"+r.Load.Name] = r.Metrics["goodput_mbps"]
+		if r.Mix.Name == baseline && r.Err == "" {
+			base[r.Spec.Name()+"/"+r.Load.Name] = r.Metrics["goodput_mbps"]
 		}
 	}
 	for _, r := range rows {
@@ -294,7 +375,7 @@ func Format(g GridSpec, rows []Row) string {
 			continue
 		}
 		vs := "-"
-		if base := clean[r.Spec.Name()+"/"+r.Load.Name]; base > 0 && r.Mix.Name != "clean" {
+		if base := base[r.Spec.Name()+"/"+r.Load.Name]; base > 0 && r.Mix.Name != baseline {
 			vs = fmt.Sprintf("%.2fx", r.Metrics["goodput_mbps"]/base)
 		}
 		rec := "-"

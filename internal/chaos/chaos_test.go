@@ -101,6 +101,60 @@ func TestChaosSweepIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosProtocolSweepIsDeterministic is the protocol sub-grid's half of
+// the determinism regression: the eager-vs-rendezvous grid swept with
+// eight workers must match a serial sweep byte for byte, and no cell may
+// hang — the jobs=1-vs-8 identity gate for the rendezvous protocol under
+// overload.
+func TestChaosProtocolSweepIsDeterministic(t *testing.T) {
+	g := ProtocolGrid(true)
+	g.Requests = 12
+
+	serial := sweep.Run(sweep.Config{Jobs: 1}, g.Jobs())
+	parallel := sweep.Run(sweep.Config{Jobs: 8}, g.Jobs())
+
+	for _, r := range serial {
+		if r.TimedOut || r.Err != "" {
+			t.Errorf("%s: timed_out=%v err=%q", r.ID, r.TimedOut, r.Err)
+		}
+	}
+	serialText := Format(g, g.Rows(serial))
+	parallelText := Format(g, g.Rows(parallel))
+	if serialText != parallelText {
+		t.Errorf("parallel text differs from serial:\nserial:\n%s\nparallel:\n%s", serialText, parallelText)
+	}
+}
+
+// TestChaosProtocolGridMeasuresTheBypass pins what the protocol sub-grid
+// exists to show: at saturation, the eager mix pushes its 2 KB requests
+// through the admission-controlled receive queue (visible as bounces),
+// while the rendezvous mix moves the same bytes with one-sided puts that
+// never consult the admission gate — no bounces, no admission drops, and
+// at least the eager mix's completions.
+func TestChaosProtocolGridMeasuresTheBypass(t *testing.T) {
+	g := ProtocolGrid(true)
+	g.Loads = g.Loads[2:3] // sat
+	g.Requests = 20
+	rows := g.Rows(sweep.Run(sweep.Config{Jobs: 1}, g.Jobs()))
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	eager, rdv := rows[0], rows[1]
+	if eager.Err != "" || rdv.Err != "" {
+		t.Fatalf("cell errors: eager=%q rdv=%q", eager.Err, rdv.Err)
+	}
+	if eager.Metrics["bounces"] == 0 {
+		t.Error("eager mix at saturation should bounce at the admission watermark")
+	}
+	if got := rdv.Metrics["admit_drops"] + rdv.Metrics["admit_bounces"] + rdv.Metrics["admit_evictions"]; got != 0 {
+		t.Errorf("rendezvous mix hit the admission gate %v times; one-sided transfers must bypass it", got)
+	}
+	if rdv.Metrics["completed"] < eager.Metrics["completed"] {
+		t.Errorf("rendezvous completed %v < eager %v at saturation",
+			rdv.Metrics["completed"], eager.Metrics["completed"])
+	}
+}
+
 // TestChaosCellsMeasureDegradation runs one fifo design point across the
 // load ladder and checks the cells actually measure what the columns
 // claim: saturation loses requests, the outage mix reports a recovery

@@ -12,6 +12,7 @@ import (
 
 	"nisim/internal/machine"
 	"nisim/internal/micro"
+	"nisim/internal/msglayer"
 	"nisim/internal/nic"
 	"nisim/internal/sweep"
 )
@@ -27,6 +28,15 @@ type GridSpec struct {
 	// Warmup and Rounds control the latency microbenchmark; Msgs is the
 	// bandwidth message count.
 	Warmup, Rounds, Msgs int
+	// CrossoverSpec, when non-nil, appends the protocol-crossover sub-grid
+	// after the design-space jobs: this one design measured at every
+	// CrossoverPayloads size once per transfer protocol, with the
+	// rendezvous size threshold forced below every measured payload so the
+	// cells compare pure-eager against pure-rendezvous transfer. The spec
+	// must have an RDMA send engine or the rendezvous cells would silently
+	// fall back to eager and measure nothing.
+	CrossoverSpec     *nic.Spec
+	CrossoverPayloads []int
 }
 
 // StandardGrid returns the full design-space grid: the nine named specs
@@ -42,6 +52,8 @@ func StandardGrid(quick bool) GridSpec {
 		LatPayload: 64,
 		BwPayload:  256,
 		Warmup:     600, Rounds: 100, Msgs: 400,
+		CrossoverSpec:     &nic.Spec{Send: nic.RDMAEngine, Recv: nic.CoherentEngine, Buffering: nic.MemoryRing},
+		CrossoverPayloads: []int{256, 1024, 4096, 16384},
 	}
 	if quick {
 		g.Warmup, g.Rounds, g.Msgs = 50, 10, 40
@@ -63,8 +75,24 @@ func config(s nic.Spec) machine.Config {
 	return cfg
 }
 
-// Jobs returns one latency and one bandwidth job per design point, in the
-// deterministic order Rows expects.
+// protoConfig is config with the messaging layer pinned to one transfer
+// protocol. Threshold 1 puts every payload-carrying message on the
+// rendezvous path (control messages are header-only and stay eager), so
+// the crossover cells measure the protocols, not the threshold heuristic.
+func protoConfig(s nic.Spec, pk msglayer.ProtocolKind) machine.Config {
+	cfg := config(s)
+	cfg.Msg.Protocol = pk
+	cfg.Msg.RendezvousThreshold = 1
+	return cfg
+}
+
+// protocols is the crossover sub-grid's inner axis, baseline first.
+var protocols = []msglayer.ProtocolKind{msglayer.Eager, msglayer.Rendezvous}
+
+// Jobs returns one latency and one bandwidth job per design point, then
+// (when CrossoverSpec is set) four jobs per crossover payload — eager
+// latency, eager bandwidth, rendezvous latency, rendezvous bandwidth — in
+// the deterministic order Rows and CrossoverRows expect.
 func (g GridSpec) Jobs() []sweep.Job {
 	var jobs []sweep.Job
 	for _, s := range g.Specs {
@@ -94,6 +122,37 @@ func (g GridSpec) Jobs() []sweep.Job {
 			},
 		})
 	}
+	if g.CrossoverSpec != nil {
+		s := *g.CrossoverSpec
+		for _, payload := range g.CrossoverPayloads {
+			for _, pk := range protocols {
+				payload, pk := payload, pk
+				axes := func(metric string) map[string]string {
+					return map[string]string{
+						"experiment": "designspace", "metric": metric,
+						"spec": s.Name(), "protocol": pk.String(),
+						"bufs": "8", "payload": fmt.Sprint(payload),
+					}
+				}
+				jobs = append(jobs, sweep.Job{
+					ID:     fmt.Sprintf("xover/lat/%s/%dB", pk, payload),
+					Config: axes("latency"),
+					Run: func() sweep.Outcome {
+						us := micro.RoundTripCfg(protoConfig(s, pk), payload, g.Warmup, g.Rounds).Microseconds()
+						return sweep.Outcome{Metrics: map[string]float64{"rtt_us": us}}
+					},
+				})
+				jobs = append(jobs, sweep.Job{
+					ID:     fmt.Sprintf("xover/bw/%s/%dB", pk, payload),
+					Config: axes("bandwidth"),
+					Run: func() sweep.Outcome {
+						mb := micro.BandwidthCfg(protoConfig(s, pk), payload, g.Msgs)
+						return sweep.Outcome{Metrics: map[string]float64{"bw_mbps": mb}}
+					},
+				})
+			}
+		}
+	}
 	return jobs
 }
 
@@ -116,6 +175,61 @@ func (g GridSpec) Rows(results []sweep.Result) []Row {
 		})
 	}
 	return rows
+}
+
+// CrossoverRow is one payload size's eager-vs-rendezvous comparison.
+type CrossoverRow struct {
+	Payload                int
+	EagerLatUS, RdvLatUS   float64
+	EagerBandMB, RdvBandMB float64
+}
+
+// CrossoverRows reassembles the crossover sub-grid's rows from the tail of
+// the results slice (the sub-grid's jobs follow the design-space jobs).
+func (g GridSpec) CrossoverRows(results []sweep.Result) []CrossoverRow {
+	if g.CrossoverSpec == nil {
+		return nil
+	}
+	rows := make([]CrossoverRow, 0, len(g.CrossoverPayloads))
+	i := 2 * len(g.Specs)
+	for _, payload := range g.CrossoverPayloads {
+		rows = append(rows, CrossoverRow{
+			Payload:     payload,
+			EagerLatUS:  results[i].Metrics["rtt_us"],
+			EagerBandMB: results[i+1].Metrics["bw_mbps"],
+			RdvLatUS:    results[i+2].Metrics["rtt_us"],
+			RdvBandMB:   results[i+3].Metrics["bw_mbps"],
+		})
+		i += 4
+	}
+	return rows
+}
+
+// FormatCrossover renders the protocol-crossover sub-grid: per payload
+// size, the two protocols' round trip and bandwidth plus the rendezvous
+// ratios, so the size where the handshake pays for itself is readable
+// straight off the table.
+func FormatCrossover(g GridSpec, rows []CrossoverRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Protocol crossover on %s: eager vs rendezvous (threshold forced below payload)\n",
+		g.CrossoverSpec.Name())
+	fmt.Fprintf(&b, "%-8s %12s %12s %9s %12s %12s %9s\n",
+		"payload", "eager rtt", "rdv rtt", "ratio", "eager MB/s", "rdv MB/s", "ratio")
+	for _, r := range rows {
+		latRatio, bwRatio := 0.0, 0.0
+		if r.EagerLatUS > 0 {
+			latRatio = r.RdvLatUS / r.EagerLatUS
+		}
+		if r.EagerBandMB > 0 {
+			bwRatio = r.RdvBandMB / r.EagerBandMB
+		}
+		fmt.Fprintf(&b, "%-8d %12.2f %12.2f %8.2fx %12.1f %12.1f %8.2fx\n",
+			r.Payload, r.EagerLatUS, r.RdvLatUS, latRatio, r.EagerBandMB, r.RdvBandMB, bwRatio)
+	}
+	return b.String()
 }
 
 // Format renders the sweep as a text table: named design points first in

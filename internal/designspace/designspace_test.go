@@ -11,7 +11,9 @@ import (
 )
 
 // reducedGrid is a grid small enough for the regression tests: two named
-// designs plus two cross-product designs, minimal iteration counts.
+// designs plus two cross-product designs and a one-payload protocol
+// crossover (so the determinism regression covers the rendezvous cells),
+// minimal iteration counts.
 func reducedGrid() GridSpec {
 	return GridSpec{
 		Specs: []nic.Spec{
@@ -22,6 +24,8 @@ func reducedGrid() GridSpec {
 		},
 		LatPayload: 64, BwPayload: 256,
 		Warmup: 50, Rounds: 10, Msgs: 40,
+		CrossoverSpec:     &nic.Spec{Send: nic.RDMAEngine, Recv: nic.CoherentEngine, Buffering: nic.MemoryRing},
+		CrossoverPayloads: []int{2048},
 	}
 }
 
@@ -46,8 +50,37 @@ func TestStandardGridCoversTheSpace(t *testing.T) {
 	if cross < 12 {
 		t.Errorf("grid has %d cross-product designs, want >= 12", cross)
 	}
-	if got, want := len(g.Jobs()), 2*len(g.Specs); got != want {
+	if got, want := len(g.Jobs()), 2*len(g.Specs)+4*len(g.CrossoverPayloads); got != want {
 		t.Errorf("grid has %d jobs, want %d", got, want)
+	}
+	if g.CrossoverSpec == nil || g.CrossoverSpec.Send != nic.RDMAEngine {
+		t.Error("grid's crossover spec must drive the RDMA send engine")
+	}
+}
+
+// TestCrossoverMeasuresBothProtocols runs the protocol-crossover sub-grid
+// on a reduced payload ladder and checks the robust directional claims:
+// both protocols deliver, and at the smallest payload the rendezvous
+// handshake's extra round trip makes it strictly slower than eager (the
+// whole reason a size threshold exists).
+func TestCrossoverMeasuresBothProtocols(t *testing.T) {
+	g := reducedGrid()
+	g.Specs = nil
+	g.CrossoverSpec = &nic.Spec{Send: nic.RDMAEngine, Recv: nic.CoherentEngine, Buffering: nic.MemoryRing}
+	g.CrossoverPayloads = []int{256, 4096}
+
+	rows := g.CrossoverRows(sweep.RunSerial(g.Jobs()))
+	if len(rows) != 2 {
+		t.Fatalf("got %d crossover rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.EagerLatUS <= 0 || r.RdvLatUS <= 0 || r.EagerBandMB <= 0 || r.RdvBandMB <= 0 {
+			t.Errorf("payload %d: dead cell: %+v", r.Payload, r)
+		}
+	}
+	if small := rows[0]; small.RdvLatUS <= small.EagerLatUS {
+		t.Errorf("at %dB rendezvous (%.2fus) should pay for its handshake vs eager (%.2fus)",
+			small.Payload, small.RdvLatUS, small.EagerLatUS)
 	}
 }
 
@@ -61,8 +94,8 @@ func TestDesignspaceSweepIsDeterministic(t *testing.T) {
 	serial := sweep.Run(sweep.Config{Jobs: 1}, g.Jobs())
 	parallel := sweep.Run(sweep.Config{Jobs: 8}, g.Jobs())
 
-	serialText := Format(g.Rows(serial))
-	parallelText := Format(g.Rows(parallel))
+	serialText := Format(g.Rows(serial)) + FormatCrossover(g, g.CrossoverRows(serial))
+	parallelText := Format(g.Rows(parallel)) + FormatCrossover(g, g.CrossoverRows(parallel))
 	if serialText != parallelText {
 		t.Errorf("parallel text differs from serial:\nserial:\n%s\nparallel:\n%s", serialText, parallelText)
 	}

@@ -442,3 +442,46 @@ func (b *Bus) Access(p *sim.Process, k Kind, a Addr, size int) {
 	b.IssueAndWait(p, t)
 	b.release(t)
 }
+
+// AccessFrom is Access with a requesting snooper: the pooled variant of
+// the coherent device engines' per-block ring transfers, which must name
+// themselves so the snoop pass skips the issuer. Timing and coherence
+// behavior are identical to IssueAndWait with a fresh record carrying the
+// same fields; only the allocation disappears.
+func (b *Bus) AccessFrom(p *sim.Process, req Snooper, k Kind, a Addr, size int) {
+	var t *Transaction
+	if n := len(b.pool); n > 0 {
+		t = b.pool[n-1]
+		b.pool = b.pool[:n-1]
+		*t = Transaction{scratch: true}
+	} else {
+		t = &Transaction{scratch: true} //lint:allow noalloc pool miss: scratch records are amortized to zero once the pool warms
+	}
+	t.Kind, t.Addr, t.Size = k, a, size
+	t.Requester = req
+	t.refs = 1 // the issuer's reference, released below
+	b.IssueAndWait(p, t)
+	b.release(t)
+}
+
+// FillFrom is AccessFrom for cache miss fills: it reports the snoop
+// results (line shared elsewhere, data supplied cache-to-cache) the
+// requester needs to pick the MOESI fill state, captured before the
+// scratch record returns to the pool.
+func (b *Bus) FillFrom(p *sim.Process, req Snooper, k Kind, a Addr) (shared, fromCache bool) {
+	var t *Transaction
+	if n := len(b.pool); n > 0 {
+		t = b.pool[n-1]
+		b.pool = b.pool[:n-1]
+		*t = Transaction{scratch: true}
+	} else {
+		t = &Transaction{scratch: true} //lint:allow noalloc pool miss: scratch records are amortized to zero once the pool warms
+	}
+	t.Kind, t.Addr = k, a
+	t.Requester = req
+	t.refs = 1 // the issuer's reference, released below
+	b.IssueAndWait(p, t)
+	shared, fromCache = t.Shared, t.FromCache
+	b.release(t)
+	return shared, fromCache
+}

@@ -50,19 +50,32 @@ type Config struct {
 	SendCycles int64 // per application message, send side
 	RecvCycles int64 // per application message, dispatch side
 	FragCycles int64 // per additional fragment, each side
+	// RdvCtlCycles is the cost of composing or decoding one rendezvous
+	// control message (RTS or CTS) — lighter than full message dispatch,
+	// which the handshake exists to avoid.
+	RdvCtlCycles int64
 	// SpinWait is the re-check interval while blocked waiting for send
 	// resources.
 	SpinWait sim.Time
+	// Protocol selects the transfer protocol (rendezvous.go). The zero
+	// value, Eager, is the study's baseline and leaves every path below
+	// byte-identical to a build without the protocol seam.
+	Protocol ProtocolKind
+	// RendezvousThreshold is the payload size (bytes) at or above which
+	// Rendezvous switches from eager transfer to the handshake; zero means
+	// DefaultRendezvousThreshold. Ignored under Eager.
+	RendezvousThreshold int
 }
 
 // DefaultConfig returns costs calibrated so the Table 5 microbenchmarks
 // land in the paper's reported ranges.
 func DefaultConfig() Config {
 	return Config{
-		SendCycles: 150,
-		RecvCycles: 250,
-		FragCycles: 40,
-		SpinWait:   100 * sim.Nanosecond,
+		SendCycles:   150,
+		RecvCycles:   250,
+		FragCycles:   40,
+		RdvCtlCycles: 60,
+		SpinWait:     100 * sim.Nanosecond,
 	}
 }
 
@@ -108,13 +121,22 @@ type Endpoint struct {
 	doneQ    [][2]uint64             // eviction ring for done
 	doneHead int
 
+	// rdv is the rendezvous protocol state, nil unless the Config selects
+	// Rendezvous AND the NI exposes an RDMA engine. Every receive path
+	// checks it: one-sided completions never enter the NI's receive queue,
+	// so only the protocol layer can deliver them.
+	rdv *rendezvous
+
 	// Delivered counts application messages dispatched to handlers.
 	Delivered int64
 }
 
 // New creates the endpoint for a node.
 func New(pr *proc.Proc, ni nic.NI, netCfg netsim.Config, cfg Config) *Endpoint {
-	return &Endpoint{
+	if cfg.Protocol < 0 || cfg.Protocol >= numProtocolKinds {
+		panic(fmt.Sprintf("msglayer: unknown protocol %d", int(cfg.Protocol)))
+	}
+	ep := &Endpoint{
 		pr:       pr,
 		ni:       ni,
 		cfg:      cfg,
@@ -123,6 +145,21 @@ func New(pr *proc.Proc, ni nic.NI, netCfg netsim.Config, cfg Config) *Endpoint {
 		partials: make(map[[2]uint64]*assembly),
 		done:     make(map[[2]uint64]struct{}),
 	}
+	if cfg.Protocol == Rendezvous {
+		// Degrades to nil — purely eager — on NIs without an RDMA engine,
+		// so a protocol sweep can run the whole design grid.
+		ep.rdv = newRendezvous(ep)
+	}
+	return ep
+}
+
+// Protocol reports the transfer protocol actually in effect: Rendezvous
+// only when the Config asked for it and the NI could provide it.
+func (ep *Endpoint) Protocol() ProtocolKind {
+	if ep.rdv != nil {
+		return Rendezvous
+	}
+	return Eager
 }
 
 // Proc returns the node's processor context.
@@ -159,6 +196,10 @@ func (ep *Endpoint) SendBytes(dst, handler int, payload []byte, arg uint64) {
 func (ep *Endpoint) send(dst, handler int, payload []byte, payloadLen int, arg uint64) {
 	if dst == ep.pr.ID {
 		panic(fmt.Sprintf("msglayer: node %d sending to itself", dst))
+	}
+	if ep.rdv != nil && payloadLen >= ep.rdv.threshold {
+		ep.rdv.send(dst, handler, payload, payloadLen, arg)
+		return
 	}
 	ep.seq++
 	seq := ep.seq
@@ -219,6 +260,9 @@ func (ep *Endpoint) send(dst, handler int, payload []byte, payloadLen int, arg u
 // when it completes an application message, the handler runs. Reports
 // whether a fragment was processed.
 func (ep *Endpoint) PollOne() bool {
+	if ep.rdv != nil && ep.rdv.deliverOne() {
+		return true
+	}
 	nm, ok := ep.ni.Poll(ep.pr)
 	if ok {
 		ep.accept(nm)
@@ -233,10 +277,18 @@ func (ep *Endpoint) PollOne() bool {
 	return false
 }
 
-// waitOne blocks until a fragment arrives, then processes it.
+// waitOne blocks until a fragment arrives, then processes it. A rendezvous
+// endpoint cannot park in the NI's blocking Recv: one-sided completions
+// bypass the receive queue, so a blocked Recv would sleep through them. It
+// polls both planes instead.
 func (ep *Endpoint) waitOne() {
-	nm := ep.ni.Recv(ep.pr)
-	ep.accept(nm)
+	if ep.rdv == nil {
+		ep.accept(ep.ni.Recv(ep.pr))
+		return
+	}
+	for !ep.PollOne() {
+		ep.pr.P.SleepAs(stats.Buffering, ep.cfg.SpinWait)
+	}
 }
 
 // WaitUntil polls (blocking between arrivals) until pred is true. It is the
@@ -248,8 +300,13 @@ func (ep *Endpoint) WaitUntil(pred func() bool) {
 	}
 }
 
-// Drain processes all fragments the NI currently holds.
+// Drain processes all fragments the NI currently holds, plus any completed
+// rendezvous transfers awaiting dispatch.
 func (ep *Endpoint) Drain() {
+	if ep.rdv != nil {
+		for ep.rdv.deliverOne() {
+		}
+	}
 	for ep.ni.Pending() {
 		ep.PollOne()
 	}
@@ -259,9 +316,9 @@ func (ep *Endpoint) Drain() {
 // fragments — retransmissions whose ack was lost, or network-duplicated
 // copies — are suppressed rather than reassembled into a phantom message.
 func (ep *Endpoint) markDone(key [2]uint64) {
-	ep.done[key] = struct{}{}
+	ep.done[key] = struct{}{} //lint:allow noalloc done set is bounded by the window; past it the paired delete frees a bucket for every insert
 	if len(ep.doneQ) < doneWindow {
-		ep.doneQ = append(ep.doneQ, key)
+		ep.doneQ = append(ep.doneQ, key) //lint:allow noalloc done ring grows once to its window bound, then recycles slots in place
 		return
 	}
 	delete(ep.done, ep.doneQ[ep.doneHead])
@@ -273,6 +330,16 @@ func (ep *Endpoint) markDone(key [2]uint64) {
 // application message is complete. Duplicate fragments (per-(src,seq)
 // sequence numbers plus per-assembly fragment bitmaps) are suppressed.
 func (ep *Endpoint) accept(nm *netsim.Message) {
+	if ep.rdv != nil {
+		switch nm.Handler {
+		case hRTS:
+			ep.rdv.onRTS(nm)
+			return
+		case hCTS:
+			ep.rdv.onCTS(nm)
+			return
+		}
+	}
 	key := [2]uint64{uint64(nm.Src), fragSeq(nm.Arg)}
 	total := fragTotal(nm.Arg)
 	if _, dup := ep.done[key]; dup {
@@ -282,13 +349,13 @@ func (ep *Endpoint) accept(nm *netsim.Message) {
 	a := ep.partials[key]
 	if a == nil {
 		a = ep.newAssembly(total)
-		a.m = &Message{
+		a.m = &Message{ //lint:allow noalloc delivery contract: the handler owns the Message, so one is freshly built per application message
 			Src:      nm.Src,
 			Dst:      ep.pr.ID,
 			Handler:  nm.Handler,
 			SendTime: nm.SendTime,
 		}
-		ep.partials[key] = a
+		ep.partials[key] = a //lint:allow noalloc partials map holds at most the in-flight reassembly population; completed keys free buckets
 	}
 	if idx := fragIdx(nm.Arg); idx < len(a.got) {
 		if a.got[idx] {
@@ -302,14 +369,14 @@ func (ep *Endpoint) accept(nm *netsim.Message) {
 	}
 	if nm.Payload != nil {
 		if a.m.Payload == nil {
-			a.m.Payload = make([]byte, 0, total*ep.maxFrag)
+			a.m.Payload = make([]byte, 0, total*ep.maxFrag) //lint:allow noalloc delivery contract: the handler owns the payload, so byte-carrying messages allocate their backing store
 		}
 		// Fragments can arrive out of order after a bounce; order within the
 		// payload matters only for byte-carrying messages, which we place.
 		off := fragIdx(nm.Arg) * ep.maxFrag
 		need := off + nm.PayloadLen
 		if len(a.m.Payload) < need {
-			a.m.Payload = append(a.m.Payload, make([]byte, need-len(a.m.Payload))...)
+			a.m.Payload = append(a.m.Payload, make([]byte, need-len(a.m.Payload))...) //lint:allow noalloc growth stays within the capacity reserved above; the scratch zero slice sizes the gap left by reordering
 		}
 		copy(a.m.Payload[off:need], nm.Payload)
 	}
@@ -343,14 +410,14 @@ func (ep *Endpoint) accept(nm *netsim.Message) {
 func (ep *Endpoint) newAssembly(total int) *assembly {
 	a := ep.freeAsm
 	if a == nil {
-		a = &assembly{}
+		a = &assembly{} //lint:allow noalloc one record per concurrently reassembling message, recycled through the free list thereafter
 	} else {
 		ep.freeAsm = a.next
 		a.next = nil
 		a.received, a.bytes = 0, 0
 	}
 	if cap(a.got) < total {
-		a.got = make([]bool, total)
+		a.got = make([]bool, total) //lint:allow noalloc bitmap grows to the largest fragment count seen, then recycles
 	} else {
 		a.got = a.got[:total]
 		for i := range a.got {

@@ -1,0 +1,509 @@
+// Rendezvous protocol: the messaging layer's second transfer protocol,
+// layered over the RDMA engine's one-sided puts. Eager transfer (send.go's
+// path, the paper's baseline) pushes every fragment through the receiver's
+// buffering layer and charges the receiving processor per fragment. For
+// large messages that is exactly the traffic admission control evicts and
+// limited buffering bounces, so the rendezvous protocol first agrees on the
+// transfer (RTS/CTS handshake, two header-only control messages in the
+// reserved handler range), then moves the payload with a one-sided put that
+// lands directly in the receiver's reassembly buffer: it never enters the
+// receive queue, can neither bounce nor be admission-evicted, and costs the
+// receiving processor nothing until the completed message is dispatched.
+package msglayer
+
+import (
+	"fmt"
+
+	"nisim/internal/netsim"
+	"nisim/internal/nic"
+	"nisim/internal/stats"
+)
+
+// ProtocolKind selects the messaging layer's transfer protocol.
+//
+//lint:enum
+type ProtocolKind int
+
+const (
+	// Eager pushes fragments through the receiver's buffering layer
+	// unconditionally — the study's baseline behavior.
+	Eager ProtocolKind = iota
+	// Rendezvous switches messages at or above the size threshold to an
+	// RTS/CTS handshake followed by a one-sided put, when the NI has an
+	// RDMA engine. Smaller messages (and every message on an NI without
+	// one) still go eagerly.
+	Rendezvous
+
+	numProtocolKinds // bound sentinel, not a protocol
+)
+
+func (p ProtocolKind) String() string {
+	switch p {
+	case Eager:
+		return "eager"
+	case Rendezvous:
+		return "rendezvous"
+	default:
+		panic(fmt.Sprintf("msglayer: unknown ProtocolKind %d", int(p)))
+	}
+}
+
+// DefaultRendezvousThreshold is the payload size at which Rendezvous stops
+// sending eagerly when Config.RendezvousThreshold is zero: four fragments'
+// worth, past the region where the handshake's extra round trip dominates.
+const DefaultRendezvousThreshold = 1024
+
+// Runtime-internal handler ids for the rendezvous protocol, in the
+// reserved range so overload policies with ControlBase set admit them
+// unconditionally (refusing a CTS under load would deadlock the sender the
+// handshake exists to protect).
+const (
+	hRTS = ReservedHandlerBase + 20 // request to send: xfer id, size, target handler
+	hCTS = ReservedHandlerBase + 21 // clear to send: echoes the xfer id
+	// hPutData tags one-sided payload frames. They are never dispatched
+	// through a handler table — the network routes them to the RDMA
+	// engine's put sink — but a recognizable id keeps traces readable.
+	hPutData = ReservedHandlerBase + 22
+)
+
+// RTS argument encoding in netsim.Message.Arg:
+// bits 0..15  transfer id (matches the put frames' PutFrameArg id)
+// bits 16..47 payload bytes
+// bits 48..63 application handler id
+// The application's own 64-bit Arg rides in the RTS's Channel field, the
+// same trick the eager path plays with first fragments.
+func rtsArg(xfer uint32, bytes, handler int) uint64 {
+	return uint64(xfer&0xFFFF) | uint64(bytes)<<16&0xFFFF_FFFF_0000 | uint64(handler)<<48
+}
+
+func decodeRTS(a uint64) (xfer uint32, bytes, handler int) {
+	return uint32(a & 0xFFFF), int(a >> 16 & 0xFFFF_FFFF), int(a >> 48)
+}
+
+// rdvDoneWindow bounds the memory of completed (src, xfer) transfers kept
+// for duplicate suppression, a separate window from the eager path's: the
+// 16-bit xfer ids and the eager 24-bit fragment sequences are independent
+// counters, so sharing one done-set would let an eager completion mask a
+// rendezvous transfer (or vice versa) whenever the numbers collide.
+const rdvDoneWindow = 1 << 12
+
+// rdvSend is the sender-side state of one in-flight handshake. Send blocks
+// until the CTS arrives, so only handler-reentrant sends nest these.
+type rdvSend struct {
+	cts  bool
+	next *rdvSend // free-list link
+}
+
+// rdvRecv is the receiver-side state of one granted transfer: the
+// reassembly buffer one-sided frames land in. The delivered Message and
+// its payload buffer are recycled across transfers — a rendezvous handler
+// must copy anything it keeps past its return, the zero-copy discipline
+// one-sided transfer exists to provide (eager deliveries keep their
+// handler-owned fresh Message).
+type rdvRecv struct {
+	key      [2]uint64 // (src, xfer)
+	m        Message
+	buf      []byte // recycled payload backing store
+	got      []bool // frame indexes already placed (duplicate suppression)
+	total    int    // frames expected, from the RTS byte count
+	received int
+	bytes    int      // payload bytes placed
+	next     *rdvRecv // free-list link
+}
+
+// rendezvous is the per-endpoint protocol state, nil unless the Config
+// selects Rendezvous and the NI exposes an RDMA engine.
+type rendezvous struct {
+	ep        *Endpoint
+	rd        nic.RDMA
+	threshold int
+
+	// ctl recycles received control frames for this endpoint's own RTS/CTS
+	// sends. Only frames the reliability layer never sealed (Seq == 0,
+	// i.e. unreliable runs) are recyclable; reliable runs allocate one
+	// frame per control message because the sender retains it until acked.
+	ctl []*netsim.Message
+
+	seq  uint32 // rolling 16-bit transfer id
+	out  map[uint32]*rdvSend
+	free *rdvSend
+
+	in     map[[2]uint64]*rdvRecv
+	freeRx *rdvRecv
+
+	// Completed transfers awaiting processor-side dispatch. The put sink
+	// runs in network-event context where no processor cycles can be
+	// charged, so completion is split: the sink records arrival, and
+	// deliverOne (called from PollOne/waitOne in process context) charges
+	// the dispatch cost and runs the handler.
+	complete []*rdvRecv
+	compHead int
+
+	done     map[[2]uint64]struct{}
+	doneQ    [][2]uint64
+	doneHead int
+}
+
+// newRendezvous wires the protocol to the endpoint's RDMA engine, or
+// returns nil (leaving the endpoint purely eager) when the NI has none.
+func newRendezvous(ep *Endpoint) *rendezvous {
+	rc, ok := ep.ni.(nic.RDMACapable)
+	if !ok {
+		return nil
+	}
+	rd := rc.RDMA()
+	if rd == nil {
+		return nil
+	}
+	r := &rendezvous{
+		ep:        ep,
+		rd:        rd,
+		threshold: ep.cfg.RendezvousThreshold,
+		out:       make(map[uint32]*rdvSend),
+		in:        make(map[[2]uint64]*rdvRecv),
+		done:      make(map[[2]uint64]struct{}),
+	}
+	if r.threshold <= 0 {
+		r.threshold = DefaultRendezvousThreshold
+	}
+	rd.SetPutSink(r.putSink)
+	return r
+}
+
+// send runs the full rendezvous transfer: RTS, poll until CTS, one-sided
+// put. The application-level accounting (SendCycles, message counters, the
+// Table 4 size histogram) matches the eager path exactly — the protocols
+// differ in how bytes move, not in what the application did.
+//
+//lint:hotpath
+func (r *rendezvous) send(dst, handler int, payload []byte, payloadLen int, arg uint64) {
+	ep := r.ep
+	ep.pr.Work(stats.Transfer, ep.cfg.SendCycles)
+	ep.pr.Stats.MessagesSent++
+	ep.pr.Stats.BytesSent += int64(payloadLen + netsim.HeaderBytes)
+	if handler < ReservedHandlerBase {
+		ep.pr.Stats.RecordMessageSize(payloadLen + netsim.HeaderBytes)
+	}
+	sendTime := ep.pr.P.Now()
+
+	r.seq++
+	xfer := r.seq & 0xFFFF
+	st := r.newSend()
+	r.out[xfer] = st //lint:allow noalloc outstanding-send map holds at most the concurrent handshake population; completed transfers free buckets
+
+	ep.pr.Work(stats.Transfer, ep.cfg.RdvCtlCycles)
+	rts := r.ctlFrame()
+	rts.Src, rts.Dst, rts.Handler = ep.pr.ID, dst, hRTS
+	rts.Channel = int(arg)
+	rts.Arg = rtsArg(xfer, payloadLen, handler)
+	rts.PayloadLen = 0
+	rts.SendTime = sendTime
+	ep.pr.Stats.FragmentsSent++
+	for !ep.ni.CanSend(rts) {
+		if !ep.PollOne() {
+			ep.pr.P.SleepAs(stats.Buffering, ep.cfg.SpinWait)
+		}
+	}
+	ep.ni.Send(ep.pr, rts)
+
+	// Poll-while-waiting for the grant: the receiver may be sending to us
+	// (or handshaking with us) in the meantime, and a blocked spin here is
+	// exactly the fetch deadlock §3.2 warns about.
+	for !st.cts {
+		if !ep.PollOne() {
+			ep.pr.P.SleepAs(stats.Buffering, ep.cfg.SpinWait)
+		}
+	}
+	delete(r.out, xfer)
+	r.releaseSend(st)
+
+	// Granted: move the payload one-sidedly. The put bypasses the
+	// receiver's buffering layer entirely — frames route to the put sink,
+	// not the receive queue, so they can neither bounce nor be evicted.
+	for !r.rd.CanPut() {
+		if !ep.PollOne() {
+			ep.pr.P.SleepAs(stats.Buffering, ep.cfg.SpinWait)
+		}
+	}
+	r.rd.Put(ep.pr, nic.PutOp{
+		Dst:        dst,
+		Handler:    hPutData,
+		XferID:     xfer,
+		Payload:    payload,
+		PayloadLen: payloadLen,
+		SendTime:   sendTime,
+	})
+}
+
+// onRTS grants (or re-grants) a transfer: create the reassembly record and
+// reply with a CTS. A duplicate RTS — its CTS lost, or reliability
+// retransmitted past a dropped ack — re-grants idempotently; an RTS for an
+// already-completed transfer is stale (the sender only ever resends before
+// putting) and is suppressed.
+//
+//lint:hotpath
+func (r *rendezvous) onRTS(nm *netsim.Message) {
+	ep := r.ep
+	ep.pr.Work(stats.Transfer, ep.cfg.RdvCtlCycles)
+	xfer, bytes, handler := decodeRTS(nm.Arg)
+	key := [2]uint64{uint64(nm.Src), uint64(xfer)}
+	if _, dup := r.done[key]; dup {
+		ep.pr.Stats.DupSuppressed++
+		r.recycleCtl(nm)
+		return
+	}
+	rx := r.in[key]
+	if rx == nil {
+		rx = r.newRecv(key, bytes)
+		rx.m = Message{
+			Src:      nm.Src,
+			Dst:      ep.pr.ID,
+			Handler:  handler,
+			Arg:      uint64(nm.Channel),
+			SendTime: nm.SendTime,
+		}
+		r.in[key] = rx //lint:allow noalloc inbound map holds at most the concurrently granted transfers; completions free buckets
+	} else {
+		ep.pr.Stats.DupSuppressed++
+	}
+	src := nm.Src
+	r.recycleCtl(nm)
+
+	ep.pr.Work(stats.Transfer, ep.cfg.RdvCtlCycles)
+	cts := r.ctlFrame()
+	cts.Src, cts.Dst, cts.Handler = ep.pr.ID, src, hCTS
+	cts.Channel = 0
+	cts.Arg = uint64(xfer)
+	cts.PayloadLen = 0
+	cts.SendTime = ep.pr.P.Now()
+	ep.pr.Stats.FragmentsSent++
+	for !ep.ni.CanSend(cts) {
+		if !ep.PollOne() {
+			ep.pr.P.SleepAs(stats.Buffering, ep.cfg.SpinWait)
+		}
+	}
+	ep.ni.Send(ep.pr, cts)
+}
+
+// onCTS releases the sender blocked in send. A CTS for an unknown transfer
+// is a duplicate grant (the first already unblocked us) and is counted,
+// not acted on.
+//
+//lint:hotpath
+func (r *rendezvous) onCTS(nm *netsim.Message) {
+	r.ep.pr.Work(stats.Transfer, r.ep.cfg.RdvCtlCycles)
+	if st := r.out[uint32(nm.Arg&0xFFFF)]; st != nil {
+		st.cts = true
+	} else {
+		r.ep.pr.Stats.DupSuppressed++
+	}
+	r.recycleCtl(nm)
+}
+
+// putSink integrates one one-sided payload frame. It runs in network-event
+// context — the frame was placed by the NI, not the processor — so it does
+// bookkeeping only: placement, duplicate suppression, and completion
+// queueing. Frame contents are only valid for the duration of the call
+// (settled frames return to the sender's pool), so payload bytes are
+// copied into the reassembly buffer here.
+//
+//lint:hotpath
+func (r *rendezvous) putSink(nm *netsim.Message) {
+	xfer, idx, total := nic.DecodePutFrame(nm.Arg)
+	key := [2]uint64{uint64(nm.Src), uint64(xfer)}
+	rx := r.in[key]
+	if rx == nil {
+		// A late duplicate of a completed transfer (reliability retransmit
+		// whose ack was lost).
+		r.ep.pr.Stats.DupSuppressed++
+		return
+	}
+	if total != rx.total || idx >= len(rx.got) {
+		panic(fmt.Sprintf("msglayer: node %d put frame %d/%d does not match granted transfer (%d frames)",
+			r.ep.pr.ID, idx, total, rx.total))
+	}
+	if rx.got[idx] {
+		r.ep.pr.Stats.DupSuppressed++
+		return
+	}
+	rx.got[idx] = true
+	if nm.Payload != nil {
+		if rx.m.Payload == nil {
+			rx.m.Payload = r.recvBuf(rx)
+		}
+		copy(rx.m.Payload[idx*r.ep.maxFrag:], nm.Payload[:nm.PayloadLen])
+	}
+	rx.bytes += nm.PayloadLen
+	rx.received++
+	if rx.received < rx.total {
+		return
+	}
+	// Last frame: the message has fully arrived. Dispatch cost is the
+	// processor's, so completion is handed to deliverOne.
+	delete(r.in, key)
+	rx.m.ArriveTime = r.ep.pr.P.Now()
+	r.complete = append(r.complete, rx) //lint:allow noalloc completion ring reaches steady-state capacity after the first bursts; the rendezvous gate proves warm rounds stay alloc-free
+}
+
+// deliverOne dispatches one completed transfer, charging the same
+// per-message receive cost the eager path charges (RecvCycles plus
+// FragCycles per additional frame). It runs in process context from
+// PollOne/waitOne/Drain. Reports whether a message was delivered.
+//
+//lint:hotpath
+func (r *rendezvous) deliverOne() bool {
+	if r.compHead >= len(r.complete) {
+		return false
+	}
+	rx := r.complete[r.compHead]
+	r.complete[r.compHead] = nil
+	r.compHead++
+	if r.compHead == len(r.complete) {
+		r.complete = r.complete[:0]
+		r.compHead = 0
+	}
+	r.markDone(rx.key)
+
+	ep := r.ep
+	rx.m.PayloadLen = rx.bytes
+	ep.pr.Stats.MessagesReceived++
+	ep.pr.Stats.BytesReceived += int64(rx.bytes + netsim.HeaderBytes)
+	ep.pr.Work(stats.Transfer, ep.cfg.RecvCycles+ep.cfg.FragCycles*int64(rx.total-1))
+	h := ep.handlers[rx.m.Handler]
+	if h == nil {
+		panic(fmt.Sprintf("msglayer: node %d has no handler %d", ep.pr.ID, rx.m.Handler))
+	}
+	ep.Delivered++
+	h(ep, &rx.m)
+	// The record (and the Message the handler just saw) recycles only
+	// after the handler returns; reentrant receives inside the handler use
+	// other records.
+	r.releaseRecv(rx)
+	return true
+}
+
+// pending reports undelivered rendezvous work: completions awaiting
+// dispatch or granted transfers still receiving frames.
+//
+//lint:hotpath
+func (r *rendezvous) pending() bool {
+	return r.compHead < len(r.complete) || len(r.in) > 0
+}
+
+// ctlFrame returns a control frame for an RTS or CTS, recycled from a
+// previously received control message when possible. Under reliability
+// every control frame is sealed (retained for retransmission) until acked,
+// so the pool stays empty and reliable runs pay one allocation per
+// handshake message.
+//
+//lint:hotpath
+func (r *rendezvous) ctlFrame() *netsim.Message {
+	if n := len(r.ctl); n > 0 {
+		nm := r.ctl[n-1]
+		r.ctl[n-1] = nil
+		r.ctl = r.ctl[:n-1]
+		return nm
+	}
+	return &netsim.Message{} //lint:allow noalloc reliable runs seal control frames until acked so they cannot recycle; the rendezvous alloc gate runs on the recycling (unreliable) configuration
+}
+
+// recycleCtl returns a consumed control frame to the pool. Frames the
+// reliability layer sealed (Seq != 0) still belong to their sender until
+// the ack settles them and must not be reused here.
+//
+//lint:hotpath
+func (r *rendezvous) recycleCtl(nm *netsim.Message) {
+	if nm.Seq != 0 {
+		return
+	}
+	nm.Recycle()
+	nm.Payload = nil
+	nm.PayloadLen = 0
+	r.ctl = append(r.ctl, nm) //lint:allow noalloc pool append reaches steady-state capacity once the first handshakes complete
+}
+
+//lint:hotpath
+func (r *rendezvous) newSend() *rdvSend {
+	st := r.free
+	if st == nil {
+		return &rdvSend{} //lint:allow noalloc one record per concurrently outstanding handshake, recycled thereafter
+	}
+	r.free = st.next
+	st.next = nil
+	st.cts = false
+	return st
+}
+
+//lint:hotpath
+func (r *rendezvous) releaseSend(st *rdvSend) {
+	st.next = r.free
+	r.free = st
+}
+
+// newRecv takes a reassembly record from the free list, sizing its frame
+// bitmap for the transfer's byte count (frames are cut at the same
+// boundary the RDMA engine cuts them: the network payload maximum).
+//
+//lint:hotpath
+func (r *rendezvous) newRecv(key [2]uint64, bytes int) *rdvRecv {
+	total := (bytes + r.ep.maxFrag - 1) / r.ep.maxFrag
+	if total == 0 {
+		total = 1
+	}
+	rx := r.freeRx
+	if rx == nil {
+		rx = &rdvRecv{} //lint:allow noalloc one record per concurrently granted transfer, recycled thereafter
+	} else {
+		r.freeRx = rx.next
+		rx.next = nil
+		rx.received, rx.bytes = 0, 0
+	}
+	rx.key = key
+	rx.total = total
+	if cap(rx.got) < total {
+		rx.got = make([]bool, total) //lint:allow noalloc bitmap grows to the largest transfer seen, then recycles
+	} else {
+		rx.got = rx.got[:total]
+		for i := range rx.got {
+			rx.got[i] = false
+		}
+	}
+	return rx
+}
+
+// recvBuf returns rx's payload backing store sized for the granted byte
+// count, growing the recycled buffer only when a larger transfer arrives.
+//
+//lint:hotpath
+func (r *rendezvous) recvBuf(rx *rdvRecv) []byte {
+	need := rx.total * r.ep.maxFrag
+	if cap(rx.buf) < need {
+		rx.buf = make([]byte, need) //lint:allow noalloc backing store grows to the largest transfer seen, then recycles
+	}
+	return rx.buf[:need]
+}
+
+//lint:hotpath
+func (r *rendezvous) releaseRecv(rx *rdvRecv) {
+	rx.m = Message{}
+	rx.next = r.freeRx
+	r.freeRx = rx
+}
+
+// markDone remembers a completed (src, xfer) pair in the rendezvous done
+// window so late duplicate frames and stale RTS retransmissions are
+// suppressed. A fresh RTS reusing a wrapped 16-bit xfer id evicts nothing
+// early: the window is far deeper than any plausible in-flight population,
+// and entries age out as new completions push through the ring.
+//
+//lint:hotpath
+func (r *rendezvous) markDone(key [2]uint64) {
+	r.done[key] = struct{}{} //lint:allow noalloc done set is bounded by the window; past it the paired delete frees a bucket for every insert
+	if len(r.doneQ) < rdvDoneWindow {
+		r.doneQ = append(r.doneQ, key) //lint:allow noalloc done ring grows once to its window bound
+		return
+	}
+	delete(r.done, r.doneQ[r.doneHead])
+	r.doneQ[r.doneHead] = key
+	r.doneHead = (r.doneHead + 1) % rdvDoneWindow
+}

@@ -52,6 +52,12 @@ type Message struct {
 	attempts int  // total injections (first send, bounce retries, retransmits)
 	retx     int  // timer-driven retransmissions only (bounded by MaxAttempts)
 	corrupt  bool // corrupted in flight; ChecksumOK reports false
+	// oneSided marks an RDMA put frame or get request (see Endpoint.Put and
+	// Endpoint.Get). One-sided messages hold no flow-control buffer on either
+	// side, carry no handler dispatch, and can neither bounce nor be
+	// admission-refused: the rendezvous handshake already reserved their
+	// landing memory, so delivery is decided by the checksum gate alone.
+	oneSided uint8
 	// deadline is the absolute delivery deadline stamped at first injection
 	// when the reliability layer runs with a per-message deadline; zero means
 	// none. Retries (timer or bounce) past it abandon the send.
@@ -67,6 +73,40 @@ type Message struct {
 	// receiver's acks and bounces settle the original, never the copy; see
 	// origin.
 	orig *Message
+}
+
+// One-sided message kinds (Message.oneSided). Zero is a two-sided send.
+const (
+	oneSidedPut = 1
+	oneSidedGet = 2
+)
+
+// IsPut reports whether m is a one-sided RDMA put frame.
+func (m *Message) IsPut() bool { return m.oneSided == oneSidedPut }
+
+// IsGet reports whether m is a one-sided RDMA get request.
+func (m *Message) IsGet() bool { return m.oneSided == oneSidedGet }
+
+// Recycle resets the delivery state a previous transit left on m so a
+// protocol layer can return the message to a free pool and reuse it for a
+// fresh send. Payload, addressing, and the corruption scratch buffer are
+// kept — the caller overwrites those per send; what must be cleared is the
+// reliability identity (Seq, Checksum, deadline), the attempt counters, and
+// the one-sided marking, or the next Inject would treat the reused message
+// as a retransmission of the old one.
+//
+//lint:hotpath
+func (m *Message) Recycle() {
+	m.Seq = 0
+	m.Checksum = 0
+	m.attempts = 0
+	m.retx = 0
+	m.corrupt = false
+	m.deadline = 0
+	m.orig = nil
+	m.oneSided = 0
+	m.SendTime = 0
+	m.ArriveTime = 0
 }
 
 // origin resolves the sender-owned message a control reply must settle:
@@ -256,6 +296,8 @@ func msgEject(recv any, _ uint64)  { m := recv.(*Message); m.net.eps[m.Dst].ejec
 //lint:hotpath
 func msgDecide(recv any, _ uint64) { m := recv.(*Message); m.net.eps[m.Dst].decide(m) }
 //lint:hotpath
+func msgOneSided(recv any, _ uint64) { m := recv.(*Message); m.net.eps[m.Dst].oneSidedDeliver(m) }
+//lint:hotpath
 func msgAcked(recv any, _ uint64)  { m := recv.(*Message); m.net.eps[m.Src].acked(m) }
 //lint:hotpath
 func msgBounced(recv any, _ uint64) {
@@ -405,6 +447,22 @@ type Endpoint struct {
 	// been freed. When nil the failure is still recorded in the network's
 	// Failures list and the node's DeliveryFailures counter.
 	OnDeliveryError func(err *DeliveryError)
+	// OnPut is invoked when a one-sided put frame lands (see Endpoint.Put).
+	// It runs in network-event context, not a receiver process: the frame's
+	// bytes were deposited directly into pre-negotiated memory, so the hook
+	// must do bookkeeping only — no processor time, no blocking. The message
+	// is receiver-owned after the call only on a lossless network; under the
+	// reliability layer the sender retains it for retransmission.
+	OnPut func(m *Message)
+	// OnGet is invoked when a one-sided get request lands (see Endpoint.Get).
+	// Same context rules as OnPut; the hook is expected to queue a put-back
+	// transfer of the requested bytes.
+	OnGet func(m *Message)
+	// OnSettled, if non-nil, is invoked when the reliability layer settles a
+	// one-sided send — acknowledged or abandoned. One-sided frames hold no
+	// outgoing buffer, so this hook replaces the releaseOut credit as the
+	// sender's "safe to reuse the frame" signal.
+	OnSettled func(m *Message)
 	// Admit, if non-nil, is the NI's admission-control hook, consulted for
 	// every arriving data message after the checksum gate and before the
 	// flow-control buffer check. Nil (the default) is the paper's lossless
@@ -412,6 +470,8 @@ type Endpoint struct {
 	// AdmitBounce returns the message on the second network even with free
 	// buffers; AdmitDrop destroys it silently — recovery, if any, is the
 	// sender's reliability layer, exactly as for a fault-plane drop.
+	// One-sided frames never consult Admit: they carry no handler dispatch
+	// and occupy no receive buffer, so there is nothing to refuse.
 	Admit func(m *Message) AdmitDecision
 	// Fault, if non-nil, injects faults into this endpoint's traffic at the
 	// inject and eject points. Nil is the lossless network.
@@ -431,6 +491,14 @@ func (ep *Endpoint) OutFree() int { return ep.outFree }
 
 // InFree returns the number of free incoming buffers.
 func (ep *Endpoint) InFree() int { return ep.inFree }
+
+// MaxNetMsg returns the network's single-message size ceiling, so engines
+// that fragment (RDMA puts) can size frames without a config back-channel.
+func (ep *Endpoint) MaxNetMsg() int { return ep.net.cfg.MaxNetMsg }
+
+// Reliable reports whether the network runs the ack/retransmit protocol —
+// one-sided senders track settlement only when it does.
+func (ep *Endpoint) Reliable() bool { return ep.net.cfg.Reliability.Enabled }
 
 // TryAcquireOut claims an outgoing flow-control buffer if one is free.
 //
@@ -539,6 +607,16 @@ func (ep *Endpoint) Inject(m *Message) {
 			}
 			return
 		case v.ForceBounce:
+			// One-sided frames cannot bounce — there is no receive buffer to
+			// refuse them from — so a forced bounce degrades to a drop: the
+			// bandwidth is consumed and the reliability layer (if any)
+			// retransmits.
+			if m.oneSided != 0 {
+				if ep.Stats != nil {
+					ep.Stats.FaultDrops++
+				}
+				return
+			}
 			if ep.Stats != nil {
 				ep.Stats.ForcedBounces++
 			}
@@ -575,6 +653,30 @@ func (ep *Endpoint) InjectWait(p *sim.Process, m *Message) {
 	ep.Inject(m)
 }
 
+// Put injects m as a one-sided RDMA put frame. No outgoing flow-control
+// buffer is acquired and none is needed at the receiver: the rendezvous
+// handshake (or explicit registration) already reserved the landing memory,
+// so the frame rides the data network straight into OnPut at the target —
+// it can neither bounce nor be admission-refused. Link serialization,
+// fault injection, and the reliability layer (seq/checksum/retransmission,
+// settled via OnSettled instead of a buffer credit) all apply unchanged.
+//
+//lint:hotpath
+func (ep *Endpoint) Put(m *Message) {
+	m.oneSided = oneSidedPut
+	ep.Inject(m)
+}
+
+// Get injects m as a one-sided RDMA get request: a small frame asking the
+// target's NI to put the described bytes back. Delivery lands in OnGet with
+// the same no-buffer, no-bounce semantics as Put.
+//
+//lint:hotpath
+func (ep *Endpoint) Get(m *Message) {
+	m.oneSided = oneSidedGet
+	ep.Inject(m)
+}
+
 // arrive handles a data message reaching this endpoint: serialize ejection,
 // then accept or bounce. The eject point is the receiver-side fault hook.
 func (ep *Endpoint) arrive(m *Message) {
@@ -606,7 +708,46 @@ func (ep *Endpoint) eject(m *Message) {
 	}
 	done := start + ep.net.serialization(m.Size())
 	ep.nextEjectAt = done
+	if m.oneSided != 0 {
+		eng.AtEvent(done, msgOneSided, m, 0)
+		return
+	}
 	eng.AtEvent(done, msgDecide, m, 0)
+}
+
+// oneSidedDeliver lands a put frame or get request: no admission gate, no
+// flow-control buffer, no bounce path — after the checksum gate the bytes
+// are in their pre-negotiated destination and only the OnPut/OnGet
+// bookkeeping hook runs. The ack (reliable networks only) settles the
+// sender's retransmission state through OnSettled rather than freeing an
+// outgoing buffer, since Put/Get never held one.
+func (ep *Endpoint) oneSidedDeliver(m *Message) {
+	ep.activity++
+	eng := ep.eng
+	reliable := ep.net.cfg.Reliability.Enabled
+	if reliable && !m.ChecksumOK() {
+		// Corruption detected: discard; the sender's timer retransmits.
+		if ep.Stats != nil {
+			ep.Stats.CorruptDropped++
+		}
+		return
+	}
+	m.ArriveTime = eng.Now()
+	ep.delivered++
+	if reliable && !ep.dropControl(AckControl, m) {
+		ep.post(m.Src, eng.Now()+ep.net.cfg.Latency, msgAcked, m.origin(), 0)
+	}
+	if m.oneSided == oneSidedGet {
+		if ep.OnGet == nil {
+			panic(fmt.Sprintf("netsim: endpoint %d received a get request with no OnGet", ep.id))
+		}
+		ep.OnGet(m)
+		return
+	}
+	if ep.OnPut == nil {
+		panic(fmt.Sprintf("netsim: endpoint %d received a put frame with no OnPut", ep.id))
+	}
+	ep.OnPut(m)
 }
 
 // dropControl asks this endpoint's fault plane whether the ack/bounce it

@@ -230,7 +230,9 @@ func (nw *Network) SetFaultPlane(plane FaultPlane) {
 // acked handles the acknowledgment for a reliable send: it cancels the
 // retransmission timer and frees the outgoing buffer. Duplicate acks (the
 // receiver acks every accepted copy of a retransmitted message) are
-// ignored — the buffer was already freed.
+// ignored — the buffer was already freed. One-sided sends never held an
+// outgoing buffer, so their ack settles through OnSettled instead — the
+// frame-reuse signal for the sender's RDMA engine.
 func (ep *Endpoint) acked(m *Message) {
 	t, ok := ep.inflight[m]
 	if !ok {
@@ -238,6 +240,13 @@ func (ep *Endpoint) acked(m *Message) {
 	}
 	t.Stop()
 	delete(ep.inflight, m)
+	if m.oneSided != 0 {
+		ep.activity++
+		if ep.OnSettled != nil {
+			ep.OnSettled(m)
+		}
+		return
+	}
 	ep.releaseOut()
 }
 
@@ -293,7 +302,15 @@ func (ep *Endpoint) abandon(m *Message, reason string) {
 	}
 	err := &DeliveryError{Msg: m, Attempts: m.attempts, Time: ep.eng.Now(), Reason: reason} //lint:allow noalloc at most one structured error per abandoned message, off the steady-state path
 	ep.failures = append(ep.failures, err)                                                 //lint:allow noalloc failure log grows once per abandoned message, not per delivery
-	ep.releaseOut()
+	if m.oneSided != 0 {
+		// One-sided sends hold no outgoing buffer; settle the frame so the
+		// sender's engine can reuse it.
+		if ep.OnSettled != nil {
+			ep.OnSettled(m)
+		}
+	} else {
+		ep.releaseOut()
+	}
 	if ep.OnDeliveryError != nil {
 		ep.OnDeliveryError(err)
 	}

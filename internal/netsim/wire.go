@@ -12,7 +12,8 @@ import (
 //
 //	offset  size  field
 //	0       1     version (wireVersion)
-//	1       1     flags (bit 0: payload bytes follow; bit 1: corrupted synthetic payload)
+//	1       1     flags (bit 0: payload bytes follow; bit 1: corrupted synthetic
+//	              payload; bit 2: one-sided put frame; bit 3: one-sided get request)
 //	2       4     src
 //	6       4     dst
 //	10      4     handler
@@ -34,6 +35,11 @@ const (
 	// corrupted frame would re-parse as pristine and pass its checksum —
 	// a fault-plane round trip must preserve ChecksumOK's verdict.
 	flagCorrupt = 1 << 1
+	// flagPut and flagGet carry the one-sided kind (Endpoint.Put/Get).
+	// Mutually exclusive; losing either would relaunder an RDMA frame into a
+	// two-sided send that bounces and consults admission control on replay.
+	flagPut = 1 << 2
+	flagGet = 1 << 3
 )
 
 // AppendWire appends m's wire encoding to dst and returns the extended
@@ -62,6 +68,12 @@ func (m *Message) AppendWire(dst []byte) ([]byte, error) {
 	if m.corrupt {
 		flags |= flagCorrupt
 	}
+	switch m.oneSided {
+	case oneSidedPut:
+		flags |= flagPut
+	case oneSidedGet:
+		flags |= flagGet
+	}
 	dst = append(dst, wireVersion, flags)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Src))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Dst))
@@ -86,8 +98,11 @@ func ParseWire(b []byte) (*Message, error) {
 		return nil, fmt.Errorf("netsim: unknown wire version %d", b[0])
 	}
 	flags := b[1]
-	if flags&^byte(flagPayload|flagCorrupt) != 0 {
+	if flags&^byte(flagPayload|flagCorrupt|flagPut|flagGet) != 0 {
 		return nil, fmt.Errorf("netsim: unknown wire flags %#x", flags)
+	}
+	if flags&flagPut != 0 && flags&flagGet != 0 {
+		return nil, fmt.Errorf("netsim: wire flags %#x claim both put and get", flags)
 	}
 	m := &Message{
 		Src:        int(int32(binary.LittleEndian.Uint32(b[2:]))),
@@ -99,6 +114,12 @@ func ParseWire(b []byte) (*Message, error) {
 		Seq:        binary.LittleEndian.Uint64(b[30:]),
 		Checksum:   binary.LittleEndian.Uint32(b[38:]),
 		corrupt:    flags&flagCorrupt != 0,
+	}
+	switch {
+	case flags&flagPut != 0:
+		m.oneSided = oneSidedPut
+	case flags&flagGet != 0:
+		m.oneSided = oneSidedGet
 	}
 	for _, f := range [...]struct {
 		name string

@@ -15,14 +15,99 @@ import (
 // then extended with frames captured live from the fault plane, so the
 // fuzzer starts from the wire images the fault machinery actually emits.
 func fuzzSeeds(f *testing.F) {
-	f.Add(0, 1, 0, 0, []byte(nil), uint64(0), uint64(0))
-	f.Add(3, 7, 2, 1, []byte{0xff}, uint64(42), uint64(1))            // 1-byte partial word
-	f.Add(1, 0, 4, 0, bytes.Repeat([]byte{0xa5}, 20), uint64(0), uint64(9)) // spsolve payload
-	f.Add(5, 6, 1, 2, bytes.Repeat([]byte{0x5a}, 248), uint64(7), uint64(100))
-	f.Add(6, 5, 1, 2, bytes.Repeat([]byte{0x5a}, 249), uint64(7), uint64(101)) // 249: partial word
+	f.Add(0, 1, 0, 0, []byte(nil), uint64(0), uint64(0), uint8(0))
+	f.Add(3, 7, 2, 1, []byte{0xff}, uint64(42), uint64(1), uint8(0))            // 1-byte partial word
+	f.Add(1, 0, 4, 0, bytes.Repeat([]byte{0xa5}, 20), uint64(0), uint64(9), uint8(0)) // spsolve payload
+	f.Add(5, 6, 1, 2, bytes.Repeat([]byte{0x5a}, 248), uint64(7), uint64(100), uint8(0))
+	f.Add(6, 5, 1, 2, bytes.Repeat([]byte{0x5a}, 249), uint64(7), uint64(101), uint8(0)) // 249: partial word
+
+	// Rendezvous-protocol control frames (msglayer handler ids 220/221):
+	// an RTS with the packed (xfer, bytes, handler) argument and the
+	// application argument riding the Channel field, and the CTS echoing
+	// the transfer id. Both are header-only.
+	f.Add(2, 9, 220, 12345, []byte(nil), uint64(7)|uint64(4096)<<16|uint64(3)<<48, uint64(17), uint8(0))
+	f.Add(9, 2, 221, 0, []byte(nil), uint64(7), uint64(18), uint8(0))
+	// One-sided frames: a full put payload frame with the (xfer, idx,
+	// total) tag, a synthetic put frame, and a get request carrying the
+	// (xfer, bytes) argument.
+	f.Add(2, 9, 222, 0, bytes.Repeat([]byte{0xe1}, 248), uint64(7)|uint64(2)<<32|uint64(17)<<48, uint64(19), uint8(1))
+	f.Add(2, 9, 222, 0, []byte(nil), uint64(7)|uint64(16)<<32|uint64(17)<<48, uint64(20), uint8(1))
+	f.Add(9, 2, 5, 0, []byte(nil), uint64(9)|uint64(600)<<32, uint64(21), uint8(2))
+
 	for _, m := range captureFaultFrames() {
-		f.Add(m.Src, m.Dst, m.Handler, m.Channel, m.Payload, m.Arg, m.Seq)
+		f.Add(m.Src, m.Dst, m.Handler, m.Channel, m.Payload, m.Arg, m.Seq, uint8(m.oneSided))
 	}
+	for _, m := range captureOneSidedFrames() {
+		f.Add(m.Src, m.Dst, m.Handler, m.Channel, m.Payload, m.Arg, m.Seq, uint8(m.oneSided))
+	}
+}
+
+// captureOneSidedFrames drives put and get traffic over a tiny reliable
+// network with a corrupting fault plane and snapshots the wire images the
+// one-sided path actually emits: the pristine put frame, the corrupted
+// copy at the eject point, and a get request. Deterministic, like
+// captureFaultFrames.
+func captureOneSidedFrames() []*Message {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Reliability = ReliabilityConfig{
+		Enabled: true, AckTimeout: 1 * sim.Microsecond,
+		TimeoutCap: 8 * sim.Microsecond, MaxAttempts: 8,
+	}
+	nw := New(eng, cfg, 2, 1)
+
+	var frames []*Message
+	snap := func(m *Message) {
+		c := *m
+		c.Payload = append([]byte(nil), m.Payload...)
+		if m.Payload == nil {
+			c.Payload = nil
+		}
+		frames = append(frames, &c)
+	}
+
+	injects := 0
+	plane := &scriptPlane{
+		inject: func(now sim.Time, m *Message) FaultVerdict {
+			if m.oneSided == 0 {
+				return FaultVerdict{}
+			}
+			injects++
+			if injects == 1 {
+				snap(m) // the pristine put frame
+				return FaultVerdict{Corrupt: true}
+			}
+			return FaultVerdict{}
+		},
+		eject: func(now sim.Time, m *Message) FaultVerdict {
+			if m.oneSided != 0 && !m.ChecksumOK() {
+				snap(m) // the corrupted put as the receiver would see it
+			}
+			if m.oneSided == oneSidedGet {
+				snap(m) // a get request header
+			}
+			return FaultVerdict{}
+		},
+	}
+	nw.Endpoint(0).Fault = plane
+	nw.Endpoint(1).Fault = plane
+
+	nw.Endpoint(1).OnPut = func(m *Message) {}
+	nw.Endpoint(1).OnGet = func(m *Message) {}
+	nw.Endpoint(0).OnPut = func(m *Message) {}
+
+	eng.After(0, func() {
+		p := NewMessage(0, 1, 222, bytes.Repeat([]byte{0xd4}, 100))
+		p.Arg = uint64(3) | uint64(0)<<32 | uint64(1)<<48
+		nw.Endpoint(0).Put(p)
+	})
+	eng.After(20*sim.Microsecond, func() {
+		g := NewSized(0, 1, 5, 0)
+		g.Arg = uint64(4) | uint64(256)<<32
+		nw.Endpoint(0).Get(g)
+	})
+	eng.Run()
+	return frames
 }
 
 // captureFaultFrames drives a tiny two-node reliable network through a
@@ -108,11 +193,15 @@ func captureFaultFrames() []*Message {
 
 func FuzzWireRoundTrip(f *testing.F) {
 	fuzzSeeds(f)
-	f.Fuzz(func(t *testing.T, src, dst, handler, channel int, payload []byte, arg, seq uint64) {
+	f.Fuzz(func(t *testing.T, src, dst, handler, channel int, payload []byte, arg, seq uint64, sided uint8) {
 		m := &Message{
 			Src: src, Dst: dst, Handler: handler, Channel: channel,
 			PayloadLen: len(payload), Payload: payload,
 			Arg: arg, Seq: seq,
+			// Normalized to the three declared one-sided kinds; the codec
+			// rejects unknown flag bits on parse, and a frame can never
+			// carry both put and get.
+			oneSided: sided % 3,
 		}
 		if len(payload) == 0 {
 			m.Payload = nil
@@ -139,6 +228,9 @@ func FuzzWireRoundTrip(f *testing.F) {
 			got.Channel != m.Channel || got.PayloadLen != m.PayloadLen ||
 			got.Arg != m.Arg || got.Seq != m.Seq || got.Checksum != m.Checksum {
 			t.Fatalf("round trip changed fields:\n got %+v\nwant %+v", got, m)
+		}
+		if got.oneSided != m.oneSided {
+			t.Fatalf("round trip changed one-sided kind: got %d want %d", got.oneSided, m.oneSided)
 		}
 		if !bytes.Equal(got.Payload, m.Payload) {
 			t.Fatalf("round trip changed payload: got %x want %x", got.Payload, m.Payload)

@@ -53,10 +53,11 @@ type composed struct {
 	kind Kind
 	spec Spec
 
-	hw  *fifoHW   // fifo window hardware; nil for pure-coherent specs
-	coh *coherent // coherent engine; nil for FifoVM specs
+	hw   *fifoHW   // fifo window hardware; nil for pure-coherent specs
+	coh  *coherent // coherent engine; nil for FifoVM specs
+	rdma *rdma     // one-sided engine; nil unless the send side is RDMA
 
-	send sendEngine // nil when the send side is coherent
+	send sendEngine // nil when the send side is coherent or RDMA
 	recv recvEngine // nil when the receive side is coherent
 }
 
@@ -98,7 +99,10 @@ func newFifoEngine(env *Env, hw *fifoHW, e Engine) any {
 //  4. Ring buffering does not involve the processor (Table 2): returned
 //     messages are retried by the NI, not the software, so the composer
 //     un-wires the fifo hardware's OnBounce.
-//  5. The overload policy, when the Spec sets one, compiles into the
+//  5. The RDMA engine, after the coherent engine: its constructor takes
+//     over the endpoint's OnOutFree (the coherent send side is unused
+//     under an RDMAEngine spec) and wires the one-sided delivery hooks.
+//  6. The overload policy, when the Spec sets one, compiles into the
 //     endpoint's Admit hook (overload.go) — after the engines, so the
 //     occupancy signal reads whichever buffering layer was built.
 func compose(spec Spec, kind Kind, env *Env) *composed {
@@ -126,6 +130,9 @@ func compose(spec Spec, kind Kind, env *Env) *composed {
 			env.EP.OnBounce = nil
 		}
 	}
+	if spec.Send == RDMAEngine {
+		x.rdma = newRDMA(env)
+	}
 	x.installOverload()
 	return x
 }
@@ -143,6 +150,10 @@ func (x *composed) Spec() Spec { return x.spec }
 func (x *composed) Send(pr *proc.Proc, m *netsim.Message) {
 	if x.spec.Send == CoherentEngine {
 		x.coh.send(pr, m)
+		return
+	}
+	if x.spec.Send == RDMAEngine {
+		x.rdma.send(pr, m)
 		return
 	}
 	if tr := x.env.Trace; tr != nil {
@@ -208,6 +219,9 @@ func (x *composed) CanSend(m *netsim.Message) bool {
 	if x.spec.Send == CoherentEngine {
 		return x.coh.canSend(m)
 	}
+	if x.spec.Send == RDMAEngine {
+		return x.rdma.canSend()
+	}
 	return x.env.EP.OutFree() > 0
 }
 
@@ -241,7 +255,20 @@ func (x *composed) Idle() bool {
 	if x.spec.Send == CoherentEngine {
 		return x.coh.idle()
 	}
+	if x.spec.Send == RDMAEngine {
+		return x.rdma.idle()
+	}
 	return true
+}
+
+// RDMA implements RDMACapable: the one-sided interface, or nil for specs
+// without an RDMA send side. Returned as an explicit nil so callers can
+// test `ni.RDMA() == nil` without tripping over a typed-nil interface.
+func (x *composed) RDMA() RDMA {
+	if x.rdma == nil {
+		return nil
+	}
+	return x.rdma
 }
 
 // SetPeerLookup implements PeerAware: peer-NI identity resolution for the

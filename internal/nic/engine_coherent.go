@@ -272,11 +272,7 @@ func (c *coherent) sendEngine(p *sim.Process) {
 				continue
 			}
 			c.ring.admitSend(p)
-			c.env.Bus.IssueAndWait(p, &membus.Transaction{
-				Kind:      membus.GetS,
-				Addr:      c.sendRing.addr(li),
-				Requester: c,
-			})
+			c.env.Bus.AccessFrom(p, c, membus.GetS, c.sendRing.addr(li), 0)
 			// The local store of the fetched block lands in the device's
 			// write buffer; reads bypass it, so it neither stalls the engine
 			// nor delays subsequent reads. Only the SRAM caches, being

@@ -1,0 +1,441 @@
+package nic
+
+import (
+	"fmt"
+
+	"nisim/internal/membus"
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// rdma is the one-sided transfer engine: a descriptor-queue NI in the
+// VIA/InfiniBand mold. The processor posts a work descriptor naming a user
+// buffer and rings a doorbell; the NI DMA-reads the buffer and moves it as
+// one-sided put frames that land directly in the target's registered memory
+// — they never enter the target's receive queue, so they can neither bounce
+// nor be admission-evicted (netsim's Endpoint.Put/Get seam). Two-sided
+// sends ride the same descriptor queue but inject ordinary messages that
+// the target's coherent ring receives normally.
+//
+// The price of the direct path is registration: the NI can only DMA pinned
+// pages it holds translations for, so the first transfer touching a remote
+// target pays a pinning syscall plus a per-page table charge, amortized
+// across repeated transfers to the same target (chargePin). This is the
+// cost the paper's coherent NIs avoid entirely — the crossover between the
+// two is what the eager/rendezvous sweep measures.
+//
+// Zero-copy contract: put frames alias the caller's payload slice. The
+// caller must not reuse the buffer until the transfer settles (reliable
+// runs signal settlement through the engine; unreliable runs must rely on
+// their own application-level handshake) — exactly the pinned-buffer rule
+// real RDMA verbs impose.
+type rdma struct {
+	env      *Env
+	frameCap int // max put-frame payload bytes (network MTU minus header)
+	reliable bool
+
+	descQ   queue[rdmaDesc]
+	work    *sim.Cond // descriptor posted
+	space   *sim.Cond // descriptor-ring entry freed
+	outFree *sim.Cond // network out-buffer freed (two-sided sends only)
+
+	// pinned is the registration cache: per remote target, the largest
+	// page extent pinned so far.
+	pinned map[int]int64
+
+	// pool holds settled put/get frames for reuse; refilled by OnSettled,
+	// so it only cycles on reliable networks.
+	pool []*netsim.Message
+
+	putSink func(m *netsim.Message) // delivery hook for incoming puts
+
+	stagingSeq int
+	busy       bool
+	unsettled  int // reliable one-sided frames injected but not yet settled
+}
+
+type rdmaDescKind uint8
+
+const (
+	descSend rdmaDescKind = iota // two-sided message
+	descPut                      // one-sided put (fragmented into frames)
+	descGet                      // one-sided get request
+)
+
+type rdmaDesc struct {
+	kind rdmaDescKind
+	m    *netsim.Message // descSend / descGet
+	put  putWork         // descPut
+}
+
+// putWork is the NI-side view of a put descriptor. payload may be nil for
+// synthetic transfers; n is the byte count either way.
+type putWork struct {
+	dst, handler, channel int
+	xfer                  uint32
+	payload               []byte
+	n                     int
+	sendTime              sim.Time
+}
+
+// PutOp describes a one-sided put: deliver PayloadLen bytes to Dst's
+// registered memory, tagging every frame with XferID so the target's
+// protocol layer can place and count them (PutFrameArg).
+type PutOp struct {
+	Dst, Handler, Channel int
+	XferID                uint32
+	Payload               []byte // nil for synthetic payloads
+	PayloadLen            int
+	SendTime              sim.Time
+}
+
+// GetOp describes a one-sided get: ask Dst to put Bytes back to us, tagged
+// with XferID. The remote NI serves the request without processor help.
+type GetOp struct {
+	Dst, Handler, Channel int
+	XferID                uint32
+	Bytes                 int
+	SendTime              sim.Time
+}
+
+// RDMA is the one-sided interface an RDMAEngine send side exposes beyond
+// the plain NI contract.
+type RDMA interface {
+	// CanPut reports whether a put/get descriptor can be posted without
+	// blocking on descriptor-ring space.
+	CanPut() bool
+	// Put posts a one-sided put descriptor, charging pr the registration
+	// and posting costs. Blocks while the descriptor ring is full.
+	Put(pr *proc.Proc, op PutOp)
+	// Get posts a one-sided get descriptor.
+	Get(pr *proc.Proc, op GetOp)
+	// SetPutSink installs the delivery hook for incoming put frames. It
+	// runs in network-event context: bookkeeping only, no blocking.
+	SetPutSink(fn func(m *netsim.Message))
+	// Settled reports whether every reliable one-sided frame this engine
+	// injected has been acked or abandoned.
+	Settled() bool
+}
+
+// RDMACapable is implemented by NIs that may expose an RDMA engine. RDMA()
+// returns nil when the composed spec has no one-sided send side.
+type RDMACapable interface {
+	RDMA() RDMA
+}
+
+// Put-frame args pack (transfer id, frame index, frame count) so the
+// target can place each frame without any per-transfer control traffic.
+const (
+	putFrameIdxShift   = 32
+	putFrameTotalShift = 48
+	putFrameMask       = 1<<16 - 1
+)
+
+// PutFrameArg encodes a put frame's placement tag. idx and total must fit
+// in 16 bits: a transfer is at most 65535 frames.
+func PutFrameArg(xfer uint32, idx, total int) uint64 {
+	return uint64(xfer) | uint64(idx)<<putFrameIdxShift | uint64(total)<<putFrameTotalShift
+}
+
+// DecodePutFrame unpacks PutFrameArg.
+func DecodePutFrame(arg uint64) (xfer uint32, idx, total int) {
+	return uint32(arg), int(arg >> putFrameIdxShift & putFrameMask), int(arg >> putFrameTotalShift & putFrameMask)
+}
+
+// GetArg encodes a get request's descriptor: transfer id and byte count.
+func GetArg(xfer uint32, bytes int) uint64 {
+	return uint64(xfer) | uint64(bytes)<<32
+}
+
+// DecodeGetArg unpacks GetArg.
+func DecodeGetArg(arg uint64) (xfer uint32, bytes int) {
+	return uint32(arg), int(arg >> 32)
+}
+
+// rdmaStagingBase is the DRAM region the engine's DMA reads source from —
+// the model's stand-in for the caller's registered user buffers, rotated so
+// consecutive transfers do not artificially hit in the cache.
+const rdmaStagingBase membus.Addr = 0x3008_2000
+
+func newRDMA(env *Env) *rdma {
+	r := &rdma{
+		env:      env,
+		frameCap: env.EP.MaxNetMsg() - netsim.HeaderBytes,
+		reliable: env.EP.Reliable(),
+		work:     sim.NewCond(env.Eng),
+		space:    sim.NewCond(env.Eng),
+		outFree:  sim.NewCond(env.Eng),
+		pinned:   make(map[int]int64),
+	}
+	// An RDMAEngine spec never builds the fifo hardware, so the doorbell
+	// register window is unmapped until the engine claims it.
+	env.Bus.MapRange(RegBase, FifoBase, &regsTarget{latency: env.Cfg.NISRAM + env.Cfg.IOBridge})
+	// The composer builds the rdma engine after the coherent engine, whose
+	// send side is unused under an RDMAEngine spec — taking over the
+	// endpoint's single OnOutFree callback is safe.
+	env.EP.OnOutFree = func() { r.outFree.Broadcast() }
+	env.EP.OnPut = func(m *netsim.Message) {
+		r.env.Stats.FragmentsReceived++
+		if r.putSink != nil {
+			r.putSink(m)
+		}
+		// On unreliable networks the frame was forgotten at inject (only
+		// the reliability layer retains frames, Seq != 0, for retransmit
+		// and settles them back to the sender's pool), so once the sink
+		// has copied what it needs the object is dead — adopt it into this
+		// engine's pool. Symmetric traffic then cycles frames without
+		// allocation on unreliable runs too.
+		if m.Seq == 0 {
+			m.Recycle()
+			m.Payload = nil
+			m.PayloadLen = 0
+			r.pool = append(r.pool, m)
+		}
+	}
+	env.EP.OnGet = func(m *netsim.Message) {
+		// Serve the get entirely on the NI: no descriptor-post or pin cost
+		// is charged — the requester registered the region; the responder's
+		// processor never learns the transfer happened.
+		xfer, bytes := DecodeGetArg(m.Arg)
+		r.descQ.push(rdmaDesc{kind: descPut, put: putWork{
+			dst: m.Src, handler: m.Handler, channel: m.Channel,
+			xfer: xfer, n: bytes, sendTime: r.env.Eng.Now(),
+		}})
+		r.work.Broadcast()
+		// As with puts: an unsealed request frame is dead once decoded.
+		if m.Seq == 0 {
+			m.Recycle()
+			m.Payload = nil
+			m.PayloadLen = 0
+			r.pool = append(r.pool, m)
+		}
+	}
+	env.EP.OnSettled = func(m *netsim.Message) {
+		if r.unsettled > 0 {
+			r.unsettled--
+		}
+		m.Recycle()
+		m.Payload = nil
+		m.PayloadLen = 0
+		r.pool = append(r.pool, m)
+	}
+	env.Eng.Spawn(fmt.Sprintf("rdma-%d", env.ID), r.engine)
+	return r
+}
+
+// chargePin charges pr the registration cost for a transfer of bytes to
+// dst: first touch pays the pinning syscall plus the per-page translation
+// installs; later transfers pay only for pages beyond the cached extent.
+func (r *rdma) chargePin(pr *proc.Proc, dst int, bytes int) {
+	cfg := &r.env.Cfg
+	pages := int64((bytes + cfg.RDMAPageBytes - 1) / cfg.RDMAPageBytes)
+	if pages < 1 {
+		pages = 1
+	}
+	cur, ok := r.pinned[dst]
+	if !ok {
+		pr.Work(stats.Transfer, cfg.RDMAPinCycles+pages*cfg.RDMAPagePinCycles)
+		r.pinned[dst] = pages //lint:allow noalloc per-target registration map is sized by node count at warm-up; steady-state transfers hit existing buckets
+		return
+	}
+	if pages > cur {
+		pr.Work(stats.Transfer, (pages-cur)*cfg.RDMAPagePinCycles)
+		r.pinned[dst] = pages //lint:allow noalloc the key is already present, so the assignment reuses its existing bucket
+	}
+}
+
+// post charges descriptor composition and the doorbell, waiting out a full
+// descriptor ring, then queues d for the NI.
+//
+//lint:hotpath
+func (r *rdma) post(pr *proc.Proc, d rdmaDesc) {
+	if r.descQ.len() >= r.env.Cfg.RDMADescRing {
+		r.env.Stats.SendBlocked++
+		for r.descQ.len() >= r.env.Cfg.RDMADescRing {
+			r.space.WaitAs(pr.P, stats.Buffering)
+		}
+	}
+	pr.Work(stats.Transfer, r.env.Cfg.RDMADescCycles)
+	pr.UncachedWrite(stats.Transfer, RegGo, 8)
+	r.descQ.push(d)
+	r.work.Broadcast()
+}
+
+// send is the two-sided path through the descriptor queue: register the
+// buffer, post, and return — the NI fetches and injects asynchronously,
+// like a coherent send but with the registration tax instead of a
+// cacheable queue copy.
+//
+//lint:hotpath
+func (r *rdma) send(pr *proc.Proc, m *netsim.Message) {
+	r.chargePin(pr, m.Dst, m.Size())
+	r.post(pr, rdmaDesc{kind: descSend, m: m})
+}
+
+// Put implements RDMA.
+//
+//lint:hotpath
+func (r *rdma) Put(pr *proc.Proc, op PutOp) {
+	r.chargePin(pr, op.Dst, op.PayloadLen)
+	r.post(pr, rdmaDesc{kind: descPut, put: putWork{
+		dst: op.Dst, handler: op.Handler, channel: op.Channel,
+		xfer: op.XferID, payload: op.Payload, n: op.PayloadLen, sendTime: op.SendTime,
+	}})
+}
+
+// Get implements RDMA. The request itself is a zero-payload one-sided
+// frame; the registration charged covers the landing zone for the bytes
+// coming back.
+//
+//lint:hotpath
+func (r *rdma) Get(pr *proc.Proc, op GetOp) {
+	r.chargePin(pr, op.Dst, op.Bytes)
+	g := r.frame()
+	g.Src = r.env.ID
+	g.Dst = op.Dst
+	g.Handler = op.Handler
+	g.Channel = op.Channel
+	g.Arg = GetArg(op.XferID, op.Bytes)
+	g.SendTime = op.SendTime
+	r.post(pr, rdmaDesc{kind: descGet, m: g})
+}
+
+// CanPut implements RDMA.
+//
+//lint:hotpath
+func (r *rdma) CanPut() bool { return r.descQ.len() < r.env.Cfg.RDMADescRing }
+
+// SetPutSink implements RDMA.
+func (r *rdma) SetPutSink(fn func(m *netsim.Message)) { r.putSink = fn }
+
+// Settled implements RDMA.
+//
+//lint:hotpath
+func (r *rdma) Settled() bool { return r.unsettled == 0 }
+
+// frame returns a recycled put/get frame, or allocates one on a cold pool.
+//
+//lint:hotpath
+func (r *rdma) frame() *netsim.Message {
+	if n := len(r.pool); n > 0 {
+		f := r.pool[n-1]
+		r.pool = r.pool[:n-1]
+		return f
+	}
+	return &netsim.Message{} //lint:allow noalloc cold-pool frame; reliable runs recycle through OnSettled, and the put alloc gate runs on a reliable rig
+}
+
+// staging returns the next rotating DMA source address.
+func (r *rdma) staging() membus.Addr {
+	r.stagingSeq++
+	return rdmaStagingBase + membus.Addr(r.stagingSeq%256)*1024
+}
+
+// engine is the NI-side state machine: drain descriptors, DMA-read the
+// source bytes with coherent bus reads, and inject.
+func (r *rdma) engine(p *sim.Process) {
+	for {
+		for r.descQ.len() == 0 {
+			r.busy = false
+			r.work.Wait(p)
+		}
+		r.busy = true
+		d := r.descQ.pop()
+		r.space.Broadcast()
+		switch d.kind {
+		case descSend:
+			r.dmaRead(p, d.m.Size())
+			for !r.env.EP.TryAcquireOut() {
+				r.outFree.Wait(p)
+			}
+			r.env.EP.Inject(d.m)
+			if tr := r.env.Trace; tr != nil {
+				tr("rdma inject dst=%d size=%dB", d.m.Dst, d.m.Size())
+			}
+		case descPut:
+			r.servePut(p, d.put)
+		case descGet:
+			r.env.EP.Get(d.m)
+			if r.reliable {
+				r.unsettled++
+			}
+			if tr := r.env.Trace; tr != nil {
+				tr("rdma get dst=%d arg=%#x", d.m.Dst, d.m.Arg)
+			}
+		}
+	}
+}
+
+// servePut fragments one put into MTU-sized frames, DMA-reading each
+// frame's bytes before injecting it. Frames bypass flow control entirely
+// (netsim one-sided seam), so pacing comes from the DMA reads and the
+// link's injection serialization, exactly like hardware.
+//
+//lint:hotpath
+func (r *rdma) servePut(p *sim.Process, w putWork) {
+	frames := (w.n + r.frameCap - 1) / r.frameCap
+	if frames < 1 {
+		frames = 1
+	}
+	sent := 0
+	for i := 0; i < frames; i++ {
+		fb := w.n - sent
+		if fb > r.frameCap {
+			fb = r.frameCap
+		}
+		r.dmaRead(p, fb+netsim.HeaderBytes)
+		f := r.frame()
+		f.Src = r.env.ID
+		f.Dst = w.dst
+		f.Handler = w.handler
+		f.Channel = w.channel
+		f.PayloadLen = fb
+		if w.payload != nil {
+			f.Payload = w.payload[sent : sent+fb]
+		}
+		f.Arg = PutFrameArg(w.xfer, i, frames)
+		f.SendTime = w.sendTime
+		r.env.EP.Put(f)
+		r.env.Stats.FragmentsSent++
+		if r.reliable {
+			r.unsettled++
+		}
+		sent += fb
+	}
+	if tr := r.env.Trace; tr != nil {
+		tr("rdma put dst=%d xfer=%d bytes=%d frames=%d", w.dst, w.xfer, w.n, frames)
+	}
+}
+
+// dmaRead models the NI's coherent fetch of n source bytes from the
+// registered buffer: one split GetS transaction per 64-byte block, each
+// snooping the processor cache like any other bus master. Scratch
+// transactions (Bus.Access) keep the per-frame path allocation-free.
+//
+//lint:hotpath
+func (r *rdma) dmaRead(p *sim.Process, n int) {
+	src := r.staging()
+	blocks := (n + membus.BlockSize - 1) / membus.BlockSize
+	if blocks < 1 {
+		blocks = 1
+	}
+	for i := 0; i < blocks; i++ {
+		r.env.Bus.Access(p, membus.GetS, src+membus.Addr(i*membus.BlockSize), membus.BlockSize)
+	}
+}
+
+// canSend mirrors CanPut for the plain NI contract.
+//
+//lint:hotpath
+func (r *rdma) canSend() bool { return r.descQ.len() < r.env.Cfg.RDMADescRing }
+
+// idle reports whether the descriptor queue has drained, the state machine
+// is parked, and (on reliable networks) every one-sided frame settled.
+// Unreliable one-sided frames in flight are invisible here — there is no
+// ack to observe — so workloads on unreliable networks must quiesce
+// through their own protocol-level completion signal.
+//
+//lint:hotpath
+func (r *rdma) idle() bool { return r.descQ.len() == 0 && !r.busy && r.unsettled == 0 }

@@ -243,6 +243,29 @@ type Config struct {
 	// cache across wraps.
 	QmSendQueueBlocks int
 
+	// RDMA engine registration cost model. One-sided transfers move user
+	// buffers the NI reads directly over the bus, so the OS must pin the
+	// pages and install them in the adapter's translation table before the
+	// first transfer — the classic VIA/InfiniBand memory-registration tax.
+	// The charge is per *region*: the first put or get touching a remote
+	// target pays RDMAPinCycles plus RDMAPagePinCycles per page; repeated
+	// transfers to the same target reuse the cached registration and pay
+	// only for pages beyond the largest extent seen so far.
+
+	// RDMAPinCycles is the fixed processor cost of a registration syscall
+	// (pin + translation-table install), charged on first touch per target.
+	RDMAPinCycles int64
+	// RDMAPagePinCycles is the incremental cost per newly pinned page.
+	RDMAPagePinCycles int64
+	// RDMAPageBytes is the pinning granularity.
+	RDMAPageBytes int
+	// RDMADescCycles is the processor cost to compose and post one RDMA
+	// work descriptor (doorbell write is charged separately).
+	RDMADescCycles int64
+	// RDMADescRing is the descriptor ring depth; a full ring stalls the
+	// posting processor until the NI drains an entry.
+	RDMADescRing int
+
 	// Ablation switches (all off in the paper's configurations).
 
 	// DisableCNIPrefetch turns off the CNI send-side block prefetch
@@ -277,6 +300,11 @@ func DefaultConfig() Config {
 		CNICacheBlocks:     32,
 		QmQueueBlocks:      8192,
 		QmSendQueueBlocks:  128,
+		RDMAPinCycles:      1500,
+		RDMAPagePinCycles:  300,
+		RDMAPageBytes:      4096,
+		RDMADescCycles:     80,
+		RDMADescRing:       64,
 	}
 }
 

@@ -14,18 +14,38 @@ import "nisim/internal/netsim"
 // installOverload wires the spec's overload policy into the endpoint.
 // A zero policy installs nothing: Admit stays nil and the network's
 // lossless fast path is bit-identical to a build without the hook.
+//
+// With ResumePct set the watermark gains hysteresis: the first refusal
+// latches the policy into a refusing state that persists until occupancy
+// drains below the (lower) resume threshold. A single-threshold policy
+// sitting exactly at the watermark flaps — each consumed block re-admits
+// one arrival that pushes occupancy straight back over the line, so the
+// receiver runs permanently at the cliff edge and every admitted message
+// observes worst-case queueing. The hysteresis band forces a real drain
+// before service resumes. ResumePct == 0 keeps the latch permanently
+// disengaged and is bit-identical to the single-threshold policy.
 func (x *composed) installOverload() {
 	p := x.spec.Overload
 	if p.Zero() {
 		return
 	}
+	refusing := false
 	x.env.EP.Admit = func(m *netsim.Message) netsim.AdmitDecision {
 		if p.ControlBase > 0 && m.Handler >= p.ControlBase {
 			return netsim.AdmitAccept
 		}
 		occ, cap := x.occupancy()
-		if occ*100 < cap*p.AdmitPct {
+		if refusing && occ*100 < cap*p.ResumePct {
+			refusing = false
+		}
+		if !refusing && occ*100 < cap*p.AdmitPct {
 			return netsim.AdmitAccept
+		}
+		if p.ResumePct > 0 && !refusing {
+			refusing = true
+			if x.env.Stats != nil {
+				x.env.Stats.AdmitFlaps++
+			}
 		}
 		if tr := x.env.Trace; tr != nil {
 			tr("overload refuse src=%d size=%dB occ=%d/%d action=%s", m.Src, m.Size(), occ, cap, p.Refuse)

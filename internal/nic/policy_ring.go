@@ -89,11 +89,7 @@ func (r *memRing) deposit(p *sim.Process, start, nb int64) bool {
 	c := r.c
 	// Coherent write-invalidate block transfers into main memory.
 	for i := int64(0); i < nb; i++ {
-		c.env.Bus.IssueAndWait(p, &membus.Transaction{
-			Kind:      membus.WriteInvalidate,
-			Addr:      c.recvRing.addr(start + i),
-			Requester: c,
-		})
+		c.env.Bus.AccessFrom(p, c, membus.WriteInvalidate, c.recvRing.addr(start+i), 0)
 	}
 	if tr := c.env.Trace; tr != nil {
 		tr("buffer deposit mode=memory blocks=%d", nb)
@@ -136,11 +132,7 @@ func (r *niRing) deposit(p *sim.Process, start, nb int64) bool {
 	// Local write into NI DRAM (buffered, read-bypassed) plus an
 	// address-only invalidate per block.
 	for i := int64(0); i < nb; i++ {
-		c.env.Bus.IssueAndWait(p, &membus.Transaction{
-			Kind:      membus.Invalidate,
-			Addr:      c.recvRing.addr(start + i),
-			Requester: c,
-		})
+		c.env.Bus.AccessFrom(p, c, membus.Invalidate, c.recvRing.addr(start+i), 0)
 	}
 	if tr := c.env.Trace; tr != nil {
 		tr("buffer deposit mode=ni-dram blocks=%d", nb)
@@ -219,11 +211,7 @@ func (r *cachedRing) deposit(p *sim.Process, start, nb int64) bool {
 		// copies with address-only transactions.
 		for i := int64(0); i < nb; i++ {
 			r.recvSRAM.Claim() // posted SRAM write
-			c.env.Bus.IssueAndWait(p, &membus.Transaction{
-				Kind:      membus.Invalidate,
-				Addr:      c.recvRing.addr(start + i),
-				Requester: c,
-			})
+			c.env.Bus.AccessFrom(p, c, membus.Invalidate, c.recvRing.addr(start+i), 0)
 			r.liveRecv[start+i] = true
 		}
 		r.cacheLiveR += nb
@@ -238,18 +226,10 @@ func (r *cachedRing) deposit(p *sim.Process, start, nb int64) bool {
 	// the processor cache) is the moment the NI learns which cached
 	// messages are dead and can reclaim their blocks without writeback.
 	c.env.Stats.NIBypasses++
-	c.env.Bus.IssueAndWait(p, &membus.Transaction{
-		Kind:      membus.GetS,
-		Addr:      c.recvPtr,
-		Requester: c,
-	})
+	c.env.Bus.AccessFrom(p, c, membus.GetS, c.recvPtr, 0)
 	r.reclaim()
 	for i := int64(0); i < nb; i++ {
-		c.env.Bus.IssueAndWait(p, &membus.Transaction{
-			Kind:      membus.WriteInvalidate,
-			Addr:      c.recvRing.addr(start + i),
-			Requester: c,
-		})
+		c.env.Bus.AccessFrom(p, c, membus.WriteInvalidate, c.recvRing.addr(start+i), 0)
 	}
 	if tr := c.env.Trace; tr != nil {
 		tr("buffer deposit mode=bypass blocks=%d live=%d", nb, r.cacheLiveR)

@@ -1,0 +1,333 @@
+package nic
+
+import (
+	"testing"
+
+	"nisim/internal/netsim"
+	"nisim/internal/proc"
+	"nisim/internal/sim"
+	"nisim/internal/stats"
+)
+
+// rdmaSpec is the canonical one-sided design point: RDMA send engine over a
+// memory-homed ring receive side.
+func rdmaSpec() Spec {
+	return Spec{Send: RDMAEngine, Recv: CoherentEngine, Buffering: MemoryRing}
+}
+
+// reliableNet is the network configuration the settlement-dependent RDMA
+// tests run under.
+func reliableNet() netsim.Config {
+	cfg := netsim.DefaultConfig()
+	cfg.Reliability = netsim.ReliabilityConfig{
+		Enabled: true, AckTimeout: 2 * sim.Microsecond,
+		TimeoutCap: 16 * sim.Microsecond, MaxAttempts: 4,
+	}
+	return cfg
+}
+
+// TestRDMAValidation pins the spec rules the one-sided engine introduces.
+func TestRDMAValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"put over memring", rdmaSpec(), true},
+		{"put over niring", Spec{Send: RDMAEngine, Recv: CoherentEngine, Buffering: NIRing}, true},
+		{"put over nicache", Spec{Send: RDMAEngine, Recv: CoherentEngine, Buffering: NICachedRing}, true},
+		{"rdma receive side", Spec{Send: CoherentEngine, Recv: RDMAEngine, Buffering: MemoryRing}, false},
+		{"rdma over fifo vm", Spec{Send: RDMAEngine, Recv: UncachedWordEngine, Buffering: FifoVM}, false},
+		{"rdma throttled", Spec{Send: RDMAEngine, Recv: CoherentEngine, Buffering: NICachedRing, Throttle: true}, false},
+		{"hysteresis", Spec{Send: RDMAEngine, Recv: CoherentEngine, Buffering: MemoryRing,
+			Overload: OverloadPolicy{AdmitPct: 75, ResumePct: 40}}, true},
+		{"resume above admit", Spec{Send: RDMAEngine, Recv: CoherentEngine, Buffering: MemoryRing,
+			Overload: OverloadPolicy{AdmitPct: 40, ResumePct: 75}}, false},
+		{"resume without admit", Spec{Send: RDMAEngine, Recv: CoherentEngine, Buffering: MemoryRing,
+			Overload: OverloadPolicy{ResumePct: 40}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	want := "rdma+coherent.memring+ov75dh40"
+	s := Spec{Send: RDMAEngine, Recv: CoherentEngine, Buffering: MemoryRing,
+		Overload: OverloadPolicy{AdmitPct: 75, ResumePct: 40, Refuse: RefuseDrop}}
+	if got := s.Name(); got != want {
+		t.Errorf("hysteresis spec name = %q, want %q", got, want)
+	}
+}
+
+// TestRDMAPutDelivery pins the one-sided put contract end to end: a
+// multi-frame put arrives through the sink with dense placement tags, never
+// consults admission control, and holds no flow-control buffers once
+// settled. The receiving processor never calls Recv — delivery is entirely
+// NI-side.
+func TestRDMAPutDelivery(t *testing.T) {
+	spec := rdmaSpec()
+	// An aggressive watermark on every node: one-sided traffic must sail
+	// straight past it.
+	spec.Overload = OverloadPolicy{AdmitPct: 1, Refuse: RefuseDrop}
+	r := newTwoNodesNet(t, spec, 4, reliableNet(), nil)
+
+	// Frames are pooled: their contents are only valid inside the sink
+	// callback (the zero-copy contract), so the test snapshots what it needs.
+	type seen struct {
+		xfer        uint32
+		idx, total  int
+		handler, pb int
+		put         bool
+	}
+	const xferBytes = 1000
+	var frames []seen
+	r.nis[1].(RDMACapable).RDMA().SetPutSink(func(m *netsim.Message) {
+		xfer, idx, n := DecodePutFrame(m.Arg)
+		frames = append(frames, seen{xfer: xfer, idx: idx, total: n, handler: m.Handler, pb: m.PayloadLen, put: m.IsPut()})
+	})
+	sender := r.nis[0].(RDMACapable).RDMA()
+	if sender == nil {
+		t.Fatal("rdma spec composed without a one-sided interface")
+	}
+
+	frameCap := netsim.DefaultConfig().MaxNetMsg - netsim.HeaderBytes
+	wantFrames := (xferBytes + frameCap - 1) / frameCap
+	r.run(t,
+		func(pr *proc.Proc, ni NI) {
+			sender.Put(pr, PutOp{Dst: 1, Handler: 7, XferID: 42, PayloadLen: xferBytes, SendTime: r.eng.Now()})
+			for len(frames) < wantFrames || !sender.Settled() {
+				pr.P.SleepAs(stats.Buffering, 100*sim.Nanosecond)
+			}
+		},
+		func(pr *proc.Proc, ni NI) {},
+	)
+
+	if len(frames) != wantFrames {
+		t.Fatalf("put of %dB arrived as %d frames, want %d", xferBytes, len(frames), wantFrames)
+	}
+	total := 0
+	for i, f := range frames {
+		if f.xfer != 42 || f.idx != i || f.total != wantFrames {
+			t.Errorf("frame %d tagged (xfer=%d idx=%d total=%d), want (42, %d, %d)", i, f.xfer, f.idx, f.total, i, wantFrames)
+		}
+		if f.handler != 7 || !f.put {
+			t.Errorf("frame %d: handler=%d IsPut=%v", i, f.handler, f.put)
+		}
+		total += f.pb
+	}
+	if total != xferBytes {
+		t.Errorf("frames carry %d payload bytes, want %d", total, xferBytes)
+	}
+	if got := r.nodes[1].FragmentsReceived; got != int64(wantFrames) {
+		t.Errorf("receiver FragmentsReceived = %d, want %d", got, wantFrames)
+	}
+	if got := r.nodes[1].AdmitDrops; got != 0 {
+		t.Errorf("admission control refused %d one-sided frames", got)
+	}
+	for i := 0; i < 2; i++ {
+		ep := r.net.Endpoint(i)
+		if ep.OutFree() != ep.Buffers() || ep.InFree() != ep.Buffers() {
+			t.Errorf("node %d holds flow-control buffers after settle: out %d/%d in %d/%d",
+				i, ep.OutFree(), ep.Buffers(), ep.InFree(), ep.Buffers())
+		}
+	}
+	if rep := r.net.QuiescenceReport(); rep != "" {
+		t.Errorf("network not quiescent:\n%s", rep)
+	}
+}
+
+// TestRDMAGetRoundTrip pins the get path: the requester posts one
+// descriptor, and the responder's NI serves the put-back without any
+// responder software — its processor never runs a receive.
+func TestRDMAGetRoundTrip(t *testing.T) {
+	r := newTwoNodesNet(t, rdmaSpec(), 4, reliableNet(), nil)
+
+	type seen struct {
+		xfer        uint32
+		idx, total  int
+		handler, pb int
+	}
+	const xferBytes = 600
+	var frames []seen
+	requester := r.nis[0].(RDMACapable).RDMA()
+	requester.SetPutSink(func(m *netsim.Message) {
+		xfer, idx, n := DecodePutFrame(m.Arg)
+		frames = append(frames, seen{xfer: xfer, idx: idx, total: n, handler: m.Handler, pb: m.PayloadLen})
+	})
+
+	frameCap := netsim.DefaultConfig().MaxNetMsg - netsim.HeaderBytes
+	wantFrames := (xferBytes + frameCap - 1) / frameCap
+	r.run(t,
+		func(pr *proc.Proc, ni NI) {
+			requester.Get(pr, GetOp{Dst: 1, Handler: 9, XferID: 7, Bytes: xferBytes, SendTime: r.eng.Now()})
+			for len(frames) < wantFrames || !requester.Settled() {
+				pr.P.SleepAs(stats.Buffering, 100*sim.Nanosecond)
+			}
+		},
+		func(pr *proc.Proc, ni NI) {},
+	)
+
+	if len(frames) != wantFrames {
+		t.Fatalf("get of %dB returned %d frames, want %d", xferBytes, len(frames), wantFrames)
+	}
+	total := 0
+	for i, f := range frames {
+		if f.xfer != 7 || f.idx != i || f.total != wantFrames || f.handler != 9 {
+			t.Errorf("frame %d tagged (xfer=%d idx=%d total=%d h=%d)", i, f.xfer, f.idx, f.total, f.handler)
+		}
+		total += f.pb
+	}
+	if total != xferBytes {
+		t.Errorf("put-back carries %d bytes, want %d", total, xferBytes)
+	}
+	// The responder's NI moved the data; its processor was never involved.
+	if got := r.nodes[1].FragmentsSent; got != int64(wantFrames) {
+		t.Errorf("responder FragmentsSent = %d, want %d", got, wantFrames)
+	}
+	if rep := r.net.QuiescenceReport(); rep != "" {
+		t.Errorf("network not quiescent:\n%s", rep)
+	}
+}
+
+// TestRDMARegistrationAmortized pins the pinning cost model: the first
+// transfer to a target pays the registration syscall and per-page charges;
+// a repeat of the same extent pays neither; growing the extent pays only
+// the new pages; and a different target starts cold again.
+func TestRDMARegistrationAmortized(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	// Isolate chargePin: no bus, no network — a bare engine accounting
+	// processor work is all the cost model touches.
+	st := stats.NewNode()
+	pr := &proc.Proc{ID: 0, Eng: eng, Stats: st, CPU: sim.GHz(1)}
+	r := &rdma{env: &Env{Cfg: cfg, CPU: sim.GHz(1)}, pinned: make(map[int]int64)}
+
+	var deltas []sim.Time
+	p := eng.Spawn("pin", func(p *sim.Process) {
+		pr.Bind(p)
+		charge := func(dst, bytes int) {
+			before := st.TimeIn[stats.Transfer]
+			r.chargePin(pr, dst, bytes)
+			deltas = append(deltas, st.TimeIn[stats.Transfer]-before)
+		}
+		charge(1, 2*cfg.RDMAPageBytes) // cold: pin + 2 pages
+		charge(1, 2*cfg.RDMAPageBytes) // warm repeat: free
+		charge(1, cfg.RDMAPageBytes)   // smaller extent: free
+		charge(1, 3*cfg.RDMAPageBytes) // grow by one page
+		charge(2, cfg.RDMAPageBytes)   // new target: cold again
+	})
+	_ = p
+	eng.Run()
+
+	cpu := sim.GHz(1)
+	want := []sim.Time{
+		cpu.Cycles(cfg.RDMAPinCycles + 2*cfg.RDMAPagePinCycles),
+		0,
+		0,
+		cpu.Cycles(cfg.RDMAPagePinCycles),
+		cpu.Cycles(cfg.RDMAPinCycles + cfg.RDMAPagePinCycles),
+	}
+	for i, w := range want {
+		if deltas[i] != w {
+			t.Errorf("charge %d cost %v, want %v", i, deltas[i], w)
+		}
+	}
+}
+
+// TestRDMAPutAllocFree is the allocation gate for the one-sided hot path:
+// once the frame pool is warm (reliable settlement refills it), a complete
+// put round — descriptor post, doorbell, NI DMA, frame injection, one-sided
+// delivery, ack, settle, recycle — must not allocate.
+func TestRDMAPutAllocFree(t *testing.T) {
+	r := newTwoNodesNet(t, rdmaSpec(), 8, reliableNet(), nil)
+	sender := r.nis[0].(RDMACapable).RDMA()
+	got := 0
+	r.nis[1].(RDMACapable).RDMA().SetPutSink(func(m *netsim.Message) { got++ })
+
+	const total = 230
+	release := 0
+	p0 := r.eng.Spawn("putter", func(p *sim.Process) {
+		pr := r.procs[0]
+		for i := 0; i < total; i++ {
+			for release <= i {
+				p.Sleep(100 * sim.Nanosecond)
+			}
+			for !sender.CanPut() {
+				p.Sleep(100 * sim.Nanosecond)
+			}
+			sender.Put(pr, PutOp{Dst: 1, Handler: 7, XferID: uint32(i), PayloadLen: 200})
+		}
+	})
+	r.procs[0].Bind(p0)
+
+	running := func() bool { return got < release || !sender.Settled() }
+	round := func() {
+		release++
+		r.eng.RunWhile(running)
+		if got != release || !sender.Settled() {
+			t.Fatalf("round %d did not settle: got=%d settled=%v", release, got, sender.Settled())
+		}
+	}
+	for i := 0; i < 20; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(200, round); allocs != 0 {
+		t.Errorf("one-sided put round allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestOverloadHysteresis demonstrates the watermark-flap fix: a
+// single-threshold policy sitting at its watermark re-admits after every
+// consumed message and immediately refuses again — each admitted arrival
+// observes a full queue. With a resume threshold the first refusal latches
+// until the receiver drains below the lower watermark, so the policy
+// refuses more while refusing *less often* (one latched episode instead of
+// per-message flapping), and AdmitFlaps records each episode.
+func TestOverloadHysteresis(t *testing.T) {
+	type result struct {
+		bounces, flaps int64
+	}
+	runPolicy := func(resume int) result {
+		spec := SpecFor(CM5)
+		spec.Overload = OverloadPolicy{AdmitPct: 50, ResumePct: resume, Refuse: RefuseBounce}
+		r := newTwoNodesNet(t, spec, 8, netsim.DefaultConfig(), nil)
+		const total = 40
+		r.run(t,
+			r.sendN(total, 16),
+			func(pr *proc.Proc, ni NI) {
+				// Let the queue fill past the watermark, then drain slowly so
+				// occupancy hovers at the admission boundary.
+				pr.P.SleepAs(stats.Compute, 10*sim.Microsecond)
+				for i := 0; i < total; i++ {
+					ni.Recv(pr)
+					pr.P.SleepAs(stats.Compute, 500*sim.Nanosecond)
+				}
+			})
+		if got := r.nodes[1].FragmentsReceived; got != total {
+			t.Fatalf("ResumePct=%d: delivered %d of %d messages", resume, got, total)
+		}
+		return result{bounces: r.nodes[1].AdmitBounces, flaps: r.nodes[1].AdmitFlaps}
+	}
+
+	plain := runPolicy(0)
+	hyst := runPolicy(25)
+
+	if plain.bounces == 0 {
+		t.Fatal("single-threshold run never hit the watermark; the comparison proves nothing")
+	}
+	if plain.flaps != 0 {
+		t.Errorf("single-threshold policy recorded %d flaps; counter must stay silent without hysteresis", plain.flaps)
+	}
+	if hyst.flaps == 0 {
+		t.Error("hysteresis run recorded no admit flaps")
+	}
+	if hyst.bounces <= plain.bounces {
+		t.Errorf("hysteresis refused %d arrivals vs plain %d; the latch should refuse more while draining",
+			hyst.bounces, plain.bounces)
+	}
+	// The latch converts per-message flapping into whole episodes: each flap
+	// must account for multiple refusals.
+	if hyst.flaps >= hyst.bounces {
+		t.Errorf("hysteresis flapped %d times for %d refusals; refusals should batch per episode", hyst.flaps, hyst.bounces)
+	}
+}

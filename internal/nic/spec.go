@@ -42,6 +42,13 @@ const (
 	// CoherentEngine is the CNI idiom: the NI is a coherent bus device
 	// moving 64-byte blocks to/from cacheable queue memory on its own.
 	CoherentEngine
+	// RDMAEngine is the one-sided remote-DMA idiom (MPICH2-over-InfiniBand):
+	// the processor posts a descriptor naming pinned user memory and the NI
+	// reads the data with coherent block fetches and moves it itself, with a
+	// registration/pinning cost amortized across repeated targets. Send-only;
+	// it also exposes one-sided put/get (RDMA) that bypasses the target's
+	// receive ring entirely. Receive rides a coherent ring engine.
+	RDMAEngine
 	numEngines
 )
 
@@ -59,6 +66,8 @@ func (e Engine) String() string {
 		return "udma"
 	case CoherentEngine:
 		return "coherent"
+	case RDMAEngine:
+		return "rdma"
 	default: //lint:allow exhaustive String falls back to engine%d for invalid values; report output is byte-identity-locked
 		return fmt.Sprintf("engine%d", int(e))
 	}
@@ -173,6 +182,12 @@ type OverloadPolicy struct {
 	// capacity: arrivals are admitted while occupancy < AdmitPct% of
 	// capacity. 0 disables the policy entirely; 100 admits until full.
 	AdmitPct int
+	// ResumePct, when positive, adds hysteresis to the watermark: once an
+	// arrival has been refused, the policy keeps refusing until occupancy
+	// falls below ResumePct% of capacity, instead of flapping between admit
+	// and refuse one message either side of AdmitPct. Must not exceed
+	// AdmitPct. 0 keeps the single-threshold behavior bit-identical.
+	ResumePct int
 	// Refuse is the fate of a refused arrival: bounce (default) or drop.
 	Refuse RefuseAction
 	// Evict, when EvictOldest, displaces the oldest buffered message
@@ -207,9 +222,9 @@ type Spec struct {
 
 // Name returns a compact identifier for the spec: the Kind short name for
 // the nine named design points, or "send+recv.buffering" for cross-product
-// specs, with a "+ovPCTr[e][cN]" suffix when an overload policy is set
-// (PCT the watermark, r the refuse action's initial, e eviction, cN the
-// control-exemption handler base).
+// specs, with a "+ovPCTr[e][hN][cN]" suffix when an overload policy is set
+// (PCT the watermark, r the refuse action's initial, e eviction, hN the
+// hysteresis resume threshold, cN the control-exemption handler base).
 func (s Spec) Name() string {
 	base := s
 	base.Overload = OverloadPolicy{}
@@ -227,6 +242,9 @@ func (s Spec) Name() string {
 		if s.Overload.Evict == EvictOldest {
 			n += "e"
 		}
+		if s.Overload.ResumePct > 0 {
+			n += fmt.Sprintf("h%d", s.Overload.ResumePct)
+		}
 		if s.Overload.ControlBase > 0 {
 			n += fmt.Sprintf("c%d", s.Overload.ControlBase)
 		}
@@ -238,9 +256,13 @@ func (s Spec) Name() string {
 // encode the physical constraints of the components:
 //
 //   - ReflectiveEngine has no receive side (reflective memory is write-only).
+//   - RDMAEngine is send-only too, and its one-sided completions deposit
+//     straight into user memory, so it requires a coherent receive engine
+//     over ring buffering — the fifo window plays no part in its path.
 //   - FifoVM buffering services messages through the fifo hardware, so the
-//     receive engine must be fifo-family; a coherent send engine buffers
-//     outbound messages in its own ring, which FifoVM does not model.
+//     receive engine must be fifo-family; a coherent or RDMA send engine
+//     buffers outbound messages in its own ring/descriptor queue, which
+//     FifoVM does not model.
 //   - The ring policies deposit messages into coherent queue memory, which
 //     only the coherent engine can read, so ring buffering requires a
 //     coherent receive engine.
@@ -259,11 +281,14 @@ func (s Spec) Validate() error {
 	if s.Recv == ReflectiveEngine {
 		return fmt.Errorf("nic: %s is send-only", ReflectiveEngine)
 	}
+	if s.Recv == RDMAEngine {
+		return fmt.Errorf("nic: %s is send-only", RDMAEngine)
+	}
 	if s.Buffering == FifoVM {
 		if !s.Recv.fifoFamily() {
 			return fmt.Errorf("nic: %s buffering requires a fifo-family recv engine, got %s", s.Buffering, s.Recv)
 		}
-		if s.Send == CoherentEngine {
+		if s.Send == CoherentEngine || s.Send == RDMAEngine {
 			return fmt.Errorf("nic: %s send engine requires ring buffering, got %s", s.Send, s.Buffering)
 		}
 	} else if s.Recv != CoherentEngine {
@@ -287,11 +312,17 @@ func (p OverloadPolicy) validate() error {
 	if p.Evict < 0 || p.Evict >= numEvictChoices {
 		return fmt.Errorf("nic: invalid overload evict choice %d", int(p.Evict))
 	}
+	if p.ResumePct < 0 || p.ResumePct > 100 {
+		return fmt.Errorf("nic: overload ResumePct %d outside [0, 100]", p.ResumePct)
+	}
 	if p.AdmitPct == 0 {
-		if p.Refuse != RefuseBounce || p.Evict != EvictNone || p.ControlBase != 0 {
+		if p.Refuse != RefuseBounce || p.Evict != EvictNone || p.ControlBase != 0 || p.ResumePct != 0 {
 			return fmt.Errorf("nic: overload policy fields require AdmitPct > 0")
 		}
 		return nil
+	}
+	if p.ResumePct > p.AdmitPct {
+		return fmt.Errorf("nic: overload ResumePct %d exceeds AdmitPct %d (hysteresis band would invert)", p.ResumePct, p.AdmitPct)
 	}
 	if p.Evict == EvictOldest && p.Refuse != RefuseDrop {
 		return fmt.Errorf("nic: %v eviction requires the drop refuse action (eviction destroys admitted data)", EvictOldest)

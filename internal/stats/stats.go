@@ -90,6 +90,7 @@ type Node struct {
 	AdmitDrops     int64 // arrivals destroyed at the admission watermark
 	AdmitBounces   int64 // arrivals returned to sender at the watermark
 	AdmitEvictions int64 // buffered messages evicted to admit newer ones
+	AdmitFlaps     int64 // admit→refuse transitions (hysteresis engagements)
 
 	// NI-specific counters.
 	NICacheHits   int64 // processor receive fills supplied by the NI cache
@@ -180,6 +181,7 @@ func (m *Machine) Total() *Node {
 		t.AdmitDrops += n.AdmitDrops
 		t.AdmitBounces += n.AdmitBounces
 		t.AdmitEvictions += n.AdmitEvictions
+		t.AdmitFlaps += n.AdmitFlaps
 		t.NICacheHits += n.NICacheHits
 		t.NICacheMisses += n.NICacheMisses
 		t.NIBypasses += n.NIBypasses
@@ -249,6 +251,7 @@ func (m *Machine) Metrics() map[string]float64 {
 	nonzero("admit_drops", t.AdmitDrops)
 	nonzero("admit_bounces", t.AdmitBounces)
 	nonzero("admit_evictions", t.AdmitEvictions)
+	nonzero("admit_flaps", t.AdmitFlaps)
 	return ms
 }
 
@@ -315,7 +318,7 @@ type Histogram struct {
 func NewHistogram() *Histogram { return &Histogram{counts: make(map[int]int64)} }
 
 // Add records one occurrence of v.
-func (h *Histogram) Add(v int) { h.counts[v]++; h.total++ }
+func (h *Histogram) Add(v int) { h.counts[v]++; h.total++ } //lint:allow noalloc bucket population is bounded by the distinct message sizes a workload sends; repeats hit existing buckets
 
 // Merge adds all of other's counts into h.
 func (h *Histogram) Merge(other *Histogram) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nisim/internal/machine"
+	"nisim/internal/msglayer"
 	"nisim/internal/nic"
 )
 
@@ -62,6 +63,39 @@ func TestEverythingShardable(t *testing.T) {
 			if got := Run(c, app, p); !reflect.DeepEqual(serial, got) {
 				t.Errorf("%s/%s shards=4: stats differ from serial", kind.ShortName(), app)
 			}
+		}
+	}
+}
+
+// TestShardedRendezvousIsByteIdentical covers the rendezvous protocol
+// under partitioning: the RTS/CTS handshake and the one-sided put frames
+// cross shard boundaries as ordinary network events, so the open-loop
+// workload on the RDMA design with bulk rendezvous requests must produce
+// service results and machine statistics deeply equal to the serial
+// engine's at every shard count.
+func TestShardedRendezvousIsByteIdentical(t *testing.T) {
+	spec := nic.Spec{Send: nic.RDMAEngine, Recv: nic.CoherentEngine, Buffering: nic.MemoryRing}
+	cfg := machine.DefaultConfig(nic.Custom, 8)
+	cfg.NISpec = &spec
+	cfg.Msg.Protocol = msglayer.Rendezvous
+	cfg.Msg.RendezvousThreshold = 1024
+	p := DefaultOpenLoop()
+	p.ReqBytes, p.RespBytes = 2048, 32
+
+	serialRes, serialStats := RunOpenLoop(cfg, p)
+	if serialRes.Completed == 0 {
+		t.Fatal("serial rendezvous run completed nothing")
+	}
+	for _, shards := range []int{2, 4} {
+		c := cfg
+		c.Shards = shards
+		res, st := RunOpenLoop(c, p)
+		if !reflect.DeepEqual(serialStats, st) {
+			t.Errorf("shards=%d: rendezvous stats differ from serial", shards)
+		}
+		if !reflect.DeepEqual(serialRes, res) {
+			t.Errorf("shards=%d: rendezvous result differs from serial:\nserial: %+v\nsharded: %+v",
+				shards, serialRes, res)
 		}
 	}
 }
